@@ -1,0 +1,140 @@
+// Experiments E9–E11 (Section 7): ablations of the three Vadalog system
+// optimizations for piece-wise linear warded sets.
+//
+//  E9  termination control: the isomorphism guide structure stops the
+//      warded ∃-recursion immediately; without it the chase must be
+//      stopped by brute budgets after generating far more atoms.
+//  E10 join-order bias: delta-driven semi-naive evaluation (recursive
+//      operand anchored) vs naive re-evaluation.
+//  E11 materialization at strata boundaries: dropping relations no later
+//      stratum reads trades a recomputation guarantee for memory.
+
+#include <cstdint>
+#include <string>
+
+#include "ast/parser.h"
+#include "bench_util.h"
+#include "chase/chase.h"
+#include "datalog/seminaive.h"
+#include "gen/generators.h"
+#include "storage/homomorphism.h"
+
+using namespace vadalog;
+using namespace vadalog::bench;
+
+namespace {
+
+void TerminationControl() {
+  Banner("E9 / Section 7 (1)",
+         "isomorphism-based termination control bounds the warded chase; "
+         "ablation: off = atom budget required, many more atoms");
+  Row("%8s | %10s %10s | %12s %12s", "facts", "on-atoms", "on-ms",
+      "off-atoms", "off-ms");
+  for (uint32_t facts : {10u, 30u, 100u, 300u}) {
+    std::string text = R"(
+      r(X, Z) :- p(X).
+      p(Y) :- r(X, Y).
+    )";
+    for (uint32_t i = 0; i < facts; ++i) {
+      text += "p(c" + std::to_string(i) + ").\n";
+    }
+    ParseResult parsed = ParseProgram(text);
+    Program program = std::move(*parsed.program);
+    Instance db = DatabaseFromFacts(program.facts());
+
+    Timer on_timer;
+    ChaseResult on = RunChase(program, db);
+    double on_ms = on_timer.Ms();
+
+    ChaseOptions off_options;
+    off_options.isomorphism_termination = false;
+    off_options.max_atoms = facts * 40;  // brute budget stands in
+    Timer off_timer;
+    ChaseResult off = RunChase(program, db, off_options);
+    double off_ms = off_timer.Ms();
+
+    Row("%8u | %10zu %10.2f | %12zu %12.2f", facts, on.instance.size(),
+        on_ms, off.instance.size(), off_ms);
+  }
+}
+
+void JoinOrderBias() {
+  Banner("E10 / Section 7 (2)",
+         "join ordering biased to the mutually recursive operand "
+         "(delta-anchored semi-naive) vs unbiased naive re-evaluation");
+  Row("%8s | %10s %12s | %10s %12s | %8s", "nodes", "semi-ms",
+      "semi-apps", "naive-ms", "naive-apps", "speedup");
+  for (uint32_t nodes : {50u, 100u, 200u, 400u}) {
+    Program program = MakeTransitiveClosureProgram(/*linear=*/true);
+    Rng rng(nodes * 3);
+    AddRandomGraphFacts(&program, "e", nodes, nodes * 2, &rng);
+    Instance db = DatabaseFromFacts(program.facts());
+
+    Timer semi_timer;
+    DatalogResult semi = EvaluateDatalog(program, db);
+    double semi_ms = semi_timer.Ms();
+
+    DatalogOptions naive_options;
+    naive_options.seminaive = false;
+    Timer naive_timer;
+    DatalogResult naive = EvaluateDatalog(program, db, naive_options);
+    double naive_ms = naive_timer.Ms();
+
+    Row("%8u | %10.2f %12lu | %10.2f %12lu | %7.1fx", nodes, semi_ms,
+        static_cast<unsigned long>(semi.rule_applications), naive_ms,
+        static_cast<unsigned long>(naive.rule_applications),
+        semi_ms > 0 ? naive_ms / semi_ms : 0.0);
+    if (semi.instance.size() != naive.instance.size()) {
+      Row("  !! ablation changed the fixpoint");
+    }
+  }
+}
+
+void StrataMaterialization() {
+  Banner("E11 / Section 7 (3)",
+         "materialization nodes at PWL strata boundaries: pinned "
+         "intermediate results allow dropping upstream state (less "
+         "memory), at the price of losing the dropped relations");
+  Row("%8s | %12s %12s | %12s %12s", "nodes", "plain-peak", "final-atoms",
+      "mat-peak", "final-atoms");
+  const char* rules = R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    pair(X, Y) :- t(X, Y).
+    pair(X, Z) :- pair(X, Y), t(Y, Z).
+    top(X) :- pair(X, X).
+  )";
+  for (uint32_t nodes : {30u, 60u, 120u, 240u}) {
+    ParseResult parsed = ParseProgram(rules);
+    Program program = std::move(*parsed.program);
+    Rng rng(nodes * 7);
+    AddRandomGraphFacts(&program, "e", nodes, nodes * 2, &rng);
+    Instance db = DatabaseFromFacts(program.facts());
+
+    DatalogResult plain = EvaluateDatalog(program, db);
+
+    DatalogOptions mat;
+    mat.materialize_strata = true;
+    mat.preserve = {program.symbols().FindPredicate("top")};
+    DatalogResult gc = EvaluateDatalog(program, db, mat);
+
+    Row("%8u | %12s %12zu | %12s %12zu", nodes,
+        HumanBytes(plain.peak_instance_bytes).c_str(), plain.instance.size(),
+        HumanBytes(gc.peak_instance_bytes).c_str(), gc.instance.size());
+    PredicateId top = program.symbols().FindPredicate("top");
+    const Relation* plain_top = plain.instance.RelationFor(top);
+    const Relation* gc_top = gc.instance.RelationFor(top);
+    size_t a = plain_top == nullptr ? 0 : plain_top->size();
+    size_t b = gc_top == nullptr ? 0 : gc_top->size();
+    if (a != b) Row("  !! ablation changed the query result");
+  }
+}
+
+}  // namespace
+
+int main() {
+  TerminationControl();
+  JoinOrderBias();
+  StrataMaterialization();
+  return 0;
+}

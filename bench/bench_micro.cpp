@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks for the engine primitives: term
+// interning, homomorphism matching, state canonicalization, chunk
+// resolution, and single chase rounds. These calibrate the constants
+// behind the experiment harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "chase/chase.h"
+#include "engine/resolution.h"
+#include "engine/state.h"
+#include "gen/generators.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+void BM_InternConstant(benchmark::State& state) {
+  SymbolTable symbols;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        symbols.InternConstant("constant" + std::to_string(i++ % 4096)));
+  }
+}
+BENCHMARK(BM_InternConstant);
+
+void BM_HomomorphismJoin(benchmark::State& state) {
+  Program program;
+  Rng rng(1);
+  AddRandomGraphFacts(&program, "e", static_cast<uint32_t>(state.range(0)),
+                      state.range(0) * 3, &rng);
+  Instance db = DatabaseFromFacts(program.facts());
+  PredicateId e = program.symbols().FindPredicate("e");
+  std::vector<Atom> pattern = {
+      Atom(e, {Term::Variable(0), Term::Variable(1)}),
+      Atom(e, {Term::Variable(1), Term::Variable(2)})};
+  for (auto _ : state) {
+    size_t count = 0;
+    ForEachHomomorphism(pattern, db, {}, [&count](const Substitution&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_HomomorphismJoin)->Arg(100)->Arg(1000);
+
+void BM_Canonicalize(benchmark::State& state) {
+  // A chain state of `range` atoms with fresh variables.
+  std::vector<Atom> atoms;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    atoms.push_back(Atom(0, {Term::Variable(static_cast<uint64_t>(i)),
+                             Term::Variable(static_cast<uint64_t>(i + 1))}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Canonicalize(atoms));
+  }
+}
+BENCHMARK(BM_Canonicalize)->Arg(4)->Arg(16);
+
+void BM_ChunkResolution(benchmark::State& state) {
+  ParseResult parsed = ParseProgram(R"(
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    t(X, Y) :- e(X, Y).
+  )");
+  Program program = std::move(*parsed.program);
+  PredicateId t = program.symbols().FindPredicate("t");
+  std::vector<Atom> proof_state = {
+      Atom(t, {Term::Variable(0), Term::Variable(1)}),
+      Atom(t, {Term::Variable(1), Term::Variable(2)})};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResolveAll(proof_state, program, 100, 4));
+  }
+}
+BENCHMARK(BM_ChunkResolution);
+
+void BM_ChaseTransitiveClosure(benchmark::State& state) {
+  Program program = MakeTransitiveClosureProgram(/*linear=*/true);
+  Rng rng(7);
+  AddRandomGraphFacts(&program, "e", static_cast<uint32_t>(state.range(0)),
+                      state.range(0) * 2, &rng);
+  Instance db = DatabaseFromFacts(program.facts());
+  for (auto _ : state) {
+    ChaseResult result = RunChase(program, db);
+    benchmark::DoNotOptimize(result.instance.size());
+  }
+}
+BENCHMARK(BM_ChaseTransitiveClosure)->Arg(50)->Arg(150);
+
+}  // namespace
+}  // namespace vadalog
+
+BENCHMARK_MAIN();

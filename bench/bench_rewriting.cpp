@@ -1,0 +1,100 @@
+// Experiment E7 (Theorem 6.3 (1)): (WARD ∩ PWL, CQ) =cep PWL-Datalog.
+// The Lemma 6.4 rewriter compiles a PWL-warded query into piece-wise
+// linear Datalog; we report rewriting cost (states explored, rules
+// emitted) and verify answer equivalence against the chase across
+// databases of growing size. Expected shape: the rewriting is database-
+// independent (one-time cost); evaluation matches the chase everywhere.
+
+#include <cstdint>
+
+#include "analysis/classify.h"
+#include "analysis/fragments.h"
+#include "ast/parser.h"
+#include "bench_util.h"
+#include "datalog/seminaive.h"
+#include "engine/certain.h"
+#include "gen/generators.h"
+#include "rewriting/pwl_to_datalog.h"
+#include "storage/homomorphism.h"
+
+using namespace vadalog;
+using namespace vadalog::bench;
+
+int main() {
+  Banner("E7 / Theorem 6.3 (1)",
+         "WARD∩PWL queries compile to equivalent piece-wise linear "
+         "Datalog; one-time rewrite, database-independent");
+
+  struct Spec {
+    const char* name;
+    const char* rules;
+    const char* query;
+  };
+  const Spec specs[] = {
+      {"reachability",
+       "t(X, Y) :- e(X, Y).\n t(X, Z) :- e(X, Y), t(Y, Z).",
+       "?(X, Y) :- t(X, Y)."},
+      {"warded-exists",
+       "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).\n p(X) :- e(X, Y).",
+       "?(X) :- p(X)."},
+      {"subclass-star",
+       "s(X, Y) :- e(X, Y).\n s(X, Z) :- s(X, Y), e(Y, Z).",
+       "?(X, Y) :- s(X, Y)."},
+  };
+  // The Theorem 4.8 width bound is worst-case; the exhaustive
+  // database-independent exploration is exponential in it. Capping the
+  // width at an empirically sufficient value is validated by the
+  // equivalence column.
+  const size_t width_cap[] = {0, 0, 4};
+
+  Row("%-14s %10s %10s %10s | %8s %10s %10s %6s", "program", "rw-ms",
+      "states", "rules", "nodes", "dlog-ms", "chase-ms", "same");
+  for (size_t spec_index = 0; spec_index < 3; ++spec_index) {
+    const Spec& spec = specs[spec_index];
+    ParseResult parsed = ParseProgram(spec.rules);
+    Program program = std::move(*parsed.program);
+    std::string err = ParseInto(spec.query, &program);
+    if (!err.empty()) return 1;
+    NormalizeToSingleHead(&program, nullptr);
+    ConjunctiveQuery query = program.queries()[0];
+
+    Timer rewrite_timer;
+    RewriteOptions options;
+    options.max_states = 200000;
+    options.node_width = width_cap[spec_index];
+    RewriteResult rewrite = RewritePwlWardedToDatalog(program, query, options);
+    double rewrite_ms = rewrite_timer.Ms();
+    if (!rewrite.datalog.has_value()) {
+      Row("%-14s rewriting exhausted its budget", spec.name);
+      continue;
+    }
+    if (!IsPiecewiseLinear(*rewrite.datalog) || !IsDatalog(*rewrite.datalog)) {
+      Row("%-14s !! output not PWL Datalog", spec.name);
+      continue;
+    }
+
+    for (uint32_t nodes : {20u, 60u, 120u}) {
+      Program data = CloneProgram(program);
+      Rng rng(nodes + 5);
+      AddRandomGraphFacts(&data, "e", nodes, nodes * 2, &rng);
+      Instance db = DatabaseFromFacts(data.facts());
+
+      Timer datalog_timer;
+      DatalogResult datalog = EvaluateDatalog(*rewrite.datalog, db);
+      std::vector<std::vector<Term>> via_rewriting =
+          EvaluateQuerySorted(rewrite.goal, datalog.instance);
+      double datalog_ms = datalog_timer.Ms();
+
+      Timer chase_timer;
+      std::vector<std::vector<Term>> via_chase =
+          CertainAnswersViaChase(program, db, query);
+      double chase_ms = chase_timer.Ms();
+
+      Row("%-14s %10.2f %10lu %10lu | %8u %10.2f %10.2f %6s", spec.name,
+          rewrite_ms, static_cast<unsigned long>(rewrite.states_explored),
+          static_cast<unsigned long>(rewrite.rules_emitted), nodes,
+          datalog_ms, chase_ms, via_rewriting == via_chase ? "yes" : "NO");
+    }
+  }
+  return 0;
+}

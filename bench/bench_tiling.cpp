@@ -1,0 +1,107 @@
+// Experiment E6 (Theorem 5.1): piece-wise linearity without wardedness is
+// undecidable. The Section 5 reduction is PWL but unwarded; on solvable
+// tiling systems the chase certifies the query at a finite stage, on
+// unsolvable ones it diverges (instance grows without bound as the depth
+// budget rises). We print both behaviors plus agreement with the direct
+// solver on a batch of random systems.
+
+#include <cstdint>
+
+#include "analysis/fragments.h"
+#include "analysis/wardedness.h"
+#include "bench_util.h"
+#include "chase/chase.h"
+#include "storage/homomorphism.h"
+#include "tiling/tiling.h"
+
+using namespace vadalog;
+using namespace vadalog::bench;
+
+namespace {
+
+bool RunReduction(const TilingSystem& system, uint32_t depth, size_t* atoms,
+                  double* ms) {
+  TilingReduction reduction = BuildTilingReduction(system);
+  Instance db = DatabaseFromFacts(reduction.program.facts());
+  ChaseOptions options;
+  options.isomorphism_termination = false;  // unwarded Σ
+  options.max_depth = depth;
+  options.max_atoms = 300000;
+  Timer timer;
+  ChaseResult chase = RunChase(reduction.program, db, options);
+  *ms = timer.Ms();
+  *atoms = chase.instance.size();
+  return !EvaluateQuerySorted(reduction.query, chase.instance).empty();
+}
+
+}  // namespace
+
+int main() {
+  Banner("E6 / Theorem 5.1",
+         "the Section 5 reduction (PWL, unwarded): solvable systems accept "
+         "at a finite chase stage; unsolvable ones diverge");
+
+  TilingReduction probe = BuildTilingReduction(MakeSolvableSystem());
+  Row("reduction Σ: piece-wise linear = %s, warded = %s",
+      IsPiecewiseLinear(probe.program) ? "yes" : "no",
+      IsWarded(probe.program) ? "yes" : "no");
+
+  Row("%s", "");
+  Row("%-12s %6s %10s %10s %8s", "system", "depth", "atoms", "ms",
+      "certain");
+  for (uint32_t depth : {4u, 6u, 8u, 10u, 12u}) {
+    size_t atoms;
+    double ms;
+    bool certain = RunReduction(MakeSolvableSystem(), depth, &atoms, &ms);
+    Row("%-12s %6u %10zu %10.2f %8s", "solvable", depth, atoms, ms,
+        certain ? "yes" : "no");
+  }
+  for (uint32_t depth : {4u, 6u, 8u, 10u, 12u}) {
+    size_t atoms;
+    double ms;
+    bool certain = RunReduction(MakeUnsolvableSystem(), depth, &atoms, &ms);
+    Row("%-12s %6u %10zu %10.2f %8s", "unsolvable", depth, atoms, ms,
+        certain ? "yes" : "no");
+  }
+
+  // Random-system agreement batch (bounded horizon on both sides).
+  Row("%s", "");
+  uint64_t seed = 2026;
+  size_t agreements = 0, solvable_count = 0, trials = 20;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    TilingSystem system;
+    system.num_tiles = 3;
+    system.left = {0};
+    system.right = {1};
+    system.start_tile = 0;
+    // Half the trials use finish = start, which admits single-row
+    // tilings and keeps a healthy solvable fraction in the batch.
+    system.finish_tile =
+        trial % 2 == 0 ? 0 : static_cast<uint32_t>((seed >> 40) % 3);
+    for (uint32_t x = 0; x < 3; ++x) {
+      for (uint32_t y = 0; y < 3; ++y) {
+        if (((seed >> (2 * (x * 3 + y))) & 3) == 3) {
+          system.horizontal.push_back({x, y});
+        }
+        if (((seed >> (18 + 2 * (x * 3 + y))) & 3) >= 2) {
+          system.vertical.push_back({x, y});
+        }
+      }
+    }
+    bool direct = SolveTilingDirect(system, 3, 3);
+    size_t atoms;
+    double ms;
+    bool reduced = RunReduction(system, 8, &atoms, &ms);
+    if (direct) ++solvable_count;
+    if (direct == reduced || (!direct && reduced)) {
+      // Completeness side must hold; a 'reduced' on wider witnesses than
+      // the small direct bound is still sound.
+      ++agreements;
+    }
+  }
+  Row("random systems: %zu/%zu consistent with the direct solver "
+      "(%zu solvable within 3x3)",
+      agreements, trials, solvable_count);
+  return 0;
+}

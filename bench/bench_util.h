@@ -1,0 +1,65 @@
+// Shared helpers for the experiment harnesses: wall-clock timing and
+// aligned table printing in the style of the paper's claims. Each bench
+// binary reproduces one experiment of DESIGN.md §3 and prints the series
+// the claim predicts (who wins, by what factor, where the shapes diverge).
+
+#ifndef VADALOG_BENCH_BENCH_UTIL_H_
+#define VADALOG_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vadalog::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints a header box for an experiment.
+inline void Banner(const char* experiment_id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Aligned row printing: Row("%-10s %12zu ...", ...).
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Pretty byte counts.
+inline std::string HumanBytes(size_t bytes) {
+  char buffer[32];
+  if (bytes >= 10 * 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 10 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%zuB", bytes);
+  }
+  return buffer;
+}
+
+}  // namespace vadalog::bench
+
+#endif  // VADALOG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Experiment E3 (Proposition 3.2 / Theorem 4.9): general warded programs.
+// Non-PWL warded CQ answering is PTime in data complexity; the chase and
+// the alternating bounded-width proof search must agree, with the chase
+// scaling polynomially in |D| and the decision search profiting from
+// memoized bounded-width states.
+
+#include <cstdint>
+
+#include "ast/parser.h"
+#include "bench_util.h"
+#include "chase/chase.h"
+#include "engine/alternating_search.h"
+#include "engine/certain.h"
+#include "gen/generators.h"
+#include "storage/homomorphism.h"
+
+using namespace vadalog;
+using namespace vadalog::bench;
+
+int main() {
+  Banner("E3 / Proposition 3.2 (warded, non-PWL)",
+         "chase (PTime materialization) and alternating bounded-width "
+         "search agree on non-linear TC; both scale polynomially");
+
+  Row("%8s %10s %10s %12s %12s %8s", "nodes", "chase-ms", "atoms",
+      "alt-ms", "alt-states", "agree");
+  for (uint32_t nodes : {20u, 40u, 80u, 160u}) {
+    Program program = MakeTransitiveClosureProgram(/*linear=*/false);
+    Rng rng(nodes * 17);
+    AddRandomGraphFacts(&program, "e", nodes, nodes * 2, &rng);
+    NormalizeToSingleHead(&program, nullptr);
+    Instance db = DatabaseFromFacts(program.facts());
+
+    Timer chase_timer;
+    ChaseResult chase = RunChase(program, db);
+    double chase_ms = chase_timer.Ms();
+
+    // Decision queries for a sample of pairs; compare both engines.
+    PredicateId t = program.symbols().FindPredicate("t");
+    ConjunctiveQuery query;
+    query.output = {Term::Variable(0), Term::Variable(1)};
+    query.atoms = {Atom(t, {Term::Variable(0), Term::Variable(1)})};
+
+    bool agree = true;
+    double alt_ms = 0.0;
+    uint64_t alt_states = 0;
+    uint32_t undecided = 0;
+    for (uint32_t trial = 0; trial < 10; ++trial) {
+      Term from = program.symbols().InternConstant(
+          "v" + std::to_string(rng.Below(nodes)));
+      Term to = program.symbols().InternConstant(
+          "v" + std::to_string(rng.Below(nodes)));
+      Atom probe(t, {from, to});
+      bool via_chase = chase.instance.Contains(probe);
+      Timer alt_timer;
+      ProofSearchOptions options;
+      options.max_states = 200000;  // cap exhaustive refutations
+      AlternatingSearchResult alt =
+          AlternatingProofSearch(program, db, query, {from, to}, options);
+      alt_ms += alt_timer.Ms();
+      alt_states += alt.states_expanded;
+      if (alt.budget_exhausted) {
+        ++undecided;
+      } else if (alt.accepted != via_chase) {
+        agree = false;
+      }
+    }
+
+    Row("%8u %10.2f %10zu %12.2f %12lu %8s (%u undecided)", nodes, chase_ms,
+        chase.instance.size(), alt_ms,
+        static_cast<unsigned long>(alt_states), agree ? "yes" : "NO",
+        undecided);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// OWL 2 QL entailment-regime reasoning (Example 3.3): the warded,
+// piece-wise linear TGD encoding of SubClass/Type/Restriction/Inverse
+// inference, run over a synthetic ontology.
+//
+// Build & run:  ./build/examples/owl2ql_reasoning
+
+#include <cstdio>
+
+#include "analysis/classify.h"
+#include "ast/parser.h"
+#include "base/rng.h"
+#include "engine/certain.h"
+#include "gen/generators.h"
+#include "storage/instance.h"
+
+using namespace vadalog;
+
+int main() {
+  Program program = MakeOwl2QlProgram();
+
+  // A small hand-written ontology on top of the Example 3.3 rules.
+  std::string facts = R"(
+    subclass(professor, faculty).
+    subclass(faculty, employee).
+    subclass(employee, person).
+    restriction(teacher, teaches).
+    inverse(teaches, taughtBy).
+    restriction(student, taughtBy).
+    type(ada, professor).
+    type(ada, teacher).
+  )";
+  std::string error = ParseInto(facts, &program);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  ProgramClassification c = ClassifyProgram(program);
+  std::printf("Example 3.3 rule set: warded=%s, piece-wise linear=%s\n",
+              c.warded ? "yes" : "no", c.piecewise_linear ? "yes" : "no");
+
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+
+  // All inferred types of ada (through the transitive subclass closure and
+  // the restriction/inverse round trip).
+  ConjunctiveQuery query;
+  PredicateId type = program.symbols().FindPredicate("type");
+  query.output = {Term::Variable(0)};
+  query.atoms = {
+      Atom(type, {program.symbols().InternConstant("ada"),
+                  Term::Variable(0)})};
+  std::printf("\ninferred types of ada (chase engine):\n");
+  for (const auto& row : CertainAnswersViaChase(program, db, query)) {
+    std::printf("  type(ada, %s)\n",
+                program.symbols().ConstantName(row[0]).c_str());
+  }
+
+  // Cross-check one decision with the linear proof search. The existential
+  // chain  type(ada,teacher) → triple(ada,teaches,z) → (inverse) →
+  // triple(z,taughtBy,ada) → type(z,student)  types the *null* z, so the
+  // certain answers for ada must NOT include student — but the Boolean
+  // query "someone is typed student" is certain.
+  Term student = program.symbols().InternConstant("student");
+  bool ada_student =
+      IsCertainViaLinearSearch(program, db, query, {student});
+  ConjunctiveQuery someone;
+  someone.atoms = {Atom(type, {Term::Variable(0), student})};
+  bool any_student = IsCertainViaLinearSearch(program, db, someone, {});
+  std::printf("\nada typed student (proof search): %s\n",
+              ada_student ? "yes" : "no");
+  std::printf("someone typed student (proof search): %s\n",
+              any_student ? "yes" : "no");
+
+  // Scale demo on a generated ontology.
+  Program big = MakeOwl2QlProgram();
+  Rng rng(2026);
+  AddOntologyFacts(&big, /*num_classes=*/200, /*num_properties=*/40,
+                   /*num_individuals=*/1000, &rng);
+  NormalizeToSingleHead(&big, nullptr);
+  Instance big_db = DatabaseFromFacts(big.facts());
+  ChaseResult chased = RunChase(big, big_db);
+  std::printf("\nsynthetic ontology: %zu facts -> %zu chase atoms "
+              "(%lu nulls, %lu rounds)\n",
+              big_db.size(), chased.instance.size(),
+              static_cast<unsigned long>(chased.nulls_created),
+              static_cast<unsigned long>(chased.rounds));
+  return (!ada_student && any_student) ? 0 : 1;
+}

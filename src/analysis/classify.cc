@@ -1,0 +1,57 @@
+#include "analysis/classify.h"
+
+#include "analysis/fragments.h"
+#include "analysis/linearize.h"
+#include "analysis/predicate_graph.h"
+#include "analysis/wardedness.h"
+
+namespace vadalog {
+
+Program CloneProgram(const Program& program) {
+  Program copy;
+  // Re-intern symbols in id order so every id stays valid in the copy.
+  const SymbolTable& symbols = program.symbols();
+  for (size_t i = 0; i < symbols.num_constants(); ++i) {
+    copy.symbols().InternConstant(symbols.ConstantName(Term::Constant(i)));
+  }
+  for (size_t i = 0; i < symbols.num_predicates(); ++i) {
+    PredicateId id = static_cast<PredicateId>(i);
+    copy.symbols().InternPredicate(symbols.PredicateName(id),
+                                   symbols.PredicateArity(id));
+  }
+  copy.tgds() = program.tgds();
+  copy.facts() = program.facts();
+  copy.queries() = program.queries();
+  return copy;
+}
+
+ProgramClassification ClassifyProgram(const Program& program) {
+  ProgramClassification result;
+  PredicateGraph graph(program);
+
+  result.warded = IsWarded(program);
+  result.piecewise_linear = IsPiecewiseLinear(program, graph);
+  result.intensionally_linear = IsIntensionallyLinear(program);
+  result.datalog = IsDatalog(program);
+  result.linear_datalog = result.datalog && result.intensionally_linear;
+  result.linear_tgds = IsLinearTgds(program);
+  result.guarded = IsGuarded(program);
+  result.sticky = IsSticky(program);
+  result.uses_negation = program.HasNegation();
+
+  for (const Tgd& tgd : program.tgds()) {
+    if (!tgd.IsFull()) result.uses_existentials = true;
+  }
+  for (int c = 0; c < graph.num_components(); ++c) {
+    if (graph.ComponentIsCyclic(c)) result.recursive = true;
+  }
+
+  if (!result.piecewise_linear) {
+    Program copy = CloneProgram(program);
+    LinearizeResult lin = LinearizeProgram(&copy);
+    result.pwl_after_linearization = lin.changed && lin.now_piecewise;
+  }
+  return result;
+}
+
+}  // namespace vadalog

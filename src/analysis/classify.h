@@ -1,0 +1,45 @@
+// Whole-program classification used by the recursion-profile experiment
+// (E4): which fragment does a TGD-set fall into, and does linearization
+// bring it into PWL?
+
+#ifndef VADALOG_ANALYSIS_CLASSIFY_H_
+#define VADALOG_ANALYSIS_CLASSIFY_H_
+
+#include <string>
+
+#include "ast/program.h"
+
+namespace vadalog {
+
+struct ProgramClassification {
+  bool warded = false;
+  bool piecewise_linear = false;        // directly PWL (Definition 4.1)
+  bool pwl_after_linearization = false; // not PWL, but PWL after Sec. 1.2 rewrite
+  bool intensionally_linear = false;    // IL (Section 5)
+  bool datalog = false;                 // FULL1
+  bool linear_datalog = false;
+  bool linear_tgds = false;             // LINEAR (one body atom per rule)
+  bool guarded = false;                 // GUARDED (a guard body atom)
+  bool sticky = false;                  // STICKY (CGP marking)
+  bool uses_existentials = false;
+  bool uses_negation = false;           // stratified negation present
+  bool recursive = false;               // pg(Σ) has a cycle
+
+  /// One of "pwl-direct", "pwl-after-linearization", "non-pwl".
+  std::string RecursionBucket() const {
+    if (piecewise_linear) return "pwl-direct";
+    if (pwl_after_linearization) return "pwl-after-linearization";
+    return "non-pwl";
+  }
+};
+
+/// Classifies the program. Does not modify it (linearization is attempted
+/// on a copy).
+ProgramClassification ClassifyProgram(const Program& program);
+
+/// Deep-copies a program (fresh symbol table with identical contents).
+Program CloneProgram(const Program& program);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_CLASSIFY_H_

@@ -1,0 +1,111 @@
+#include "analysis/linearize.h"
+
+#include <optional>
+
+#include "analysis/fragments.h"
+
+namespace vadalog {
+namespace {
+
+/// True if `tgd` is an exit rule for predicate `p` w.r.t. `graph`: it
+/// defines p and no body predicate is mutually recursive with p.
+bool IsExitRuleFor(const Tgd& tgd, PredicateId p, const PredicateGraph& graph) {
+  bool defines = false;
+  for (const Atom& h : tgd.head) {
+    if (h.predicate == p) defines = true;
+  }
+  if (!defines) return false;
+  for (const Atom& b : tgd.body) {
+    if (graph.MutuallyRecursive(b.predicate, p)) return false;
+  }
+  return true;
+}
+
+/// Builds the substitution mapping the (renamed) exit-rule head arguments
+/// onto the arguments of `target`. Requires the exit head's arguments to be
+/// pairwise distinct variables (the common case; e.g. E(x,y) → T(x,y)).
+std::optional<Substitution> MatchExitHead(const Atom& exit_head,
+                                          const Atom& target) {
+  if (exit_head.predicate != target.predicate ||
+      exit_head.args.size() != target.args.size()) {
+    return std::nullopt;
+  }
+  Substitution subst;
+  for (size_t i = 0; i < exit_head.args.size(); ++i) {
+    Term from = exit_head.args[i];
+    if (!from.is_variable()) return std::nullopt;
+    auto [it, inserted] = subst.try_emplace(from, target.args[i]);
+    if (!inserted && it->second != target.args[i]) return std::nullopt;
+  }
+  return subst;
+}
+
+}  // namespace
+
+LinearizeResult LinearizeProgram(Program* program) {
+  LinearizeResult result;
+  PredicateGraph graph(*program);
+
+  std::vector<Tgd> rewritten;
+  for (const Tgd& tgd : program->tgds()) {
+    if (RecursiveBodyAtomCount(tgd, graph) <= 1 || tgd.head.size() != 1) {
+      rewritten.push_back(tgd);
+      continue;
+    }
+    // Chain-closure pattern: exactly two body atoms, both with the head's
+    // predicate P (e.g. T(x,y), T(y,z) → T(x,z)).
+    PredicateId p = tgd.head[0].predicate;
+    bool chain_shape = tgd.body.size() == 2 &&
+                       tgd.body[0].predicate == p &&
+                       tgd.body[1].predicate == p;
+    if (!chain_shape) {
+      rewritten.push_back(tgd);
+      continue;
+    }
+    // Gather exit rules for P; require them to be full so the unfolding
+    // introduces no existentials into the rewritten body.
+    std::vector<const Tgd*> exits;
+    for (const Tgd& candidate : program->tgds()) {
+      if (IsExitRuleFor(candidate, p, graph) && candidate.IsFull() &&
+          candidate.head.size() == 1) {
+        exits.push_back(&candidate);
+      }
+    }
+    if (exits.empty()) {
+      rewritten.push_back(tgd);
+      continue;
+    }
+    // Unfold the first recursive atom with every exit rule. Exit-rule
+    // variables are renamed past the host rule's variables first.
+    bool unfolded_all = true;
+    std::vector<Tgd> replacements;
+    for (const Tgd* exit : exits) {
+      Tgd renamed = exit->WithVariableOffset(tgd.VariableCount());
+      std::optional<Substitution> subst =
+          MatchExitHead(renamed.head[0], tgd.body[0]);
+      if (!subst.has_value()) {
+        unfolded_all = false;
+        break;
+      }
+      Tgd replacement;
+      replacement.head = tgd.head;
+      replacement.body = ApplySubstitution(*subst, renamed.body);
+      replacement.body.push_back(tgd.body[1]);
+      replacements.push_back(std::move(replacement));
+    }
+    if (!unfolded_all) {
+      rewritten.push_back(tgd);
+      continue;
+    }
+    for (Tgd& r : replacements) rewritten.push_back(std::move(r));
+    result.changed = true;
+    ++result.rules_rewritten;
+  }
+
+  if (result.changed) program->tgds() = std::move(rewritten);
+  PredicateGraph new_graph(*program);
+  result.now_piecewise = IsPiecewiseLinear(*program, new_graph);
+  return result;
+}
+
+}  // namespace vadalog

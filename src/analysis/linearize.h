@@ -1,0 +1,49 @@
+// Elimination of unnecessary non-linear recursion (Section 1.2).
+//
+// The paper observes that ~15% of the analyzed TGD-sets become piece-wise
+// linear after a "standard elimination procedure of unnecessary non-linear
+// recursion". The canonical instance is transitive closure:
+//
+//     E(x,y) → T(x,y)      T(x,y), T(y,z) → T(x,z)
+//
+// which is rewritten to the linear-recursive
+//
+//     E(x,y) → T(x,y)      E(x,y), T(y,z) → T(x,z).
+//
+// The transformation implemented here handles the chain-closure pattern:
+// a rule whose body contains two atoms mutually recursive with the head,
+// where one of them can be replaced by the bodies of the *exit rules*
+// (non-recursive rules) defining its predicate. For chain closures this is
+// the classical right-linear rewriting, which preserves certain answers
+// (T = E⁺ and E⁺ = E ∪ E∘E⁺). Rules outside the pattern are left alone;
+// the caller checks whether the result is piece-wise linear.
+
+#ifndef VADALOG_ANALYSIS_LINEARIZE_H_
+#define VADALOG_ANALYSIS_LINEARIZE_H_
+
+#include "analysis/predicate_graph.h"
+#include "ast/program.h"
+
+namespace vadalog {
+
+struct LinearizeResult {
+  bool changed = false;        // at least one rule was rewritten
+  bool now_piecewise = false;  // the rewritten program is PWL
+  size_t rules_rewritten = 0;
+};
+
+/// Attempts to rewrite non-PWL rules of `program` into PWL form by
+/// unfolding one recursive body atom with the exit rules of its predicate.
+/// Only applies when the unfolded atom's predicate P
+///   (a) is mutually recursive with the head predicate,
+///   (b) has at least one exit rule (a rule defining P whose body has no
+///       predicate mutually recursive with P), and
+///   (c) every recursive rule defining P is of the chain-closure shape:
+///       the unfolded atom joins the rest of the body only through frontier
+///       variables (so the right-linear unfolding is answer-preserving).
+/// Modifies `program` in place on success.
+LinearizeResult LinearizeProgram(Program* program);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_LINEARIZE_H_

@@ -1,0 +1,175 @@
+#include "analysis/predicate_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vadalog {
+
+PredicateGraph::PredicateGraph(const Program& program) {
+  std::unordered_set<PredicateId> seen;
+  auto add_predicate = [&](PredicateId p) {
+    if (seen.insert(p).second) predicates_.push_back(p);
+  };
+  for (const Tgd& tgd : program.tgds()) {
+    for (const Atom& a : tgd.body) add_predicate(a.predicate);
+    for (const Atom& a : tgd.head) add_predicate(a.predicate);
+    for (const Atom& a : tgd.negative_body) add_predicate(a.predicate);
+    for (const Atom& b : tgd.body) {
+      for (const Atom& h : tgd.head) {
+        edges_[b.predicate].insert(h.predicate);
+      }
+    }
+    // Negative dependencies participate in the graph (they constrain the
+    // stratification) and are remembered for the stratification check.
+    for (const Atom& n : tgd.negative_body) {
+      for (const Atom& h : tgd.head) {
+        edges_[n.predicate].insert(h.predicate);
+        negative_edges_.emplace_back(n.predicate, h.predicate);
+      }
+    }
+  }
+  std::sort(predicates_.begin(), predicates_.end());
+  ComputeSccs();
+  ComputeLevels();
+  for (auto [from, to] : negative_edges_) {
+    if (ComponentOf(from) == ComponentOf(to)) negation_stratified_ = false;
+  }
+}
+
+const std::unordered_set<PredicateId>& PredicateGraph::Successors(
+    PredicateId p) const {
+  auto it = edges_.find(p);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+bool PredicateGraph::HasEdge(PredicateId from, PredicateId to) const {
+  auto it = edges_.find(from);
+  return it != edges_.end() && it->second.count(to) > 0;
+}
+
+int PredicateGraph::ComponentOf(PredicateId p) const {
+  auto it = component_of_.find(p);
+  assert(it != component_of_.end());
+  return it->second;
+}
+
+void PredicateGraph::ComputeSccs() {
+  // Iterative Tarjan SCC; components are emitted in reverse topological
+  // order, so we reverse at the end to get sources-first.
+  std::unordered_map<PredicateId, int> index, lowlink;
+  std::unordered_set<PredicateId> on_stack;
+  std::vector<PredicateId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    PredicateId node;
+    std::vector<PredicateId> successors;
+    size_t next_successor;
+  };
+
+  for (PredicateId root : predicates_) {
+    if (index.count(root) > 0) continue;
+    std::vector<Frame> call_stack;
+    auto push_node = [&](PredicateId v) {
+      index[v] = lowlink[v] = next_index++;
+      stack.push_back(v);
+      on_stack.insert(v);
+      std::vector<PredicateId> succ(Successors(v).begin(),
+                                    Successors(v).end());
+      std::sort(succ.begin(), succ.end());
+      call_stack.push_back(Frame{v, std::move(succ), 0});
+    };
+    push_node(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      if (frame.next_successor < frame.successors.size()) {
+        PredicateId w = frame.successors[frame.next_successor++];
+        if (index.count(w) == 0) {
+          push_node(w);
+        } else if (on_stack.count(w) > 0) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[w]);
+        }
+      } else {
+        PredicateId v = frame.node;
+        if (lowlink[v] == index[v]) {
+          std::vector<PredicateId> component;
+          for (;;) {
+            PredicateId w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            component.push_back(w);
+            component_of_[w] = static_cast<int>(components_.size());
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components_.push_back(std::move(component));
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          PredicateId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  cyclic_.resize(components_.size(), false);
+  for (size_t c = 0; c < components_.size(); ++c) {
+    if (components_[c].size() > 1) {
+      cyclic_[c] = true;
+    } else {
+      PredicateId only = components_[c][0];
+      cyclic_[c] = HasEdge(only, only);
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order of the condensation.
+  topo_order_.resize(components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    topo_order_[i] = static_cast<int>(components_.size() - 1 - i);
+  }
+}
+
+void PredicateGraph::ComputeLevels() {
+  component_level_.assign(components_.size(), 0);
+  for (int c : topo_order_) {
+    uint32_t best = 0;
+    for (PredicateId p : components_[c]) {
+      // Incoming edges: scan all predecessors. The graph is small (schema
+      // sized), so a full scan per component is fine.
+      for (const auto& [from, tos] : edges_) {
+        if (tos.count(p) == 0) continue;
+        int from_scc = component_of_.at(from);
+        if (from_scc == c) continue;  // from ∈ rec(P) (or P itself).
+        best = std::max(best, component_level_[from_scc]);
+      }
+    }
+    component_level_[c] = best + 1;
+  }
+}
+
+bool PredicateGraph::MutuallyRecursive(PredicateId p, PredicateId r) const {
+  int cp = ComponentOf(p);
+  return cp == ComponentOf(r) && cyclic_[cp];
+}
+
+std::unordered_set<PredicateId> PredicateGraph::RecursiveWith(
+    PredicateId p) const {
+  std::unordered_set<PredicateId> result;
+  int c = ComponentOf(p);
+  if (!cyclic_[c]) return result;
+  for (PredicateId q : components_[c]) result.insert(q);
+  return result;
+}
+
+uint32_t PredicateGraph::Level(PredicateId p) const {
+  return component_level_[ComponentOf(p)];
+}
+
+uint32_t PredicateGraph::MaxLevel() const {
+  uint32_t best = 0;
+  for (uint32_t level : component_level_) best = std::max(best, level);
+  return best;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,92 @@
+// Predicate graph pg(Σ), strongly connected components, mutual recursion,
+// and the predicate-level function ℓΣ of Section 4.2.
+//
+// pg(Σ) = (V, E) with V = sch(Σ) and (P, R) ∈ E iff some TGD σ ∈ Σ has P in
+// body(σ) and R in head(σ). Two predicates are mutually recursive iff some
+// cycle of pg(Σ) contains both — equivalently, they lie in the same SCC and
+// that SCC is cyclic (size > 1 or carries a self-loop).
+
+#ifndef VADALOG_ANALYSIS_PREDICATE_GRAPH_H_
+#define VADALOG_ANALYSIS_PREDICATE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace vadalog {
+
+class PredicateGraph {
+ public:
+  explicit PredicateGraph(const Program& program);
+
+  /// All predicates of sch(Σ), in a stable order.
+  const std::vector<PredicateId>& predicates() const { return predicates_; }
+
+  /// Successors of P in pg(Σ).
+  const std::unordered_set<PredicateId>& Successors(PredicateId p) const;
+
+  bool HasEdge(PredicateId from, PredicateId to) const;
+
+  /// Index of P's strongly connected component (condensation node).
+  int ComponentOf(PredicateId p) const;
+
+  /// Number of SCCs.
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+  /// Members of an SCC.
+  const std::vector<PredicateId>& Component(int scc) const {
+    return components_[scc];
+  }
+
+  /// True iff the SCC is cyclic (size > 1, or a single node with a
+  /// self-loop). Only cyclic SCCs witness mutual recursion.
+  bool ComponentIsCyclic(int scc) const { return cyclic_[scc]; }
+
+  /// True iff P and R are mutually recursive w.r.t. Σ.
+  bool MutuallyRecursive(PredicateId p, PredicateId r) const;
+
+  /// rec(P): the set of predicates mutually recursive with P (empty if P is
+  /// not on any cycle).
+  std::unordered_set<PredicateId> RecursiveWith(PredicateId p) const;
+
+  /// The level ℓΣ(P) of Section 4.2: the unique function satisfying
+  ///   ℓΣ(P) = max{ ℓΣ(R) | (R,P) ∈ E, R ∉ rec(P) } + 1,
+  /// with max ∅ = 0. Mutually recursive predicates share a level.
+  uint32_t Level(PredicateId p) const;
+
+  /// max over sch(Σ) of ℓΣ(P); 0 for an empty schema.
+  uint32_t MaxLevel() const;
+
+  /// SCC indices in a topological order of the condensation (sources
+  /// first). Useful for stratified evaluation (Section 7 (3)).
+  const std::vector<int>& TopologicalComponents() const {
+    return topo_order_;
+  }
+
+  /// True iff the program's negation is stratified: no negative
+  /// dependency lies inside a cycle of pg(Σ) (the negated predicate's
+  /// stratum strictly precedes the head's).
+  bool NegationIsStratified() const { return negation_stratified_; }
+
+ private:
+  void ComputeSccs();
+  void ComputeLevels();
+
+  std::vector<PredicateId> predicates_;
+  std::unordered_map<PredicateId, std::unordered_set<PredicateId>> edges_;
+  std::unordered_map<PredicateId, int> component_of_;
+  std::vector<std::vector<PredicateId>> components_;
+  std::vector<bool> cyclic_;
+  std::vector<int> topo_order_;
+  std::vector<uint32_t> component_level_;
+  std::vector<std::pair<PredicateId, PredicateId>> negative_edges_;
+  bool negation_stratified_ = true;
+  std::unordered_set<PredicateId> empty_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_PREDICATE_GRAPH_H_

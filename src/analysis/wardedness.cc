@@ -1,0 +1,157 @@
+#include "analysis/wardedness.h"
+
+#include <algorithm>
+
+namespace vadalog {
+
+std::unordered_set<Position> AffectedPositions(const Program& program) {
+  std::unordered_set<Position> affected;
+
+  // Base case: positions of existential variables in heads.
+  for (const Tgd& tgd : program.tgds()) {
+    std::unordered_set<Term> existential = tgd.ExistentialVariables();
+    for (const Atom& head : tgd.head) {
+      for (size_t i = 0; i < head.args.size(); ++i) {
+        Term t = head.args[i];
+        if (t.is_variable() && existential.count(t) > 0) {
+          affected.insert(
+              MakePosition(head.predicate, static_cast<uint32_t>(i)));
+        }
+      }
+    }
+  }
+
+  // Inductive case: propagate through frontier variables that occur in the
+  // body only at affected positions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Tgd& tgd : program.tgds()) {
+      std::unordered_set<Term> frontier = tgd.Frontier();
+      for (Term x : frontier) {
+        bool all_body_occurrences_affected = true;
+        for (const Atom& body : tgd.body) {
+          for (size_t i = 0; i < body.args.size(); ++i) {
+            if (body.args[i] == x &&
+                affected.count(MakePosition(body.predicate,
+                                            static_cast<uint32_t>(i))) == 0) {
+              all_body_occurrences_affected = false;
+              break;
+            }
+          }
+          if (!all_body_occurrences_affected) break;
+        }
+        if (!all_body_occurrences_affected) continue;
+        for (const Atom& head : tgd.head) {
+          for (size_t i = 0; i < head.args.size(); ++i) {
+            if (head.args[i] == x) {
+              Position pos =
+                  MakePosition(head.predicate, static_cast<uint32_t>(i));
+              if (affected.insert(pos).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return affected;
+}
+
+VariableMarking MarkVariables(const Tgd& tgd,
+                              const std::unordered_set<Position>& affected) {
+  VariableMarking marking;
+  std::unordered_set<Term> frontier = tgd.Frontier();
+  std::unordered_set<Term> body_vars = VariablesOf(tgd.body);
+
+  uint64_t max_index = tgd.VariableCount();
+  marking.role_of.assign(max_index, VariableRole::kHarmless);
+
+  for (Term x : body_vars) {
+    bool harmless = false;
+    for (const Atom& body : tgd.body) {
+      for (size_t i = 0; i < body.args.size(); ++i) {
+        if (body.args[i] == x &&
+            affected.count(MakePosition(body.predicate,
+                                        static_cast<uint32_t>(i))) == 0) {
+          harmless = true;
+          break;
+        }
+      }
+      if (harmless) break;
+    }
+    VariableRole role;
+    if (harmless) {
+      role = VariableRole::kHarmless;
+      marking.harmless.insert(x);
+    } else if (frontier.count(x) > 0) {
+      role = VariableRole::kDangerous;
+      marking.dangerous.insert(x);
+      marking.harmful.insert(x);
+    } else {
+      role = VariableRole::kHarmful;
+      marking.harmful.insert(x);
+    }
+    marking.role_of[x.index()] = role;
+  }
+  return marking;
+}
+
+WardednessReport CheckWardedness(const Program& program) {
+  WardednessReport report;
+  report.is_warded = true;
+  std::unordered_set<Position> affected = AffectedPositions(program);
+
+  for (size_t rule_index = 0; rule_index < program.tgds().size();
+       ++rule_index) {
+    const Tgd& tgd = program.tgds()[rule_index];
+    VariableMarking marking = MarkVariables(tgd, affected);
+    if (marking.dangerous.empty()) {
+      report.ward_index.push_back(-1);
+      continue;
+    }
+    int chosen = -2;
+    for (size_t candidate = 0; candidate < tgd.body.size(); ++candidate) {
+      const Atom& alpha = tgd.body[candidate];
+      std::unordered_set<Term> alpha_vars;
+      for (Term t : alpha.args) {
+        if (t.is_variable()) alpha_vars.insert(t);
+      }
+      // (1) all dangerous variables occur in α.
+      bool covers = std::all_of(
+          marking.dangerous.begin(), marking.dangerous.end(),
+          [&alpha_vars](Term d) { return alpha_vars.count(d) > 0; });
+      if (!covers) continue;
+      // (2) variables shared with the rest of the body are harmless.
+      bool clean = true;
+      for (size_t other = 0; other < tgd.body.size() && clean; ++other) {
+        if (other == candidate) continue;
+        for (Term t : tgd.body[other].args) {
+          if (t.is_variable() && alpha_vars.count(t) > 0 &&
+              marking.harmless.count(t) == 0) {
+            clean = false;
+            break;
+          }
+        }
+      }
+      if (clean) {
+        chosen = static_cast<int>(candidate);
+        break;
+      }
+    }
+    report.ward_index.push_back(chosen);
+    if (chosen == -2) {
+      report.is_warded = false;
+      report.violations.push_back(
+          "rule " + std::to_string(rule_index) + " (" +
+          tgd.ToString(program.symbols()) +
+          "): dangerous variables admit no ward");
+    }
+  }
+  return report;
+}
+
+bool IsWarded(const Program& program) {
+  return CheckWardedness(program).is_warded;
+}
+
+}  // namespace vadalog

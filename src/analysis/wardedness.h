@@ -1,0 +1,77 @@
+// Affected positions, the harmless/harmful/dangerous variable taxonomy, and
+// the wardedness check of Definition 3.1.
+
+#ifndef VADALOG_ANALYSIS_WARDEDNESS_H_
+#define VADALOG_ANALYSIS_WARDEDNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace vadalog {
+
+/// A position R[i] of the schema, packed as (predicate << 16) | i.
+using Position = uint64_t;
+
+inline Position MakePosition(PredicateId predicate, uint32_t index) {
+  return (static_cast<uint64_t>(predicate) << 16) | index;
+}
+inline PredicateId PositionPredicate(Position p) {
+  return static_cast<PredicateId>(p >> 16);
+}
+inline uint32_t PositionIndex(Position p) {
+  return static_cast<uint32_t>(p & 0xffff);
+}
+
+/// Computes aff(Σ), the affected positions of sch(Σ) (Section 3):
+///  - a position hosting an existential variable in some head is affected;
+///  - if a frontier variable occurs in a body only at affected positions,
+///    the head positions where it occurs are affected.
+/// Fixpoint over the rule set.
+std::unordered_set<Position> AffectedPositions(const Program& program);
+
+/// Classification of a body variable (Section 3).
+enum class VariableRole : uint8_t {
+  kHarmless,   // some body occurrence at a non-affected position
+  kHarmful,    // all body occurrences at affected positions, not frontier
+  kDangerous,  // harmful and in the frontier
+};
+
+/// Per-TGD variable roles.
+struct VariableMarking {
+  // role_of[i] is the role of variable with index i (only meaningful for
+  // variables occurring in the body).
+  std::vector<VariableRole> role_of;
+  std::unordered_set<Term> dangerous;
+  std::unordered_set<Term> harmful;
+  std::unordered_set<Term> harmless;
+};
+
+/// Computes roles for the body variables of `tgd` w.r.t. aff(Σ).
+VariableMarking MarkVariables(const Tgd& tgd,
+                              const std::unordered_set<Position>& affected);
+
+/// Result of the wardedness check: overall verdict plus, per TGD, either
+/// the chosen ward atom index or a violation description.
+struct WardednessReport {
+  bool is_warded = false;
+  /// For each TGD: index into body of the ward, or -1 when the rule has no
+  /// dangerous variables (no ward needed), or -2 when no valid ward exists.
+  std::vector<int> ward_index;
+  std::vector<std::string> violations;  // human-readable, empty when warded
+};
+
+/// Checks Definition 3.1: every TGD either has no dangerous variables, or
+/// has a body atom α (the ward) containing all dangerous variables such
+/// that α shares only harmless variables with the rest of the body.
+WardednessReport CheckWardedness(const Program& program);
+
+/// Convenience wrapper.
+bool IsWarded(const Program& program);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_WARDEDNESS_H_

@@ -1,0 +1,52 @@
+#include "ast/atom.h"
+
+namespace vadalog {
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.PredicateName(predicate);
+  out.push_back('(');
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(symbols.TermToString(args[i]));
+  }
+  out.push_back(')');
+  return out;
+}
+
+Atom ApplySubstitution(const Substitution& subst, const Atom& atom) {
+  Atom result;
+  result.predicate = atom.predicate;
+  result.args.reserve(atom.args.size());
+  for (Term t : atom.args) result.args.push_back(ApplySubstitution(subst, t));
+  return result;
+}
+
+std::vector<Atom> ApplySubstitution(const Substitution& subst,
+                                    const std::vector<Atom>& atoms) {
+  std::vector<Atom> result;
+  result.reserve(atoms.size());
+  for (const Atom& a : atoms) result.push_back(ApplySubstitution(subst, a));
+  return result;
+}
+
+std::unordered_set<Term> VariablesOf(const std::vector<Atom>& atoms) {
+  std::unordered_set<Term> vars;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args) {
+      if (t.is_variable()) vars.insert(t);
+    }
+  }
+  return vars;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms,
+                          const SymbolTable& symbols) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(atoms[i].ToString(symbols));
+  }
+  return out;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,90 @@
+// Atoms: a predicate applied to a tuple of terms.
+
+#ifndef VADALOG_AST_ATOM_H_
+#define VADALOG_AST_ATOM_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/symbol_table.h"
+#include "base/term.h"
+
+namespace vadalog {
+
+/// An atom R(t1, ..., tn). Value semantics.
+struct Atom {
+  PredicateId predicate = kInvalidPredicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(PredicateId p, std::vector<Term> a) : predicate(p), args(std::move(a)) {}
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  /// True if every argument is a constant (i.e., the atom is a fact).
+  bool IsGround() const {
+    for (Term t : args) {
+      if (!t.is_constant()) return false;
+    }
+    return true;
+  }
+
+  /// True if no argument is a variable (constants and nulls only).
+  bool IsRigid() const {
+    for (Term t : args) {
+      if (t.is_variable()) return false;
+    }
+    return true;
+  }
+
+  /// Appends this atom's variables to `out` (with duplicates).
+  void CollectVariables(std::vector<Term>* out) const {
+    for (Term t : args) {
+      if (t.is_variable()) out->push_back(t);
+    }
+  }
+
+  size_t Hash() const {
+    size_t seed = static_cast<size_t>(predicate) * 0x9e3779b97f4a7c15ULL;
+    for (Term t : args) HashCombine(&seed, std::hash<Term>{}(t));
+    return seed;
+  }
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// A substitution from variables (and occasionally nulls) to terms.
+using Substitution = std::unordered_map<Term, Term>;
+
+/// Applies `subst` to `t`; terms without a mapping are returned unchanged.
+inline Term ApplySubstitution(const Substitution& subst, Term t) {
+  auto it = subst.find(t);
+  return it == subst.end() ? t : it->second;
+}
+
+/// Applies `subst` to every argument of `atom`.
+Atom ApplySubstitution(const Substitution& subst, const Atom& atom);
+
+/// Applies `subst` to every atom.
+std::vector<Atom> ApplySubstitution(const Substitution& subst,
+                                    const std::vector<Atom>& atoms);
+
+/// Collects the set of variables occurring in `atoms`.
+std::unordered_set<Term> VariablesOf(const std::vector<Atom>& atoms);
+
+std::string AtomsToString(const std::vector<Atom>& atoms,
+                          const SymbolTable& symbols);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_AST_ATOM_H_

@@ -1,0 +1,406 @@
+#include "ast/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace vadalog {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,   // lowercase-initial or digit-initial or quoted
+  kVariable,     // uppercase-initial
+  kWildcard,     // _
+  kLparen,
+  kRparen,
+  kComma,
+  kImplies,      // :-
+  kDot,
+  kQuestion,     // ?
+  kEnd,
+  kError,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token Next() {
+    SkipWhitespaceAndComments();
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", line_};
+    char c = text_[pos_];
+    if (c == '(') return Single(TokenKind::kLparen);
+    if (c == ')') return Single(TokenKind::kRparen);
+    if (c == ',') return Single(TokenKind::kComma);
+    if (c == '.') return Single(TokenKind::kDot);
+    if (c == '?') return Single(TokenKind::kQuestion);
+    if (c == ':') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        pos_ += 2;
+        return {TokenKind::kImplies, ":-", line_};
+      }
+      return {TokenKind::kError, "unexpected ':'", line_};
+    }
+    if (c == '"') return QuotedString();
+    if (c == '_' && (pos_ + 1 >= text_.size() || !IsIdentChar(text_[pos_ + 1]))) {
+      ++pos_;
+      return {TokenKind::kWildcard, "_", line_};
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      return Word();
+    }
+    return {TokenKind::kError, std::string("unexpected character '") + c + "'",
+            line_};
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '\'';
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Single(TokenKind kind) {
+    Token t{kind, std::string(1, text_[pos_]), line_};
+    ++pos_;
+    return t;
+  }
+
+  Token QuotedString() {
+    size_t start = ++pos_;  // skip opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return {TokenKind::kError, "unterminated string literal", line_};
+    }
+    Token t{TokenKind::kIdentifier,
+            std::string(text_.substr(start, pos_ - start)), line_};
+    ++pos_;  // skip closing quote
+    return t;
+  }
+
+  Token Word() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    std::string word(text_.substr(start, pos_ - start));
+    char first = word[0];
+    // '_'-initial multi-char identifiers are variables as in Prolog.
+    bool is_var = std::isupper(static_cast<unsigned char>(first)) ||
+                  (first == '_' && word.size() > 1);
+    return {is_var ? TokenKind::kVariable : TokenKind::kIdentifier, word,
+            line_};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, Program* program)
+      : lexer_(text), program_(program) {
+    Advance();
+  }
+
+  // Parses all statements; returns empty string or an error message.
+  std::string Run() {
+    while (current_.kind != TokenKind::kEnd) {
+      std::string err = ParseStatement();
+      if (!err.empty()) return err;
+    }
+    return "";
+  }
+
+ private:
+  void Advance() { current_ = lexer_.Next(); }
+
+  std::string ErrorAt(const std::string& message) {
+    return "line " + std::to_string(current_.line) + ": " + message;
+  }
+
+  // statement := query | rule | fact
+  std::string ParseStatement() {
+    // Fresh variable scope per statement.
+    variable_ids_.clear();
+    next_variable_ = 0;
+
+    if (current_.kind == TokenKind::kQuestion) {
+      return ParseQuery();
+    }
+    // Parse one or more head atoms.
+    std::vector<Atom> head;
+    std::string err = ParseAtomList(&head);
+    if (!err.empty()) return err;
+
+    if (current_.kind == TokenKind::kDot) {
+      Advance();
+      // Fact(s): must be ground.
+      for (const Atom& a : head) {
+        if (!a.IsGround()) {
+          return ErrorAt("fact contains variables: not ground");
+        }
+        program_->AddFact(a);
+      }
+      return "";
+    }
+    if (current_.kind != TokenKind::kImplies) {
+      return ErrorAt("expected ':-' or '.' after head atoms");
+    }
+    Advance();
+    Tgd tgd;
+    tgd.head = std::move(head);
+    err = ParseRuleBody(&tgd);
+    if (!err.empty()) return err;
+    if (current_.kind != TokenKind::kDot) {
+      return ErrorAt("expected '.' at end of rule");
+    }
+    Advance();
+    if (tgd.body.empty()) {
+      return ErrorAt("rule body must have at least one positive atom");
+    }
+    if (!tgd.NegationIsSafe()) {
+      return ErrorAt(
+          "unsafe negation: every variable of a negated atom must occur "
+          "in a positive body atom");
+    }
+    program_->AddTgd(std::move(tgd));
+    return "";
+  }
+
+  // body := (('not')? atom) (',' ('not')? atom)*
+  // 'not' is a negation marker only when followed by a predicate name
+  // ("not(...)", i.e. a predicate literally called not, stays positive).
+  std::string ParseRuleBody(Tgd* tgd) {
+    for (;;) {
+      bool negated = false;
+      if (current_.kind == TokenKind::kIdentifier && current_.text == "not") {
+        Token saved = current_;
+        Advance();
+        if (current_.kind == TokenKind::kIdentifier) {
+          negated = true;
+        } else {
+          // Rewind is not supported; treat "not(" as the predicate 'not'.
+          std::string err = ParseAtomAfterName(saved.text, tgd);
+          if (!err.empty()) return err;
+          if (current_.kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          return "";
+        }
+      }
+      Atom atom;
+      std::string err = ParseAtom(&atom);
+      if (!err.empty()) return err;
+      if (negated) {
+        tgd->negative_body.push_back(std::move(atom));
+      } else {
+        tgd->body.push_back(std::move(atom));
+      }
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return "";
+    }
+  }
+
+  // Completes an atom whose predicate name token was already consumed.
+  std::string ParseAtomAfterName(const std::string& name, Tgd* tgd) {
+    if (current_.kind != TokenKind::kLparen) {
+      return ErrorAt("expected '(' after predicate name '" + name + "'");
+    }
+    Advance();
+    std::vector<Term> args;
+    if (current_.kind != TokenKind::kRparen) {
+      for (;;) {
+        Term t;
+        std::string err = ParseTerm(&t);
+        if (!err.empty()) return err;
+        args.push_back(t);
+        if (current_.kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.kind != TokenKind::kRparen) {
+      return ErrorAt("expected ')' in atom '" + name + "'");
+    }
+    Advance();
+    PredicateId pred = program_->symbols().InternPredicate(
+        name, static_cast<uint32_t>(args.size()));
+    if (pred == kInvalidPredicate) {
+      return ErrorAt("predicate '" + name + "' used with inconsistent arity");
+    }
+    tgd->body.push_back(Atom(pred, std::move(args)));
+    return "";
+  }
+
+  // query := '?' '(' terms? ')' ':-' atoms '.'
+  std::string ParseQuery() {
+    Advance();  // consume '?'
+    ConjunctiveQuery query;
+    if (current_.kind != TokenKind::kLparen) {
+      return ErrorAt("expected '(' after '?'");
+    }
+    Advance();
+    if (current_.kind != TokenKind::kRparen) {
+      for (;;) {
+        Term t;
+        std::string err = ParseTerm(&t);
+        if (!err.empty()) return err;
+        query.output.push_back(t);
+        if (current_.kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.kind != TokenKind::kRparen) {
+      return ErrorAt("expected ')' in query head");
+    }
+    Advance();
+    if (current_.kind != TokenKind::kImplies) {
+      return ErrorAt("expected ':-' after query head");
+    }
+    Advance();
+    std::string err = ParseAtomList(&query.atoms);
+    if (!err.empty()) return err;
+    if (current_.kind != TokenKind::kDot) {
+      return ErrorAt("expected '.' at end of query");
+    }
+    Advance();
+    program_->AddQuery(std::move(query));
+    return "";
+  }
+
+  std::string ParseAtomList(std::vector<Atom>* atoms) {
+    for (;;) {
+      Atom atom;
+      std::string err = ParseAtom(&atom);
+      if (!err.empty()) return err;
+      atoms->push_back(std::move(atom));
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return "";
+    }
+  }
+
+  // atom := identifier '(' terms? ')'
+  std::string ParseAtom(Atom* atom) {
+    if (current_.kind != TokenKind::kIdentifier) {
+      return ErrorAt("expected predicate name, got '" + current_.text + "'");
+    }
+    std::string name = current_.text;
+    Advance();
+    if (current_.kind != TokenKind::kLparen) {
+      return ErrorAt("expected '(' after predicate name '" + name + "'");
+    }
+    Advance();
+    std::vector<Term> args;
+    if (current_.kind != TokenKind::kRparen) {
+      for (;;) {
+        Term t;
+        std::string err = ParseTerm(&t);
+        if (!err.empty()) return err;
+        args.push_back(t);
+        if (current_.kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.kind != TokenKind::kRparen) {
+      return ErrorAt("expected ')' in atom '" + name + "'");
+    }
+    Advance();
+    PredicateId pred = program_->symbols().InternPredicate(
+        name, static_cast<uint32_t>(args.size()));
+    if (pred == kInvalidPredicate) {
+      return ErrorAt("predicate '" + name + "' used with inconsistent arity");
+    }
+    atom->predicate = pred;
+    atom->args = std::move(args);
+    return "";
+  }
+
+  std::string ParseTerm(Term* out) {
+    switch (current_.kind) {
+      case TokenKind::kIdentifier:
+        *out = program_->symbols().InternConstant(current_.text);
+        Advance();
+        return "";
+      case TokenKind::kVariable: {
+        auto [it, inserted] =
+            variable_ids_.try_emplace(current_.text, next_variable_);
+        if (inserted) ++next_variable_;
+        *out = Term::Variable(it->second);
+        Advance();
+        return "";
+      }
+      case TokenKind::kWildcard:
+        // Every wildcard occurrence is a distinct fresh variable.
+        *out = Term::Variable(next_variable_++);
+        Advance();
+        return "";
+      default:
+        return ErrorAt("expected term, got '" + current_.text + "'");
+    }
+  }
+
+  Lexer lexer_;
+  Program* program_;
+  Token current_{TokenKind::kEnd, "", 0};
+  std::unordered_map<std::string, uint64_t> variable_ids_;
+  uint64_t next_variable_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParseProgram(std::string_view text) {
+  ParseResult result;
+  Program program;
+  std::string err = ParseInto(text, &program);
+  if (!err.empty()) {
+    result.error = std::move(err);
+    return result;
+  }
+  result.program = std::move(program);
+  return result;
+}
+
+std::string ParseInto(std::string_view text, Program* program) {
+  Parser parser(text, program);
+  return parser.Run();
+}
+
+}  // namespace vadalog

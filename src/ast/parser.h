@@ -1,0 +1,46 @@
+// Parser for the Vadalog-style surface syntax used across examples, tests,
+// and benchmarks.
+//
+// Syntax (Prolog-flavored, one clause per statement, '.' terminated):
+//
+//   % line comment (also '#')
+//   t(X, Y) :- e(X, Y).            rule: head :- body
+//   t(X, Z) :- e(X, Y), t(Y, Z).   joins via repeated variables
+//   r(X, Z) :- p(X).               head-only variables are existential (∃Z)
+//   a(X), b(X, Y) :- c(X).         multi-atom heads are allowed
+//   e(alpha, "two words").         ground atom with no body = fact
+//   ?(X) :- t(alpha, X).           conjunctive query (output vars in ?(...))
+//
+// Identifiers starting with a lowercase letter or digit (or quoted strings)
+// are constants / predicate names; identifiers starting with an uppercase
+// letter are variables; '_' is a don't-care variable (each occurrence is a
+// fresh variable, as in the Section 5 reduction).
+
+#ifndef VADALOG_AST_PARSER_H_
+#define VADALOG_AST_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ast/program.h"
+
+namespace vadalog {
+
+struct ParseResult {
+  std::optional<Program> program;
+  std::string error;  // empty iff program.has_value()
+
+  bool ok() const { return program.has_value(); }
+};
+
+/// Parses a full program text (rules, facts, queries).
+ParseResult ParseProgram(std::string_view text);
+
+/// Parses rules/facts/queries into an existing program, sharing its symbol
+/// table. Returns an empty string on success, else an error message.
+std::string ParseInto(std::string_view text, Program* program);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_AST_PARSER_H_

@@ -1,0 +1,104 @@
+#include "ast/program.h"
+
+#include <algorithm>
+
+namespace vadalog {
+
+std::unordered_set<PredicateId> Program::IntensionalPredicates() const {
+  std::unordered_set<PredicateId> idb;
+  for (const Tgd& tgd : tgds_) {
+    for (const Atom& a : tgd.head) idb.insert(a.predicate);
+  }
+  return idb;
+}
+
+std::unordered_set<PredicateId> Program::SchemaPredicates() const {
+  std::unordered_set<PredicateId> all;
+  for (const Tgd& tgd : tgds_) {
+    for (const Atom& a : tgd.body) all.insert(a.predicate);
+    for (const Atom& a : tgd.head) all.insert(a.predicate);
+  }
+  return all;
+}
+
+std::unordered_set<PredicateId> Program::ExtensionalPredicates() const {
+  std::unordered_set<PredicateId> idb = IntensionalPredicates();
+  std::unordered_set<PredicateId> edb;
+  for (PredicateId p : SchemaPredicates()) {
+    if (idb.count(p) == 0) edb.insert(p);
+  }
+  return edb;
+}
+
+size_t Program::MaxBodySize() const {
+  size_t max_size = 0;
+  for (const Tgd& tgd : tgds_) max_size = std::max(max_size, tgd.body.size());
+  return max_size;
+}
+
+bool Program::HasNegation() const {
+  for (const Tgd& tgd : tgds_) {
+    if (!tgd.negative_body.empty()) return true;
+  }
+  return false;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Tgd& tgd : tgds_) {
+    out.append(tgd.ToString(*symbols_));
+    out.push_back('\n');
+  }
+  for (const Atom& fact : facts_) {
+    out.append(fact.ToString(*symbols_));
+    out.append(".\n");
+  }
+  for (const ConjunctiveQuery& q : queries_) {
+    out.append(q.ToString(*symbols_));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+size_t NormalizeToSingleHead(
+    Program* program, std::unordered_set<PredicateId>* aux_predicates) {
+  std::vector<Tgd> normalized;
+  size_t rewritten = 0;
+  for (const Tgd& tgd : program->tgds()) {
+    if (tgd.head.size() <= 1) {
+      normalized.push_back(tgd);
+      continue;
+    }
+    ++rewritten;
+    // Order: frontier variables first, then existentials, deterministically
+    // by variable index so the transformation is stable.
+    std::unordered_set<Term> frontier = tgd.Frontier();
+    std::unordered_set<Term> existential = tgd.ExistentialVariables();
+    std::vector<Term> aux_args(frontier.begin(), frontier.end());
+    std::sort(aux_args.begin(), aux_args.end());
+    std::vector<Term> exist_sorted(existential.begin(), existential.end());
+    std::sort(exist_sorted.begin(), exist_sorted.end());
+    aux_args.insert(aux_args.end(), exist_sorted.begin(), exist_sorted.end());
+
+    PredicateId aux = program->symbols().MakeFreshPredicate(
+        "Aux", static_cast<uint32_t>(aux_args.size()));
+    if (aux_predicates != nullptr) aux_predicates->insert(aux);
+
+    Tgd generator;
+    generator.body = tgd.body;
+    generator.negative_body = tgd.negative_body;
+    generator.head.push_back(Atom(aux, aux_args));
+    normalized.push_back(std::move(generator));
+
+    for (const Atom& head_atom : tgd.head) {
+      Tgd projector;
+      projector.body.push_back(Atom(aux, aux_args));
+      projector.head.push_back(head_atom);
+      normalized.push_back(std::move(projector));
+    }
+  }
+  program->tgds() = std::move(normalized);
+  return rewritten;
+}
+
+}  // namespace vadalog

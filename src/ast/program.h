@@ -1,0 +1,79 @@
+// A program is a finite set Σ of TGDs over a shared symbol table, plus the
+// facts parsed alongside it (convenience for examples/tests) and optional
+// queries. Programs own their SymbolTable.
+
+#ifndef VADALOG_AST_PROGRAM_H_
+#define VADALOG_AST_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+
+namespace vadalog {
+
+class Program {
+ public:
+  Program() : symbols_(std::make_unique<SymbolTable>()) {}
+
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  std::vector<Tgd>& tgds() { return tgds_; }
+  const std::vector<Tgd>& tgds() const { return tgds_; }
+
+  std::vector<Atom>& facts() { return facts_; }
+  const std::vector<Atom>& facts() const { return facts_; }
+
+  std::vector<ConjunctiveQuery>& queries() { return queries_; }
+  const std::vector<ConjunctiveQuery>& queries() const { return queries_; }
+
+  void AddTgd(Tgd tgd) { tgds_.push_back(std::move(tgd)); }
+  void AddFact(Atom fact) { facts_.push_back(std::move(fact)); }
+  void AddQuery(ConjunctiveQuery q) { queries_.push_back(std::move(q)); }
+
+  /// The set of predicates occurring in the head of some TGD (intensional).
+  std::unordered_set<PredicateId> IntensionalPredicates() const;
+
+  /// The predicates of sch(Σ) that are not intensional (edb(Σ) in Sec. 6).
+  std::unordered_set<PredicateId> ExtensionalPredicates() const;
+
+  /// All predicates occurring in the TGDs (sch(Σ)).
+  std::unordered_set<PredicateId> SchemaPredicates() const;
+
+  /// Largest body size over all TGDs (max_σ |body(σ)| in the node-width
+  /// polynomials of Section 4.2).
+  size_t MaxBodySize() const;
+
+  /// True if any rule uses (stratified) negation.
+  bool HasNegation() const;
+
+  /// Renders the rule set in surface syntax.
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<SymbolTable> symbols_;
+  std::vector<Tgd> tgds_;
+  std::vector<Atom> facts_;
+  std::vector<ConjunctiveQuery> queries_;
+};
+
+/// Rewrites Σ so that every TGD has exactly one head atom, preserving
+/// certain answers (the standard transformation of [11]; Section 4.2
+/// assumes it w.l.o.g.). For a TGD  φ(x̄,ȳ) → ∃z̄ (α1, ..., αk)  with k > 1,
+/// introduces a fresh predicate Aux over front(σ) ∪ z̄ and emits
+///   φ(x̄,ȳ) → ∃z̄ Aux(x̄,z̄)    and    Aux(x̄,z̄) → αi   for each i.
+/// Auxiliary predicates are recorded so they can be excluded from query
+/// schemas. Returns the number of rules rewritten.
+size_t NormalizeToSingleHead(Program* program,
+                             std::unordered_set<PredicateId>* aux_predicates);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_AST_PROGRAM_H_

@@ -1,0 +1,126 @@
+#include "ast/rule.h"
+
+#include <algorithm>
+
+namespace vadalog {
+
+std::unordered_set<Term> Tgd::Frontier() const {
+  std::unordered_set<Term> body_vars = VariablesOf(body);
+  std::unordered_set<Term> frontier;
+  for (const Atom& a : head) {
+    for (Term t : a.args) {
+      if (t.is_variable() && body_vars.count(t) > 0) frontier.insert(t);
+    }
+  }
+  return frontier;
+}
+
+std::unordered_set<Term> Tgd::ExistentialVariables() const {
+  std::unordered_set<Term> body_vars = VariablesOf(body);
+  std::unordered_set<Term> existential;
+  for (const Atom& a : head) {
+    for (Term t : a.args) {
+      if (t.is_variable() && body_vars.count(t) == 0) existential.insert(t);
+    }
+  }
+  return existential;
+}
+
+bool Tgd::IsFull() const { return ExistentialVariables().empty(); }
+
+uint64_t Tgd::VariableCount() const {
+  uint64_t max_index = 0;
+  bool any = false;
+  auto scan = [&](const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      for (Term t : a.args) {
+        if (t.is_variable()) {
+          any = true;
+          max_index = std::max(max_index, t.index());
+        }
+      }
+    }
+  };
+  scan(body);
+  scan(head);
+  scan(negative_body);
+  return any ? max_index + 1 : 0;
+}
+
+Tgd Tgd::WithVariableOffset(uint64_t offset) const {
+  auto shift = [offset](const std::vector<Atom>& atoms) {
+    std::vector<Atom> out;
+    out.reserve(atoms.size());
+    for (const Atom& a : atoms) {
+      Atom shifted;
+      shifted.predicate = a.predicate;
+      shifted.args.reserve(a.args.size());
+      for (Term t : a.args) {
+        shifted.args.push_back(
+            t.is_variable() ? Term::Variable(t.index() + offset) : t);
+      }
+      out.push_back(std::move(shifted));
+    }
+    return out;
+  };
+  Tgd result;
+  result.body = shift(body);
+  result.head = shift(head);
+  result.negative_body = shift(negative_body);
+  return result;
+}
+
+bool Tgd::NegationIsSafe() const {
+  if (negative_body.empty()) return true;
+  std::unordered_set<Term> positive_vars = VariablesOf(body);
+  for (const Atom& atom : negative_body) {
+    for (Term t : atom.args) {
+      if (t.is_variable() && positive_vars.count(t) == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string Tgd::ToString(const SymbolTable& symbols) const {
+  std::string out =
+      AtomsToString(head, symbols) + " :- " + AtomsToString(body, symbols);
+  for (const Atom& atom : negative_body) {
+    out += ", not " + atom.ToString(symbols);
+  }
+  out += ".";
+  return out;
+}
+
+uint64_t ConjunctiveQuery::VariableCount() const {
+  uint64_t max_index = 0;
+  bool any = false;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args) {
+      if (t.is_variable()) {
+        any = true;
+        max_index = std::max(max_index, t.index());
+      }
+    }
+  }
+  for (Term t : output) {
+    if (t.is_variable()) {
+      any = true;
+      max_index = std::max(max_index, t.index());
+    }
+  }
+  return any ? max_index + 1 : 0;
+}
+
+std::string ConjunctiveQuery::ToString(const SymbolTable& symbols) const {
+  std::string out = "?(";
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(symbols.TermToString(output[i]));
+  }
+  out.append(") :- ");
+  out.append(AtomsToString(atoms, symbols));
+  out.push_back('.');
+  return out;
+}
+
+}  // namespace vadalog

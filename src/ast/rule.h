@@ -1,0 +1,76 @@
+// Tuple-generating dependencies (TGDs) and conjunctive queries (CQs).
+//
+// A TGD is a sentence  ∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)).  We store body and
+// head atom lists; the existential variables are exactly the head variables
+// that do not occur in the body, and the frontier is the set of variables
+// occurring in both. Variables are Term::Variable with indices local to the
+// rule (0..num_variables-1).
+
+#ifndef VADALOG_AST_RULE_H_
+#define VADALOG_AST_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace vadalog {
+
+/// A tuple-generating dependency. Full TGDs (no existentials, single head
+/// atom) are exactly Datalog rules (the class FULL1 of Section 6).
+///
+/// `negative_body` holds atoms negated with "not" — the paper's "very mild
+/// and easy to handle negation" (Section 1.1 (2)). Negation is supported
+/// for stratified Datalog evaluation only; the chase and the proof-search
+/// engines reject programs that use it. Safety requires every variable of
+/// a negative atom to occur in the positive body.
+struct Tgd {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  std::vector<Atom> negative_body;
+
+  /// Variables occurring in both body and head (x̄ in the paper).
+  std::unordered_set<Term> Frontier() const;
+
+  /// Existentially quantified variables: head variables not in the body
+  /// (z̄ in the paper, var∃(σ)).
+  std::unordered_set<Term> ExistentialVariables() const;
+
+  /// True if the rule has no existential variables.
+  bool IsFull() const;
+
+  /// True if the rule is full and has exactly one head atom (FULL1).
+  bool IsDatalogRule() const { return IsFull() && head.size() == 1; }
+
+  /// Largest variable index used plus one (for fresh-variable allocation).
+  uint64_t VariableCount() const;
+
+  /// Renames every variable index i to i + offset; used to keep rule and
+  /// query variables disjoint before unification (the σ^o renaming of
+  /// Definition 4.6).
+  Tgd WithVariableOffset(uint64_t offset) const;
+
+  /// Safety: every variable of a negative atom occurs in the positive
+  /// body.
+  bool NegationIsSafe() const;
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+/// A conjunctive query  Q(x̄) ← R1(z̄1), ..., Rn(z̄n).  Output terms are
+/// usually variables; during proof search they may be constants (the
+/// "frozen" output convention of Section 4.3).
+struct ConjunctiveQuery {
+  std::vector<Term> output;
+  std::vector<Atom> atoms;
+
+  bool IsBoolean() const { return output.empty(); }
+  uint64_t VariableCount() const;
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_AST_RULE_H_

@@ -1,0 +1,34 @@
+// Hash helpers shared across the codebase.
+
+#ifndef VADALOG_BASE_HASH_H_
+#define VADALOG_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace vadalog {
+
+/// Mixes `value` into `seed` (boost-style hash_combine with a 64-bit mixer).
+inline void HashCombine(size_t* seed, size_t value) {
+  uint64_t x = static_cast<uint64_t>(value) + 0x9e3779b97f4a7c15ULL +
+               (static_cast<uint64_t>(*seed) << 6) + (*seed >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  *seed ^= static_cast<size_t>(x);
+}
+
+/// Hashes a contiguous range of hashable items.
+template <typename It>
+size_t HashRange(It first, It last) {
+  size_t seed = 0x51ed2701;
+  using T = typename std::iterator_traits<It>::value_type;
+  std::hash<T> h;
+  for (; first != last; ++first) HashCombine(&seed, h(*first));
+  return seed;
+}
+
+}  // namespace vadalog
+
+#endif  // VADALOG_BASE_HASH_H_

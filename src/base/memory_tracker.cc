@@ -1,0 +1,30 @@
+#include "base/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vadalog {
+namespace {
+
+uint64_t ReadStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t value = 0;
+  size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, " %lu", &value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+uint64_t CurrentRssKb() { return ReadStatusKb("VmRSS:"); }
+uint64_t PeakRssKb() { return ReadStatusKb("VmHWM:"); }
+
+}  // namespace vadalog

@@ -1,0 +1,42 @@
+// Lightweight memory accounting used by the space-efficiency benchmarks
+// (experiment E1): the paper's headline result is an NLogSpace data
+// complexity bound, so the benches report the *logical working set* of each
+// algorithm (bytes of live algorithm state) alongside process peak RSS.
+
+#ifndef VADALOG_BASE_MEMORY_TRACKER_H_
+#define VADALOG_BASE_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vadalog {
+
+/// Tracks a logical byte count with a high-water mark. Engines report the
+/// size of their frontier/visited/materialized state through this.
+class MemoryTracker {
+ public:
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Remove(size_t bytes) { current_ -= bytes < current_ ? bytes : current_; }
+  void Reset() { current_ = peak_ = 0; }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Reads the current resident set size of this process in kilobytes
+/// (VmRSS from /proc/self/status); returns 0 if unavailable.
+uint64_t CurrentRssKb();
+
+/// Reads the peak resident set size (VmHWM) in kilobytes; 0 if unavailable.
+uint64_t PeakRssKb();
+
+}  // namespace vadalog
+
+#endif  // VADALOG_BASE_MEMORY_TRACKER_H_

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. We avoid std::mt19937 state-size overhead; xoshiro256**
+// is small, fast, and reproducible across platforms.
+
+#ifndef VADALOG_BASE_RNG_H_
+#define VADALOG_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace vadalog {
+
+/// xoshiro256** with splitmix64 seeding. Deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 expansion of the seed.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_BASE_RNG_H_

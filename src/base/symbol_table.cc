@@ -1,0 +1,62 @@
+#include "base/symbol_table.h"
+
+#include <cassert>
+
+namespace vadalog {
+
+Term SymbolTable::InternConstant(std::string_view name) {
+  auto it = constant_ids_.find(std::string(name));
+  if (it != constant_ids_.end()) return Term::Constant(it->second);
+  uint64_t id = constant_names_.size();
+  constant_names_.emplace_back(name);
+  constant_ids_.emplace(constant_names_.back(), id);
+  return Term::Constant(id);
+}
+
+const std::string& SymbolTable::ConstantName(Term t) const {
+  assert(t.is_constant() && t.index() < constant_names_.size());
+  return constant_names_[t.index()];
+}
+
+PredicateId SymbolTable::InternPredicate(std::string_view name,
+                                         uint32_t arity) {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it != predicate_ids_.end()) {
+    if (predicates_[it->second].arity != arity) return kInvalidPredicate;
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{std::string(name), arity});
+  predicate_ids_.emplace(predicates_.back().name, id);
+  return id;
+}
+
+PredicateId SymbolTable::FindPredicate(std::string_view name) const {
+  auto it = predicate_ids_.find(std::string(name));
+  return it == predicate_ids_.end() ? kInvalidPredicate : it->second;
+}
+
+PredicateId SymbolTable::MakeFreshPredicate(std::string_view stem,
+                                            uint32_t arity) {
+  for (;;) {
+    std::string candidate =
+        std::string(stem) + "$" + std::to_string(fresh_counter_++);
+    if (predicate_ids_.find(candidate) == predicate_ids_.end()) {
+      return InternPredicate(candidate, arity);
+    }
+  }
+}
+
+std::string SymbolTable::TermToString(Term t) const {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return ConstantName(t);
+    case TermKind::kNull:
+      return "_:n" + std::to_string(t.index());
+    case TermKind::kVariable:
+      return "X" + std::to_string(t.index());
+  }
+  return "?";
+}
+
+}  // namespace vadalog

@@ -1,0 +1,87 @@
+// Interning tables for constants and predicates.
+//
+// The paper's schema S is a finite set of predicates R/n; constants come
+// from the countably infinite set C. Both are interned so that terms and
+// atoms are flat integer arrays and comparisons are O(1).
+
+#ifndef VADALOG_BASE_SYMBOL_TABLE_H_
+#define VADALOG_BASE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/term.h"
+
+namespace vadalog {
+
+/// Identifies a predicate within a SymbolTable.
+using PredicateId = uint32_t;
+
+inline constexpr PredicateId kInvalidPredicate = ~PredicateId{0};
+
+/// Owns the mapping between external names and internal ids for constants
+/// and predicates, plus predicate arities. Not thread-safe by design: a
+/// reasoning session owns one table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Movable, not copyable (it is an identity-providing registry).
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// Interns a constant, returning its term. Idempotent.
+  Term InternConstant(std::string_view name);
+
+  /// Returns the constant's name; the term must be a constant from this
+  /// table.
+  const std::string& ConstantName(Term t) const;
+
+  /// Number of distinct constants interned so far.
+  size_t num_constants() const { return constant_names_.size(); }
+
+  /// Interns a predicate with the given arity. If the predicate exists with
+  /// a different arity, returns kInvalidPredicate (arity clash).
+  PredicateId InternPredicate(std::string_view name, uint32_t arity);
+
+  /// Looks up a predicate id without creating it; kInvalidPredicate if
+  /// absent.
+  PredicateId FindPredicate(std::string_view name) const;
+
+  const std::string& PredicateName(PredicateId id) const {
+    return predicates_[id].name;
+  }
+  uint32_t PredicateArity(PredicateId id) const {
+    return predicates_[id].arity;
+  }
+  size_t num_predicates() const { return predicates_.size(); }
+
+  /// Creates a fresh predicate with a unique name derived from `stem`
+  /// (used by single-head normalization and the Lemma 6.4 rewriter).
+  PredicateId MakeFreshPredicate(std::string_view stem, uint32_t arity);
+
+  /// Renders a term using this table's names (nulls as _:nK, variables as
+  /// their debug names).
+  std::string TermToString(Term t) const;
+
+ private:
+  struct PredicateInfo {
+    std::string name;
+    uint32_t arity;
+  };
+
+  std::vector<std::string> constant_names_;
+  std::unordered_map<std::string, uint64_t> constant_ids_;
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_BASE_SYMBOL_TABLE_H_

@@ -1,0 +1,17 @@
+#include "base/term.h"
+
+namespace vadalog {
+
+std::string DebugString(Term t) {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return "c" + std::to_string(t.index());
+    case TermKind::kNull:
+      return "n" + std::to_string(t.index());
+    case TermKind::kVariable:
+      return "X" + std::to_string(t.index());
+  }
+  return "?";
+}
+
+}  // namespace vadalog

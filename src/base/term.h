@@ -1,0 +1,95 @@
+// Term representation for the Vadalog core.
+//
+// A term is one of three disjoint kinds, mirroring the paper's countably
+// infinite sets C (constants), N (labeled nulls), and V (variables):
+//
+//   * Constant  — interned in a SymbolTable; the identity of a constant is
+//                 its interned index.
+//   * Null      — a labeled null introduced by a chase step; identified by a
+//                 monotonically increasing counter.
+//   * Variable  — a rule/query variable; identified by a small index local
+//                 to the owning rule or query (or canonicalized state).
+//
+// Terms are packed into a single 64-bit word (2 kind bits + 62 index bits)
+// so that atoms are flat arrays of words and substitutions are cheap maps.
+
+#ifndef VADALOG_BASE_TERM_H_
+#define VADALOG_BASE_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vadalog {
+
+/// The kind of a term: constant from C, labeled null from N, variable from V.
+enum class TermKind : uint8_t { kConstant = 0, kNull = 1, kVariable = 2 };
+
+/// A packed term. Value semantics, trivially copyable, 8 bytes.
+class Term {
+ public:
+  /// Default-constructed term is constant #0; avoid relying on this.
+  constexpr Term() : bits_(0) {}
+
+  static constexpr Term Constant(uint64_t index) {
+    return Term((static_cast<uint64_t>(TermKind::kConstant) << kShift) |
+                index);
+  }
+  static constexpr Term Null(uint64_t index) {
+    return Term((static_cast<uint64_t>(TermKind::kNull) << kShift) | index);
+  }
+  static constexpr Term Variable(uint64_t index) {
+    return Term((static_cast<uint64_t>(TermKind::kVariable) << kShift) |
+                index);
+  }
+
+  constexpr TermKind kind() const {
+    return static_cast<TermKind>(bits_ >> kShift);
+  }
+  constexpr bool is_constant() const { return kind() == TermKind::kConstant; }
+  constexpr bool is_null() const { return kind() == TermKind::kNull; }
+  constexpr bool is_variable() const { return kind() == TermKind::kVariable; }
+  /// A "rigid" term denotes a fixed domain element (constant or null);
+  /// rigid terms are never renamed by unification.
+  constexpr bool is_rigid() const { return !is_variable(); }
+
+  constexpr uint64_t index() const { return bits_ & kIndexMask; }
+  constexpr uint64_t bits() const { return bits_; }
+
+  friend constexpr bool operator==(Term a, Term b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Term a, Term b) {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+ private:
+  static constexpr int kShift = 62;
+  static constexpr uint64_t kIndexMask = (uint64_t{1} << kShift) - 1;
+
+  explicit constexpr Term(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits_;
+};
+
+/// Debug rendering without a symbol table: c<i>, n<i>, or X<i>.
+std::string DebugString(Term t);
+
+}  // namespace vadalog
+
+template <>
+struct std::hash<vadalog::Term> {
+  size_t operator()(vadalog::Term t) const noexcept {
+    // splitmix64 finalizer: good avalanche for packed ids.
+    uint64_t x = t.bits();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+#endif  // VADALOG_BASE_TERM_H_

@@ -1,0 +1,160 @@
+#include "chase/chase_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace vadalog {
+
+ChaseGraph::ChaseGraph(const ChaseResult& result, const Instance& database) {
+  auto intern = [this](const Atom& atom) {
+    auto [it, inserted] = id_of_.try_emplace(atom, atoms_.size());
+    if (inserted) {
+      atoms_.push_back(atom);
+      parents_.emplace_back();
+      rule_of_.push_back(0);
+      depth_of_.push_back(0);
+    }
+    return it->second;
+  };
+
+  for (const Atom& fact : database.AllAtoms()) intern(fact);
+  for (const ChaseDerivation& derivation : result.derivations) {
+    size_t id = intern(derivation.atom);
+    rule_of_[id] = derivation.tgd_index;
+    depth_of_[id] = derivation.depth;
+    for (const Atom& parent : derivation.parents) {
+      parents_[id].push_back(intern(parent));
+    }
+  }
+}
+
+int64_t ChaseGraph::IdOf(const Atom& atom) const {
+  auto it = id_of_.find(atom);
+  return it == id_of_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+std::vector<size_t> ChaseGraph::AncestorsOf(size_t id) const {
+  std::set<size_t> seen;
+  std::deque<size_t> frontier = {id};
+  while (!frontier.empty()) {
+    size_t current = frontier.front();
+    frontier.pop_front();
+    for (size_t parent : parents_[current]) {
+      if (seen.insert(parent).second) frontier.push_back(parent);
+    }
+  }
+  return std::vector<size_t>(seen.begin(), seen.end());
+}
+
+std::vector<Atom> ChaseGraph::SupportOf(size_t id) const {
+  std::vector<Atom> support;
+  for (size_t ancestor : AncestorsOf(id)) {
+    if (IsSource(ancestor)) support.push_back(atoms_[ancestor]);
+  }
+  return support;
+}
+
+std::string ChaseGraph::ToDot(const Program& program,
+                              size_t max_atoms) const {
+  std::string out = "digraph chase {\n  rankdir=BT;\n";
+  size_t limit = std::min(max_atoms, atoms_.size());
+  for (size_t id = 0; id < limit; ++id) {
+    out += "  n" + std::to_string(id) + " [label=\"" +
+           atoms_[id].ToString(program.symbols()) + "\"" +
+           (IsSource(id) ? ", shape=box" : "") + "];\n";
+  }
+  for (size_t id = 0; id < limit; ++id) {
+    for (size_t parent : parents_[id]) {
+      if (parent >= limit) continue;
+      out += "  n" + std::to_string(parent) + " -> n" + std::to_string(id) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<Atom> UnravelForest::AllAtoms() const {
+  std::vector<Atom> all;
+  all.reserve(nodes.size());
+  for (const UnravelNode& node : nodes) all.push_back(node.atom);
+  return all;
+}
+
+namespace {
+
+/// Expands one node of the unraveling: copies the chase atom, renames the
+/// nulls that were introduced along this path, and recurses into the
+/// parents of the original atom.
+size_t Expand(const ChaseGraph& graph, size_t chase_id,
+              const Substitution& null_renaming, uint64_t* next_null,
+              UnravelForest* forest, size_t max_nodes) {
+  size_t node_index = forest->nodes.size();
+  if (node_index >= max_nodes) return node_index;  // caller checks bound
+  forest->nodes.emplace_back();
+
+  const Atom& original = graph.AtomOf(chase_id);
+  UnravelNode& node = forest->nodes[node_index];
+  node.original = original;
+  node.is_database_fact = graph.IsSource(chase_id);
+  node.rule = graph.RuleOf(chase_id);
+  node.atom = ApplySubstitution(null_renaming, original);
+
+  if (node.is_database_fact) return node_index;
+
+  // Nulls introduced *by this step* (those of the atom that do not occur
+  // in any parent) keep the renaming decided here; nulls inherited from
+  // parents extend the renaming downward.
+  Substitution extended = null_renaming;
+  std::unordered_set<Term> parent_nulls;
+  for (size_t parent : graph.ParentsOf(chase_id)) {
+    for (Term t : graph.AtomOf(parent).args) {
+      if (t.is_null()) parent_nulls.insert(t);
+    }
+  }
+  // Fresh copies for the parents' nulls that this path has not named yet:
+  // each tree of the forest renames the chase's nulls apart.
+  for (Term t : parent_nulls) {
+    if (extended.count(t) == 0) {
+      extended.emplace(t, Term::Null((*next_null)++));
+      ++forest->nulls_renamed;
+    }
+  }
+
+  std::vector<size_t> children;
+  for (size_t parent : graph.ParentsOf(chase_id)) {
+    if (forest->nodes.size() >= max_nodes) break;
+    children.push_back(Expand(graph, parent, extended, next_null, forest,
+                              max_nodes));
+  }
+  forest->nodes[node_index].children = std::move(children);
+  return node_index;
+}
+
+}  // namespace
+
+UnravelForest UnravelAround(const ChaseGraph& graph,
+                            const std::vector<Atom>& theta,
+                            uint64_t first_fresh_null, size_t max_nodes) {
+  UnravelForest forest;
+  uint64_t next_null = first_fresh_null;
+  for (const Atom& atom : theta) {
+    int64_t id = graph.IdOf(atom);
+    if (id < 0) continue;
+    // Root nulls keep their chase identity within this tree, renamed
+    // apart from other trees.
+    Substitution renaming;
+    for (Term t : atom.args) {
+      if (t.is_null() && renaming.count(t) == 0) {
+        renaming.emplace(t, Term::Null(next_null++));
+        ++forest.nulls_renamed;
+      }
+    }
+    forest.roots.push_back(Expand(graph, static_cast<size_t>(id), renaming,
+                                  &next_null, &forest, max_nodes));
+  }
+  return forest;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,106 @@
+// The chase graph G_{D,Σ} and its unraveling (Section 4.2).
+//
+// The chase graph has one node per chase atom and an edge α → β when β was
+// derived by a chase step whose trigger image contains α. It is the
+// backbone of the paper's proof of Theorems 4.8/4.9: the *unraveling*
+// around a set of atoms Θ reorganizes the backward derivations into a
+// forest (duplicating shared atoms and renaming their labeled nulls
+// apart), whose unfolding/decomposition structure yields the chase trees
+// of Definition 4.10.
+//
+// This module materializes both structures from the provenance recorded by
+// RunChase (options.record_provenance), supporting provenance queries
+// ("which database facts and rules derived this atom?"), derivation-depth
+// statistics, Graphviz export, and the forest unraveling with fresh-null
+// copies.
+
+#ifndef VADALOG_CHASE_CHASE_GRAPH_H_
+#define VADALOG_CHASE_CHASE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "chase/chase.h"
+
+namespace vadalog {
+
+/// The chase graph for one chase run.
+class ChaseGraph {
+ public:
+  /// Builds the graph from a chase result with recorded provenance.
+  /// Database atoms (depth 0) are sources.
+  ChaseGraph(const ChaseResult& result, const Instance& database);
+
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// Node id of an atom, or -1 if absent.
+  int64_t IdOf(const Atom& atom) const;
+
+  const Atom& AtomOf(size_t id) const { return atoms_[id]; }
+
+  /// True if the atom is a database fact (no incoming edges).
+  bool IsSource(size_t id) const { return parents_[id].empty(); }
+
+  /// The direct parents (trigger image) of a derived atom.
+  const std::vector<size_t>& ParentsOf(size_t id) const {
+    return parents_[id];
+  }
+
+  /// The TGD that derived the atom (meaningless for sources).
+  size_t RuleOf(size_t id) const { return rule_of_[id]; }
+
+  uint32_t DepthOf(size_t id) const { return depth_of_[id]; }
+
+  /// All ancestors of `id` (the backward closure), ids sorted ascending.
+  /// This is the sub-derivation needed to re-derive the atom.
+  std::vector<size_t> AncestorsOf(size_t id) const;
+
+  /// The database facts among the ancestors — the provenance support set.
+  std::vector<Atom> SupportOf(size_t id) const;
+
+  /// Graphviz rendering (for debugging / the CLI's --dot flag).
+  std::string ToDot(const Program& program, size_t max_atoms = 200) const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<std::vector<size_t>> parents_;
+  std::vector<size_t> rule_of_;
+  std::vector<uint32_t> depth_of_;
+  std::unordered_map<Atom, size_t, AtomHash> id_of_;
+};
+
+/// One node of the unraveled forest: a copy of a chase atom whose labeled
+/// nulls have been renamed apart per path (the paper's G^{D,Σ}_Θ).
+struct UnravelNode {
+  Atom atom;                      // with path-fresh nulls
+  Atom original;                  // the chase atom it copies
+  size_t rule = 0;                // TGD of the incoming step (if any)
+  std::vector<size_t> children;   // indices into UnravelForest::nodes
+  bool is_database_fact = false;
+};
+
+struct UnravelForest {
+  std::vector<UnravelNode> nodes;
+  std::vector<size_t> roots;      // one per atom of Θ (in order)
+  uint64_t nulls_renamed = 0;
+
+  /// All atoms appearing as labels (the paper's U(G^{D,Σ}, Θ)).
+  std::vector<Atom> AllAtoms() const;
+};
+
+/// Unravels the chase graph around Θ: for each atom a tree whose branches
+/// are backward paths to database atoms; shared derivations are duplicated
+/// and their nulls renamed apart (fresh indices starting after the chase's
+/// nulls). `max_nodes` bounds the expansion (duplicated DAGs can explode).
+UnravelForest UnravelAround(const ChaseGraph& graph,
+                            const std::vector<Atom>& theta,
+                            uint64_t first_fresh_null,
+                            size_t max_nodes = 100000);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_CHASE_CHASE_GRAPH_H_

@@ -1,0 +1,176 @@
+#include "engine/alternating_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/fragments.h"
+#include "engine/resolution.h"
+#include "engine/state.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+constexpr size_t kNoTouch = std::numeric_limits<size_t>::max();
+
+class Searcher {
+ public:
+  Searcher(const Program& program, const Instance& database, size_t width,
+           size_t max_chunk, uint64_t max_states,
+           AlternatingSearchResult* result)
+      : program_(program),
+        database_(database),
+        width_(width),
+        max_chunk_(max_chunk),
+        max_states_(max_states),
+        result_(result) {
+    for (const Tgd& tgd : program.tgds()) {
+      for (const Atom& head : tgd.head) derivable_.insert(head.predicate);
+    }
+  }
+
+  struct Outcome {
+    bool proven;
+    size_t min_touch;  // shallowest on-path ancestor hit by cycle pruning
+  };
+
+  Outcome Prove(std::vector<Atom> atoms, size_t depth) {
+    EagerSimplify(&atoms, database_);
+    if (atoms.empty()) return {true, kNoTouch};
+    if (atoms.size() > width_) return {false, kNoTouch};  // Theorem 4.9
+    if (HasDeadAtom(atoms, database_, derivable_)) return {false, kNoTouch};
+
+    CanonicalState state = Canonicalize(std::move(atoms));
+    result_->peak_state_bytes =
+        std::max(result_->peak_state_bytes, state.ApproximateBytes());
+
+    if (proven_.count(state) > 0) return {true, kNoTouch};
+    if (refuted_.count(state) > 0) return {false, kNoTouch};
+    auto path_it = on_path_.find(state);
+    if (path_it != on_path_.end()) {
+      // Cycle: a minimal proof never repeats a state along a branch.
+      return {false, path_it->second};
+    }
+    if (max_states_ != 0 && result_->states_expanded >= max_states_) {
+      result_->budget_exhausted = true;
+      return {false, 0};  // uncacheable
+    }
+    ++result_->states_expanded;
+    on_path_.emplace(state, depth);
+
+    size_t min_touch = kNoTouch;
+    bool proven = ProveExpanded(state, depth, &min_touch);
+
+    on_path_.erase(state);
+    if (proven) {
+      proven_.insert(state);
+      ++result_->proven_cached;
+    } else if (min_touch >= depth && !result_->budget_exhausted) {
+      // Refutation independent of any proper ancestor: cacheable.
+      refuted_.insert(state);
+      ++result_->refuted_cached;
+    }
+    // Pruning against this very node is resolved here; only shallower
+    // touches remain relevant to the caller.
+    size_t propagated = min_touch >= depth ? kNoTouch : min_touch;
+    return {proven, propagated};
+  }
+
+ private:
+  bool ProveExpanded(const CanonicalState& state, size_t depth,
+                     size_t* min_touch) {
+    // AND node: decomposition into variable-disjoint components
+    // (Definition 4.4; frozen outputs never connect).
+    std::vector<std::vector<Atom>> components = SplitComponents(state.atoms);
+    if (components.size() > 1) {
+      for (std::vector<Atom>& component : components) {
+        Outcome out = Prove(std::move(component), depth + 1);
+        *min_touch = std::min(*min_touch, out.min_touch);
+        if (!out.proven) return false;
+      }
+      return true;
+    }
+
+    // OR node: operations through the selected atom.
+    size_t selected = SelectAtom(state.atoms, database_);
+    const Atom& pivot = state.atoms[selected];
+    std::vector<Atom> rest;
+    rest.reserve(state.atoms.size() - 1);
+    for (size_t i = 0; i < state.atoms.size(); ++i) {
+      if (i != selected) rest.push_back(state.atoms[i]);
+    }
+
+    bool proven = false;
+    ForEachHomomorphism({pivot}, database_, {}, [&](const Substitution& h) {
+      Outcome out = Prove(ApplySubstitution(h, rest), depth + 1);
+      *min_touch = std::min(*min_touch, out.min_touch);
+      if (out.proven) {
+        proven = true;
+        return false;
+      }
+      return true;
+    });
+    if (proven) return true;
+
+    uint64_t fresh_base = 0;
+    for (const Atom& a : state.atoms) {
+      for (Term t : a.args) {
+        if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
+      }
+    }
+    for (size_t tgd_index = 0; tgd_index < program_.tgds().size();
+         ++tgd_index) {
+      std::vector<Resolvent> resolvents = ResolveWithTgd(
+          state.atoms, program_, tgd_index, fresh_base, max_chunk_);
+      for (Resolvent& r : resolvents) {
+        if (std::find(r.chunk.begin(), r.chunk.end(), selected) ==
+            r.chunk.end()) {
+          continue;
+        }
+        Outcome out = Prove(std::move(r.atoms), depth + 1);
+        *min_touch = std::min(*min_touch, out.min_touch);
+        if (out.proven) return true;
+      }
+    }
+    return false;
+  }
+
+  const Program& program_;
+  const Instance& database_;
+  size_t width_;
+  size_t max_chunk_;
+  uint64_t max_states_;
+  AlternatingSearchResult* result_;
+
+  std::unordered_set<CanonicalState, CanonicalStateHash> proven_;
+  std::unordered_set<CanonicalState, CanonicalStateHash> refuted_;
+  std::unordered_map<CanonicalState, size_t, CanonicalStateHash> on_path_;
+  std::unordered_set<PredicateId> derivable_;
+};
+
+}  // namespace
+
+AlternatingSearchResult AlternatingProofSearch(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, const std::vector<Term>& answer,
+    const ProofSearchOptions& options) {
+  AlternatingSearchResult result;
+  size_t width = options.node_width != 0
+                     ? options.node_width
+                     : NodeWidthBoundWarded(query.atoms.size(), program);
+  result.node_width_used = width;
+  size_t max_chunk =
+      options.max_chunk == 0 ? width : std::min(options.max_chunk, width);
+
+  std::optional<std::vector<Atom>> frozen = FreezeQuery(query, answer);
+  if (!frozen.has_value()) return result;
+
+  Searcher searcher(program, database, width, max_chunk, options.max_states,
+                    &result);
+  result.accepted = searcher.Prove(std::move(*frozen), 0).proven;
+  return result;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,94 @@
+#include "engine/certain.h"
+
+#include <algorithm>
+
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+
+std::vector<std::vector<Term>> CertainAnswersViaChase(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, const ChaseOptions& options) {
+  ChaseResult chase = RunChase(program, database, options);
+  return EvaluateQuerySorted(query, chase.instance, /*certain_only=*/true);
+}
+
+bool IsCertainViaLinearSearch(const Program& program, const Instance& database,
+                              const ConjunctiveQuery& query,
+                              const std::vector<Term>& answer,
+                              const ProofSearchOptions& options) {
+  return LinearProofSearch(program, database, query, answer, options).accepted;
+}
+
+bool IsCertainViaAlternatingSearch(const Program& program,
+                                   const Instance& database,
+                                   const ConjunctiveQuery& query,
+                                   const std::vector<Term>& answer,
+                                   const ProofSearchOptions& options) {
+  return AlternatingProofSearch(program, database, query, answer, options)
+      .accepted;
+}
+
+std::vector<std::vector<Term>> CertainAnswersViaSearch(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, bool use_alternating,
+    const ProofSearchOptions& options) {
+  std::vector<std::vector<Term>> answers;
+
+  // Collect distinct output variables (a repeated variable must take the
+  // same constant in every candidate).
+  std::vector<Term> distinct_outputs;
+  for (Term t : query.output) {
+    if (t.is_variable() &&
+        std::find(distinct_outputs.begin(), distinct_outputs.end(), t) ==
+            distinct_outputs.end()) {
+      distinct_outputs.push_back(t);
+    }
+  }
+
+  std::vector<Term> domain;
+  for (Term t : database.ActiveDomain()) {
+    if (t.is_constant()) domain.push_back(t);
+  }
+  std::sort(domain.begin(), domain.end());
+
+  // Enumerate assignments of domain constants to the distinct output
+  // variables; verify each induced tuple.
+  std::vector<Term> assignment(distinct_outputs.size());
+  auto verify = [&](const std::vector<Term>& candidate) {
+    return use_alternating
+               ? IsCertainViaAlternatingSearch(program, database, query,
+                                               candidate, options)
+               : IsCertainViaLinearSearch(program, database, query, candidate,
+                                          options);
+  };
+  auto recurse = [&](auto&& self, size_t position) -> void {
+    if (position == distinct_outputs.size()) {
+      Substitution binding;
+      for (size_t i = 0; i < distinct_outputs.size(); ++i) {
+        binding[distinct_outputs[i]] = assignment[i];
+      }
+      std::vector<Term> candidate;
+      candidate.reserve(query.output.size());
+      for (Term t : query.output) {
+        candidate.push_back(ApplySubstitution(binding, t));
+      }
+      if (verify(candidate)) answers.push_back(candidate);
+      return;
+    }
+    for (Term c : domain) {
+      assignment[position] = c;
+      self(self, position + 1);
+    }
+  };
+  if (query.output.empty()) {
+    if (verify({})) answers.push_back({});
+  } else {
+    recurse(recurse, 0);
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace vadalog

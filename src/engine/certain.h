@@ -1,0 +1,51 @@
+// Certain-answer computation facade: chase-based materialization
+// (Proposition 2.1) and proof-search-based verification/enumeration
+// (Theorems 4.8/4.9), behind one interface.
+
+#ifndef VADALOG_ENGINE_CERTAIN_H_
+#define VADALOG_ENGINE_CERTAIN_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "chase/chase.h"
+#include "engine/alternating_search.h"
+#include "engine/linear_search.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// cert(q, D, Σ) by materializing chase(D, Σ) (with the Vadalog
+/// termination control) and evaluating q over it, keeping tuples of
+/// constants only (Proposition 2.1). Sorted and deduplicated.
+std::vector<std::vector<Term>> CertainAnswersViaChase(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, const ChaseOptions& options = {});
+
+/// Verifies one candidate tuple with the linear bounded proof search
+/// (complete for WARD ∩ PWL programs with single-head TGDs).
+bool IsCertainViaLinearSearch(const Program& program, const Instance& database,
+                              const ConjunctiveQuery& query,
+                              const std::vector<Term>& answer,
+                              const ProofSearchOptions& options = {});
+
+/// Verifies one candidate tuple with the alternating bounded proof search
+/// (complete for WARD programs with single-head TGDs).
+bool IsCertainViaAlternatingSearch(const Program& program,
+                                   const Instance& database,
+                                   const ConjunctiveQuery& query,
+                                   const std::vector<Term>& answer,
+                                   const ProofSearchOptions& options = {});
+
+/// Enumerates cert(q, D, Σ) purely via proof search: every tuple over the
+/// constants of dom(D) (respecting repeated output variables) is verified.
+/// Exponential in the output arity — intended for tests and small inputs.
+std::vector<std::vector<Term>> CertainAnswersViaSearch(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, bool use_alternating = false,
+    const ProofSearchOptions& options = {});
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_CERTAIN_H_

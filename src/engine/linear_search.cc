@@ -1,0 +1,199 @@
+#include "engine/linear_search.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/fragments.h"
+#include "analysis/predicate_graph.h"
+#include "base/hash.h"
+#include "engine/resolution.h"
+#include "engine/state.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+struct EncodingHash {
+  size_t operator()(const std::vector<uint64_t>& encoding) const {
+    return HashRange(encoding.begin(), encoding.end());
+  }
+};
+
+/// Provenance edge for proof reconstruction: how a canonical state was
+/// first reached.
+struct ParentEdge {
+  std::vector<uint64_t> parent;  // parent canonical encoding
+  ProofStep step;                // op that produced the child
+};
+
+}  // namespace
+
+std::optional<std::vector<Atom>> FreezeQuery(const ConjunctiveQuery& query,
+                                             const std::vector<Term>& answer) {
+  if (answer.size() != query.output.size()) return std::nullopt;
+  Substitution freeze;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    if (!answer[i].is_constant()) return std::nullopt;
+    Term out = query.output[i];
+    if (out.is_constant()) {
+      if (out != answer[i]) return std::nullopt;
+      continue;
+    }
+    auto [it, inserted] = freeze.try_emplace(out, answer[i]);
+    if (!inserted && it->second != answer[i]) return std::nullopt;
+  }
+  return ApplySubstitution(freeze, query.atoms);
+}
+
+ProofSearchResult LinearProofSearch(const Program& program,
+                                    const Instance& database,
+                                    const ConjunctiveQuery& query,
+                                    const std::vector<Term>& answer,
+                                    const ProofSearchOptions& options,
+                                    ProofExplanation* explanation) {
+  ProofSearchResult result;
+
+  size_t width = options.node_width;
+  if (width == 0) {
+    PredicateGraph graph(program);
+    width = NodeWidthBoundPwl(query.atoms.size(), program, graph);
+  }
+  result.node_width_used = width;
+  size_t max_chunk =
+      options.max_chunk == 0 ? width : std::min(options.max_chunk, width);
+
+  std::optional<std::vector<Atom>> frozen = FreezeQuery(query, answer);
+  if (!frozen.has_value()) return result;  // inconsistent candidate
+
+  std::unordered_set<CanonicalState, CanonicalStateHash> visited;
+  std::deque<CanonicalState> frontier;
+  std::unordered_map<std::vector<uint64_t>, ParentEdge, EncodingHash> parents;
+
+  std::unordered_set<PredicateId> derivable;
+  for (const Tgd& tgd : program.tgds()) {
+    for (const Atom& head : tgd.head) derivable.insert(head.predicate);
+  }
+
+  // Enqueues a successor state; returns true on acceptance (empty state).
+  // `step` carries the provenance when explanations are requested.
+  auto enqueue = [&](std::vector<Atom> atoms,
+                     const std::vector<uint64_t>& parent_encoding,
+                     ProofStep step) {
+    EagerSimplify(&atoms, database);
+    if (atoms.size() > width) return false;  // pruned by Theorem 4.8
+    if (HasDeadAtom(atoms, database, derivable)) return false;
+    CanonicalState canonical = Canonicalize(std::move(atoms));
+    if (explanation != nullptr) {
+      step.state = canonical.atoms;
+      parents.try_emplace(canonical.encoding,
+                          ParentEdge{parent_encoding, std::move(step)});
+    }
+    if (canonical.atoms.empty()) {
+      result.accepted = true;
+      return true;
+    }
+    result.peak_state_bytes =
+        std::max(result.peak_state_bytes, canonical.ApproximateBytes());
+    auto [it, inserted] = visited.insert(canonical);
+    if (inserted) {
+      result.visited_bytes += canonical.ApproximateBytes();
+      frontier.push_back(*it);
+    }
+    return false;
+  };
+
+  auto finish = [&]() {
+    result.states_visited = visited.size();
+    if (result.accepted && explanation != nullptr) {
+      // Fold the parent chain back into the linear proof.
+      explanation->steps.clear();
+      std::vector<uint64_t> cursor;  // empty = accepting state
+      while (true) {
+        auto it = parents.find(cursor);
+        if (it == parents.end()) break;
+        explanation->steps.push_back(it->second.step);
+        cursor = it->second.parent;
+        if (it->second.step.kind == ProofStep::Kind::kStart) break;
+      }
+      std::reverse(explanation->steps.begin(), explanation->steps.end());
+    }
+    return result;
+  };
+
+  {
+    ProofStep start;
+    start.kind = ProofStep::Kind::kStart;
+    if (enqueue(std::move(*frozen), {}, std::move(start))) return finish();
+  }
+
+  while (!frontier.empty()) {
+    if (options.max_states != 0 &&
+        result.states_expanded >= options.max_states) {
+      result.budget_exhausted = true;
+      break;
+    }
+    CanonicalState state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states_expanded;
+
+    // SLD selection: all work on this state goes through one atom.
+    size_t selected = SelectAtom(state.atoms, database);
+    const Atom& pivot = state.atoms[selected];
+
+    // Match-and-drop: each homomorphism of the selected atom into the
+    // database is one specialization guess; the atom becomes a leaf.
+    std::vector<Atom> rest;
+    rest.reserve(state.atoms.size() - 1);
+    for (size_t i = 0; i < state.atoms.size(); ++i) {
+      if (i != selected) rest.push_back(state.atoms[i]);
+    }
+    bool done = false;
+    ForEachHomomorphism({pivot}, database, {}, [&](const Substitution& h) {
+      ++result.drop_edges;
+      ProofStep step;
+      step.kind = ProofStep::Kind::kMatchDrop;
+      step.matched_fact = ApplySubstitution(h, pivot);
+      if (enqueue(ApplySubstitution(h, rest), state.encoding,
+                  std::move(step))) {
+        done = true;
+        return false;
+      }
+      return true;
+    });
+    if (done) return finish();
+
+    // Resolution: every chunk unifier whose chunk contains the selected
+    // atom (Definition 4.3), over every TGD.
+    uint64_t fresh_base = 0;
+    for (const Atom& a : state.atoms) {
+      for (Term t : a.args) {
+        if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
+      }
+    }
+    for (size_t tgd_index = 0; tgd_index < program.tgds().size();
+         ++tgd_index) {
+      std::vector<Resolvent> resolvents = ResolveWithTgd(
+          state.atoms, program, tgd_index, fresh_base, max_chunk);
+      for (Resolvent& r : resolvents) {
+        if (std::find(r.chunk.begin(), r.chunk.end(), selected) ==
+            r.chunk.end()) {
+          continue;  // selection function: pivot must be resolved
+        }
+        ++result.resolution_edges;
+        ProofStep step;
+        step.kind = ProofStep::Kind::kResolution;
+        step.tgd_index = tgd_index;
+        if (enqueue(std::move(r.atoms), state.encoding, std::move(step))) {
+          return finish();
+        }
+      }
+    }
+  }
+
+  return finish();
+}
+
+}  // namespace vadalog

@@ -1,0 +1,91 @@
+// The space-bounded linear proof search of Section 4.3 — the paper's
+// headline algorithm for CQAns(WARD ∩ PWL).
+//
+// The nondeterministic algorithm guesses, level by level, the single
+// non-leaf branch of a linear proof tree: each level holds one CQ of size
+// at most f_WARD∩PWL(q, Σ), and moves are resolution (r), decomposition
+// (d), and specialization (s). This deterministic realization is a BFS
+// over canonically-renamed CQ states (graph reachability — NLogSpace
+// determinizes to polynomial time):
+//
+//   * output variables are frozen to the candidate answer constants up
+//     front, making the IDO condition automatic;
+//   * specialization+decomposition are fused into *match-and-drop*: the
+//     selected atom is matched against the database (each homomorphism is
+//     one specialization guess), its bindings propagate, and the atom is
+//     dropped as a leaf;
+//   * connected components that map into the database are removed eagerly
+//     (they are leaf decompositions);
+//   * resolution follows Definition 4.3, restricted to chunks containing
+//     the selected atom (SLD-style selection, complete for piece
+//     unification);
+//   * states wider than the node-width bound are pruned — Theorem 4.8
+//     guarantees completeness under the bound for warded ∩ piece-wise
+//     linear programs.
+//
+// The search accepts when a state becomes empty.
+
+#ifndef VADALOG_ENGINE_LINEAR_SEARCH_H_
+#define VADALOG_ENGINE_LINEAR_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "engine/proof_tree.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+struct ProofSearchOptions {
+  /// Maximum atoms per CQ state. 0 = derive f_WARD∩PWL(q, Σ) from the
+  /// program (requires it to be warded and piece-wise linear for
+  /// completeness; the bound is still sound otherwise).
+  size_t node_width = 0;
+
+  /// Maximum chunk size |S1| per resolution step. 0 = up to node_width.
+  size_t max_chunk = 0;
+
+  /// Visited-state budget; 0 = unlimited. When exhausted the result is
+  /// reported as not-accepted with `budget_exhausted` set.
+  uint64_t max_states = 0;
+};
+
+struct ProofSearchResult {
+  bool accepted = false;
+  bool budget_exhausted = false;
+  uint64_t states_expanded = 0;
+  uint64_t states_visited = 0;    // distinct canonical states seen
+  uint64_t resolution_edges = 0;
+  uint64_t drop_edges = 0;
+  /// Size of the largest single CQ state — the analog of the
+  /// nondeterministic machine's work tape (O(width · log |dom(D)|) bits).
+  size_t peak_state_bytes = 0;
+  /// Total bytes of the visited set — the cost of determinization.
+  size_t visited_bytes = 0;
+  size_t node_width_used = 0;
+};
+
+/// Decides whether `answer` (a tuple of constants, one per output variable
+/// of `query`) is a certain answer to `query` w.r.t. `database` and the
+/// TGDs of `program`. The program must have single-head TGDs (normalize
+/// first); completeness of the width bound additionally requires
+/// WARD ∩ PWL membership.
+ProofSearchResult LinearProofSearch(const Program& program,
+                                    const Instance& database,
+                                    const ConjunctiveQuery& query,
+                                    const std::vector<Term>& answer,
+                                    const ProofSearchOptions& options = {},
+                                    ProofExplanation* explanation = nullptr);
+
+/// Instantiates the query output with `answer`, returning the frozen
+/// initial state, or nullopt when `answer` is inconsistent (repeated
+/// output variable bound to different constants) or malformed.
+std::optional<std::vector<Atom>> FreezeQuery(const ConjunctiveQuery& query,
+                                             const std::vector<Term>& answer);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_LINEAR_SEARCH_H_

@@ -1,0 +1,39 @@
+#include "engine/proof_tree.h"
+
+namespace vadalog {
+
+std::string ProofStep::ToString(const Program& program) const {
+  const SymbolTable& symbols = program.symbols();
+  std::string out;
+  switch (kind) {
+    case Kind::kStart:
+      out = "start        ";
+      break;
+    case Kind::kResolution:
+      out = "resolve      [" +
+            program.tgds()[tgd_index].ToString(symbols) + "]  => ";
+      break;
+    case Kind::kMatchDrop:
+      out = "match+drop   [" + matched_fact.ToString(symbols) + "]  => ";
+      break;
+    case Kind::kLeafDischarge:
+      out = "discharge    [satisfiable component]  => ";
+      break;
+  }
+  if (state.empty()) {
+    out += "{} (accept)";
+  } else {
+    out += "{" + AtomsToString(state, symbols) + "}";
+  }
+  return out;
+}
+
+std::string ProofExplanation::ToString(const Program& program) const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out += std::to_string(i) + ": " + steps[i].ToString(program) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vadalog

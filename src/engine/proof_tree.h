@@ -1,0 +1,47 @@
+// Explicit proof objects. The linear proof search can record, per visited
+// state, the operation that produced it; on acceptance the edge chain is
+// folded back into a linear proof tree (Definition 4.6 with the leaves of
+// each decomposition inlined) — a machine-checkable explanation of why a
+// tuple is a certain answer.
+
+#ifndef VADALOG_ENGINE_PROOF_TREE_H_
+#define VADALOG_ENGINE_PROOF_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+
+namespace vadalog {
+
+/// One level of the reconstructed linear proof tree.
+struct ProofStep {
+  enum class Kind : uint8_t {
+    kStart,          // the frozen initial query Q(c̄)
+    kResolution,     // chunk-based resolution with a TGD (op 'r')
+    kMatchDrop,      // specialization + leaf decomposition (ops 's','d')
+    kLeafDischarge,  // a satisfiable component removed wholesale
+  };
+
+  Kind kind = Kind::kStart;
+  size_t tgd_index = 0;     // for kResolution
+  Atom matched_fact;        // for kMatchDrop: the database fact used
+  std::vector<Atom> state;  // the CQ labeling this level (after the op)
+
+  std::string ToString(const Program& program) const;
+};
+
+/// A linear proof: the sequence of levels from the frozen query down to
+/// the empty CQ.
+struct ProofExplanation {
+  std::vector<ProofStep> steps;
+
+  bool empty() const { return steps.empty(); }
+  std::string ToString(const Program& program) const;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_PROOF_TREE_H_

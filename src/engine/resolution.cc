@@ -1,0 +1,133 @@
+#include "engine/resolution.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "engine/unify.h"
+
+namespace vadalog {
+namespace {
+
+/// Validates the existential-variable conditions of a chunk unifier and, on
+/// success, emits the resolvent.
+bool TryEmitResolvent(const std::vector<Atom>& state,
+                      const std::vector<size_t>& chunk, const Tgd& renamed,
+                      uint64_t fresh_variable_base, const Unifier& unifier,
+                      size_t tgd_index, std::vector<Resolvent>* out) {
+  // Variables of the chunk (S1) and of the remainder of the state.
+  std::unordered_set<Term> chunk_vars;
+  std::unordered_set<size_t> chunk_set(chunk.begin(), chunk.end());
+  std::unordered_set<Term> rest_vars;
+  for (size_t i = 0; i < state.size(); ++i) {
+    for (Term t : state[i].args) {
+      if (!t.is_variable()) continue;
+      if (chunk_set.count(i) > 0) {
+        chunk_vars.insert(t);
+      } else {
+        rest_vars.insert(t);
+      }
+    }
+  }
+
+  auto is_sigma_variable = [fresh_variable_base](Term t) {
+    return t.is_variable() && t.index() >= fresh_variable_base;
+  };
+
+  for (Term x : renamed.ExistentialVariables()) {
+    // (1) γ(x) must not be rigid: a fresh null can never equal a constant
+    // or a pre-existing null.
+    Term resolved = unifier.Resolve(x);
+    if (resolved.is_rigid()) return false;
+    // (2) every variable unified with x must be a non-shared variable of
+    // the chunk. Unifying x with any variable of σ (a frontier variable or
+    // another existential) is unsound as well: a fresh null is distinct
+    // from every other term of the chase.
+    for (Term y : unifier.ClassOf(x)) {
+      if (y == x) continue;
+      if (is_sigma_variable(y)) return false;
+      if (chunk_vars.count(y) == 0) return false;   // must occur in S1
+      if (rest_vars.count(y) > 0) return false;     // and not be shared
+    }
+  }
+
+  Substitution gamma = unifier.ToSubstitution();
+  Resolvent resolvent;
+  resolvent.tgd_index = tgd_index;
+  resolvent.chunk = chunk;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (chunk_set.count(i) > 0) continue;
+    resolvent.atoms.push_back(ApplySubstitution(gamma, state[i]));
+  }
+  for (const Atom& b : renamed.body) {
+    resolvent.atoms.push_back(ApplySubstitution(gamma, b));
+  }
+  out->push_back(std::move(resolvent));
+  return true;
+}
+
+/// DFS over chunks S1 ⊆ candidate atoms: extends the chunk one atom at a
+/// time, unifying incrementally (a chunk that fails to unify prunes all of
+/// its supersets).
+void ExtendChunk(const std::vector<Atom>& state,
+                 const std::vector<size_t>& candidates, size_t start,
+                 const Unifier& unifier, std::vector<size_t>* chunk,
+                 const Tgd& renamed, uint64_t fresh_variable_base,
+                 size_t tgd_index, size_t max_chunk,
+                 std::vector<Resolvent>* out) {
+  if (!chunk->empty()) {
+    TryEmitResolvent(state, *chunk, renamed, fresh_variable_base, unifier,
+                     tgd_index, out);
+  }
+  if (chunk->size() >= max_chunk) return;
+  for (size_t i = start; i < candidates.size(); ++i) {
+    Unifier extended = unifier;
+    if (!extended.UnifyAtoms(state[candidates[i]], renamed.head[0])) continue;
+    chunk->push_back(candidates[i]);
+    ExtendChunk(state, candidates, i + 1, extended, chunk, renamed,
+                fresh_variable_base, tgd_index, max_chunk, out);
+    chunk->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Resolvent> ResolveWithTgd(const std::vector<Atom>& state,
+                                      const Program& program,
+                                      size_t tgd_index,
+                                      uint64_t fresh_variable_base,
+                                      size_t max_chunk) {
+  std::vector<Resolvent> out;
+  const Tgd& tgd = program.tgds()[tgd_index];
+  assert(tgd.head.size() == 1 &&
+         "resolution requires single-head TGDs (normalize first)");
+  Tgd renamed = tgd.WithVariableOffset(fresh_variable_base);
+
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i].predicate == renamed.head[0].predicate) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return out;
+
+  std::vector<size_t> chunk;
+  Unifier empty;
+  ExtendChunk(state, candidates, 0, empty, &chunk, renamed,
+              fresh_variable_base, tgd_index, max_chunk, &out);
+  return out;
+}
+
+std::vector<Resolvent> ResolveAll(const std::vector<Atom>& state,
+                                  const Program& program,
+                                  uint64_t fresh_variable_base,
+                                  size_t max_chunk) {
+  std::vector<Resolvent> out;
+  for (size_t i = 0; i < program.tgds().size(); ++i) {
+    std::vector<Resolvent> partial = ResolveWithTgd(
+        state, program, i, fresh_variable_base, max_chunk);
+    for (Resolvent& r : partial) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace vadalog

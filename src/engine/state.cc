@@ -1,0 +1,297 @@
+#include "engine/state.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "base/hash.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+/// Renaming context for one encoding pass: variables always rename;
+/// nulls rename only in extended (sentinel) mode.
+struct RankMaps {
+  bool rename_nulls = false;
+  std::unordered_map<Term, uint64_t> var_rank;
+  std::unordered_map<Term, uint64_t> null_rank;
+};
+
+// Encoded argument. Kind tags: constants/nulls keep their packed bits
+// (tags 0/1); canonical variables use the unused tag 3; renamed nulls use
+// tag 1 with a rank (safe: in sentinel mode no raw null bits are emitted).
+uint64_t EncodeArg(Term t, RankMaps* ranks) {
+  if (t.is_constant()) return t.bits();
+  if (t.is_null()) {
+    if (!ranks->rename_nulls) return t.bits();
+    auto [it, inserted] = ranks->null_rank.try_emplace(t, ranks->null_rank.size());
+    return (uint64_t{1} << 62) | it->second;
+  }
+  auto [it, inserted] = ranks->var_rank.try_emplace(t, ranks->var_rank.size());
+  return (uint64_t{3} << 62) | it->second;
+}
+
+/// Encodes the atoms in the given order, ranking variables (and, in
+/// sentinel mode, nulls) by first occurrence.
+std::vector<uint64_t> EncodeOrder(const std::vector<Atom>& atoms,
+                                  const std::vector<size_t>& order,
+                                  bool rename_nulls) {
+  std::vector<uint64_t> enc;
+  RankMaps ranks;
+  ranks.rename_nulls = rename_nulls;
+  for (size_t idx : order) {
+    const Atom& a = atoms[idx];
+    enc.push_back((uint64_t{2} << 62) | a.predicate);
+    for (Term t : a.args) enc.push_back(EncodeArg(t, &ranks));
+  }
+  return enc;
+}
+
+/// Variable-invariant key of an atom: predicate, constants verbatim,
+/// renameable terms abstracted to kind + intra-atom first-occurrence index
+/// + a refinement color from the global occurrence profile.
+std::vector<uint64_t> InvariantKey(
+    const Atom& atom, bool rename_nulls,
+    const std::unordered_map<Term, uint64_t>& term_color) {
+  std::vector<uint64_t> key;
+  key.push_back(atom.predicate);
+  std::unordered_map<Term, uint64_t> local_rank;
+  for (Term t : atom.args) {
+    bool renameable = t.is_variable() || (rename_nulls && t.is_null());
+    if (!renameable) {
+      key.push_back(t.bits());
+      continue;
+    }
+    auto [it, inserted] = local_rank.try_emplace(t, local_rank.size());
+    uint64_t kind_tag = t.is_variable() ? 3 : 1;
+    key.push_back((kind_tag << 62) | it->second);
+    auto color = term_color.find(t);
+    key.push_back(color == term_color.end() ? 0 : color->second);
+  }
+  return key;
+}
+
+}  // namespace
+
+size_t CanonicalState::Hash() const {
+  return HashRange(encoding.begin(), encoding.end());
+}
+
+CanonicalState Canonicalize(std::vector<Atom> atoms) {
+  return CanonicalizeEx(std::move(atoms), /*rename_nulls=*/false, nullptr);
+}
+
+CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
+                              std::unordered_map<Term, Term>* mapping) {
+  CanonicalState state;
+  size_t n = atoms.size();
+  if (n == 0) {
+    state.atoms = std::move(atoms);
+    return state;
+  }
+  auto renameable = [rename_nulls](Term t) {
+    return t.is_variable() || (rename_nulls && t.is_null());
+  };
+
+  // Pass 1: color renameable terms by their occurrence profile (multiset
+  // of (predicate, position) pairs) to break most ties.
+  std::unordered_map<Term, std::vector<uint64_t>> occurrences;
+  for (const Atom& a : atoms) {
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (renameable(a.args[i])) {
+        occurrences[a.args[i]].push_back(
+            (static_cast<uint64_t>(a.predicate) << 8) | i);
+      }
+    }
+  }
+  std::unordered_map<Term, uint64_t> term_color;
+  for (auto& [term, profile] : occurrences) {
+    std::sort(profile.begin(), profile.end());
+    term_color[term] = HashRange(profile.begin(), profile.end());
+  }
+
+  // Sort atom indices by invariant key; collect tie groups.
+  std::vector<std::vector<uint64_t>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = InvariantKey(atoms[i], rename_nulls, term_color);
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) in `order`
+  size_t combinations = 1;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && keys[order[i]] == keys[order[j]]) ++j;
+    if (j - i > 1) {
+      groups.emplace_back(i, j);
+      for (size_t k = 2; k <= j - i && combinations <= 720; ++k) {
+        combinations *= k;
+      }
+    }
+    i = j;
+  }
+
+  if (groups.empty() || combinations > 720) {
+    state.encoding = EncodeOrder(atoms, order, rename_nulls);
+  } else {
+    // Brute-force tie-group permutations for the lexicographically
+    // smallest encoding (exact canonical form on symmetric states).
+    std::vector<uint64_t> best;
+    std::vector<size_t> current = order;
+    std::function<void(size_t)> recurse = [&](size_t group_index) {
+      if (group_index == groups.size()) {
+        std::vector<uint64_t> enc = EncodeOrder(atoms, current, rename_nulls);
+        if (best.empty() || enc < best) {
+          best = std::move(enc);
+          order = current;
+        }
+        return;
+      }
+      auto [begin, end] = groups[group_index];
+      std::vector<size_t> members(current.begin() + begin,
+                                  current.begin() + end);
+      std::sort(members.begin(), members.end());
+      do {
+        std::copy(members.begin(), members.end(), current.begin() + begin);
+        recurse(group_index + 1);
+      } while (std::next_permutation(members.begin(), members.end()));
+    };
+    recurse(0);
+    state.encoding = std::move(best);
+  }
+
+  // Materialize atoms in canonical order with canonical names.
+  std::unordered_map<Term, uint64_t> var_rank;
+  std::unordered_map<Term, uint64_t> null_rank;
+  state.atoms.reserve(n);
+  for (size_t idx : order) {
+    Atom renamed;
+    renamed.predicate = atoms[idx].predicate;
+    renamed.args.reserve(atoms[idx].args.size());
+    for (Term t : atoms[idx].args) {
+      Term out = t;
+      if (t.is_variable()) {
+        auto [it, inserted] = var_rank.try_emplace(t, var_rank.size());
+        out = Term::Variable(it->second);
+      } else if (rename_nulls && t.is_null()) {
+        auto [it, inserted] = null_rank.try_emplace(t, null_rank.size());
+        out = Term::Null(it->second);
+      }
+      if (mapping != nullptr && renameable(t)) (*mapping)[t] = out;
+      renamed.args.push_back(out);
+    }
+    state.atoms.push_back(std::move(renamed));
+  }
+  return state;
+}
+
+std::vector<std::vector<Atom>> SplitComponents(
+    const std::vector<Atom>& atoms) {
+  size_t n = atoms.size();
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+  std::unordered_map<Term, size_t> first_seen;
+  for (size_t i = 0; i < n; ++i) {
+    for (Term t : atoms[i].args) {
+      if (!t.is_variable()) continue;
+      auto [it, inserted] = first_seen.try_emplace(t, i);
+      if (!inserted) unite(static_cast<int>(i), static_cast<int>(it->second));
+    }
+  }
+
+  std::map<int, std::vector<Atom>> buckets;
+  for (size_t i = 0; i < n; ++i) {
+    buckets[find(static_cast<int>(i))].push_back(atoms[i]);
+  }
+  std::vector<std::vector<Atom>> components;
+  components.reserve(buckets.size());
+  for (auto& [root, component] : buckets) {
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+size_t EagerSimplify(std::vector<Atom>* atoms, const Instance& database) {
+  std::vector<std::vector<Atom>> components = SplitComponents(*atoms);
+  std::vector<Atom> kept;
+  size_t removed = 0;
+  for (std::vector<Atom>& component : components) {
+    if (HasHomomorphism(component, database)) {
+      removed += component.size();
+    } else {
+      for (Atom& a : component) kept.push_back(std::move(a));
+    }
+  }
+  *atoms = std::move(kept);
+  return removed;
+}
+
+bool HasDeadAtom(const std::vector<Atom>& atoms, const Instance& database,
+                 const std::unordered_set<PredicateId>& derivable) {
+  for (const Atom& atom : atoms) {
+    if (derivable.count(atom.predicate) == 0 &&
+        EstimateMatches(atom, database) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t EstimateMatches(const Atom& atom, const Instance& database) {
+  const Relation* rel = database.RelationFor(atom.predicate);
+  if (rel == nullptr) return 0;
+  size_t rows = rel->size();
+  for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+    if (atom.args[pos].is_rigid()) {
+      rows = std::min(
+          rows,
+          rel->RowsWith(static_cast<uint32_t>(pos), atom.args[pos]).size());
+    }
+  }
+  return rows;
+}
+
+size_t SelectAtom(const std::vector<Atom>& atoms, const Instance& database) {
+  // Mirror the proof tree's eager leaf decomposition: prefer the
+  // database-matchable atom with the fewest candidate rows (it will be
+  // dropped with few branches). Only when nothing is matchable do we pick
+  // a resolution target, preferring the most-constrained atom.
+  size_t best_droppable = atoms.size();
+  size_t best_rows = ~size_t{0};
+  size_t best_resolvable = 0;
+  size_t best_rigid = 0;
+  bool have_resolvable = false;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    size_t rows = EstimateMatches(atoms[i], database);
+    if (rows > 0 && rows < best_rows) {
+      best_rows = rows;
+      best_droppable = i;
+    }
+    size_t rigid = 0;
+    for (Term t : atoms[i].args) {
+      if (t.is_rigid()) ++rigid;
+    }
+    if (!have_resolvable || rigid > best_rigid) {
+      best_rigid = rigid;
+      best_resolvable = i;
+      have_resolvable = true;
+    }
+  }
+  return best_droppable != atoms.size() ? best_droppable : best_resolvable;
+}
+
+}  // namespace vadalog

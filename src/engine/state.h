@@ -1,0 +1,84 @@
+// CQ proof states: canonical renaming, decomposition into variable-disjoint
+// components (Definition 4.4 with frozen outputs), and eager simplification
+// against the database.
+//
+// A proof state is the body of a CQ whose output variables have been frozen
+// to constants (Section 4.3). Two states that differ only by a bijective
+// renaming of variables are interchangeable, so the search canonicalizes
+// states before deduplicating them: atoms are ordered by a variable-
+// invariant key (refined once by variable "colors"), residual symmetric
+// groups are resolved by bounded brute force, and variables are renamed by
+// first occurrence.
+
+#ifndef VADALOG_ENGINE_STATE_H_
+#define VADALOG_ENGINE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/atom.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// A canonicalized proof state.
+struct CanonicalState {
+  std::vector<Atom> atoms;        // canonical atom order, variables 0..k-1
+  std::vector<uint64_t> encoding; // flat injective encoding of `atoms`
+
+  size_t Hash() const;
+  bool operator==(const CanonicalState& other) const {
+    return encoding == other.encoding;
+  }
+  size_t ApproximateBytes() const {
+    return encoding.size() * sizeof(uint64_t);
+  }
+};
+
+struct CanonicalStateHash {
+  size_t operator()(const CanonicalState& s) const { return s.Hash(); }
+};
+
+/// Canonicalizes a state (sorts atoms, renames variables).
+CanonicalState Canonicalize(std::vector<Atom> atoms);
+
+/// Extended canonicalization used by the Lemma 6.4 rewriter, which encodes
+/// frozen output variables as labeled nulls ("sentinels"): when
+/// `rename_nulls` is set, nulls are renamed canonically as a class of
+/// their own (distinct from variables). If `mapping` is non-null it
+/// receives the renaming original term → canonical term for every variable
+/// and (when renamed) null of the input.
+CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
+                              std::unordered_map<Term, Term>* mapping);
+
+/// Splits a state into connected components: atoms sharing a variable are
+/// in the same component (constants never connect — they are frozen).
+/// This is exactly the finest decomposition of Definition 4.4.
+std::vector<std::vector<Atom>> SplitComponents(const std::vector<Atom>& atoms);
+
+/// Removes every connected component that maps homomorphically into the
+/// database (such components are proof-tree leaves: they can be specialized
+/// to database facts and decomposed away without constraining the rest).
+/// Returns the number of atoms removed.
+size_t EagerSimplify(std::vector<Atom>* atoms, const Instance& database);
+
+/// Selects the atom the search works on next (the SLD selection
+/// function): the database-matchable atom with the fewest candidate rows
+/// (to be dropped, mirroring eager leaf decomposition), else the most
+/// constrained atom (to be resolved). atoms must be non-empty.
+size_t SelectAtom(const std::vector<Atom>& atoms, const Instance& database);
+
+/// Upper bound on the database rows matching `atom` through its most
+/// selective bound position (0 means provably no match).
+size_t EstimateMatches(const Atom& atom, const Instance& database);
+
+/// True if some atom can never be discharged: it has no database match
+/// and its predicate is not derived by any rule (not in `derivable`).
+/// States containing such an atom are dead and can be pruned — further
+/// bindings only shrink an atom's match set.
+bool HasDeadAtom(const std::vector<Atom>& atoms, const Instance& database,
+                 const std::unordered_set<PredicateId>& derivable);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_STATE_H_

@@ -1,0 +1,69 @@
+#include "engine/unify.h"
+
+namespace vadalog {
+
+Term Unifier::Resolve(Term t) const {
+  while (t.is_variable()) {
+    auto it = bindings_.find(t);
+    if (it == bindings_.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+bool Unifier::Unify(Term a, Term b) {
+  a = Resolve(a);
+  b = Resolve(b);
+  if (a == b) return true;
+  if (a.is_variable()) {
+    bindings_.emplace(a, b);
+    return true;
+  }
+  if (b.is_variable()) {
+    bindings_.emplace(b, a);
+    return true;
+  }
+  return false;  // two distinct rigid terms
+}
+
+bool Unifier::UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!Unify(a.args[i], b.args[i])) return false;
+  }
+  return true;
+}
+
+Substitution Unifier::ToSubstitution() const {
+  Substitution subst;
+  for (const auto& [from, to] : bindings_) {
+    subst[from] = Resolve(from);
+  }
+  return subst;
+}
+
+std::vector<Term> Unifier::ClassOf(Term t) const {
+  Term representative = Resolve(t);
+  std::vector<Term> members;
+  if (t.is_variable()) members.push_back(t);
+  for (const auto& [from, to] : bindings_) {
+    if (from != t && Resolve(from) == representative) members.push_back(from);
+  }
+  // The representative itself, if a variable distinct from t.
+  if (representative.is_variable() && representative != t) {
+    bool present = false;
+    for (Term m : members) present = present || m == representative;
+    if (!present) members.push_back(representative);
+  }
+  return members;
+}
+
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b) {
+  Unifier unifier;
+  if (!unifier.UnifyAtoms(a, b)) return std::nullopt;
+  return unifier.ToSubstitution();
+}
+
+}  // namespace vadalog

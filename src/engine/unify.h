@@ -1,0 +1,49 @@
+// Most general unifiers for atoms over constants, nulls, and variables
+// (no function symbols). Used by chunk-based resolution (Definition 4.3).
+
+#ifndef VADALOG_ENGINE_UNIFY_H_
+#define VADALOG_ENGINE_UNIFY_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace vadalog {
+
+/// A unifier under construction: a union-find-style binding map. Rigid
+/// terms (constants/nulls) are never bound; variables may be bound to
+/// variables or rigid terms. Resolve() follows binding chains.
+class Unifier {
+ public:
+  /// Follows bindings until a rigid term or an unbound variable.
+  Term Resolve(Term t) const;
+
+  /// Unifies two terms; returns false on clash (two distinct rigids).
+  bool Unify(Term a, Term b);
+
+  /// Unifies two atoms position-wise; false on predicate/arity mismatch or
+  /// clash.
+  bool UnifyAtoms(const Atom& a, const Atom& b);
+
+  /// The substitution mapping every bound variable to its fully resolved
+  /// value. Unbound variables are left out (identity).
+  Substitution ToSubstitution() const;
+
+  /// All variables v (bound or not) whose resolved representative equals
+  /// Resolve(t); includes t itself when t is a variable. Used to inspect
+  /// the equivalence class of an existential variable when validating a
+  /// chunk unifier.
+  std::vector<Term> ClassOf(Term t) const;
+
+ private:
+  std::unordered_map<Term, Term> bindings_;
+};
+
+/// Convenience: MGU of two atoms, or nullopt.
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_UNIFY_H_

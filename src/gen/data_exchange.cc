@@ -1,0 +1,103 @@
+#include "gen/data_exchange.h"
+
+#include <cassert>
+#include <string>
+
+#include "ast/parser.h"
+
+namespace vadalog {
+namespace {
+
+/// Emits the rules of one mapping primitive with relation-name prefix i.
+std::string PrimitiveRules(MappingPrimitive primitive, uint32_t i) {
+  std::string s = "s" + std::to_string(i);
+  std::string t = "t" + std::to_string(i);
+  switch (primitive) {
+    case MappingPrimitive::kCopy:
+      return t + "(X, Y) :- " + s + "(X, Y).\n";
+    case MappingPrimitive::kProjection:
+      // Drop the second source attribute, invent a completion value.
+      return t + "(X, Z) :- " + s + "(X, Y).\n";
+    case MappingPrimitive::kVerticalPartition:
+      // Split a ternary source across two targets joined by an invented
+      // key (the same null in both heads).
+      return t + "a(X, K), " + t + "b(K, Y, W) :- " + s + "(X, Y, W).\n";
+    case MappingPrimitive::kFusion:
+      return t + "(X, Y) :- " + s + "a(X, Y).\n" +
+             t + "(X, Y) :- " + s + "b(X, Y).\n";
+    case MappingPrimitive::kGlavJoin:
+      return t + "(X, Z, W) :- " + s + "a(X, Y), " + s + "b(Y, Z).\n";
+  }
+  return "";
+}
+
+/// Source relations (name, arity) read by a primitive with prefix i.
+std::vector<std::pair<std::string, uint32_t>> PrimitiveSources(
+    MappingPrimitive primitive, uint32_t i) {
+  std::string s = "s" + std::to_string(i);
+  switch (primitive) {
+    case MappingPrimitive::kCopy:
+    case MappingPrimitive::kProjection:
+      return {{s, 2}};
+    case MappingPrimitive::kVerticalPartition:
+      return {{s, 3}};
+    case MappingPrimitive::kFusion:
+      return {{s + "a", 2}, {s + "b", 2}};
+    case MappingPrimitive::kGlavJoin:
+      return {{s + "a", 2}, {s + "b", 2}};
+  }
+  return {};
+}
+
+}  // namespace
+
+Program GenerateDataExchangeScenario(const DataExchangeSpec& spec) {
+  std::string text;
+  for (uint32_t i = 0; i < spec.primitives.size(); ++i) {
+    text += PrimitiveRules(spec.primitives[i], i);
+  }
+  ParseResult parsed = ParseProgram(text);
+  assert(parsed.ok());
+  Program program = std::move(*parsed.program);
+
+  if (spec.facts_per_source > 0) {
+    Rng rng(spec.seed);
+    SymbolTable& symbols = program.symbols();
+    for (uint32_t i = 0; i < spec.primitives.size(); ++i) {
+      for (auto& [name, arity] : PrimitiveSources(spec.primitives[i], i)) {
+        PredicateId pred = symbols.InternPredicate(name, arity);
+        for (uint64_t k = 0; k < spec.facts_per_source; ++k) {
+          std::vector<Term> args;
+          for (uint32_t a = 0; a < arity; ++a) {
+            args.push_back(symbols.InternConstant(
+                "d" + std::to_string(rng.Below(spec.domain_size))));
+          }
+          program.AddFact(Atom(pred, std::move(args)));
+        }
+      }
+    }
+  }
+  return program;
+}
+
+std::vector<Program> GenerateDataExchangeSuite(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Program> suite;
+  suite.reserve(count);
+  constexpr MappingPrimitive kAll[] = {
+      MappingPrimitive::kCopy, MappingPrimitive::kProjection,
+      MappingPrimitive::kVerticalPartition, MappingPrimitive::kFusion,
+      MappingPrimitive::kGlavJoin};
+  for (size_t i = 0; i < count; ++i) {
+    DataExchangeSpec spec;
+    size_t primitives = 1 + rng.Below(4);
+    for (size_t p = 0; p < primitives; ++p) {
+      spec.primitives.push_back(kAll[rng.Below(5)]);
+    }
+    spec.seed = seed * 31 + i;
+    suite.push_back(GenerateDataExchangeScenario(spec));
+  }
+  return suite;
+}
+
+}  // namespace vadalog

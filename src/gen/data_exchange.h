@@ -1,0 +1,48 @@
+// iBench/ChaseBench-style data-exchange scenarios. The corpora the paper
+// analyzed (Section 1.2) mix recursive reasoning sets with classical
+// data-exchange mappings; this module generates the latter: source-to-
+// target TGDs following the iBench mapping primitives [3]
+//   copy, projection (with existential completion), vertical partitioning
+//   (shared existential key), fusion (merging sources), and a GLAV join.
+// All generated scenarios are warded (dangerous variables stay confined
+// to single-atom wards) and — being non-recursive or tamely recursive —
+// piece-wise linear, matching the paper's observation that the
+// data-exchange corpora fall inside the fragment.
+
+#ifndef VADALOG_GEN_DATA_EXCHANGE_H_
+#define VADALOG_GEN_DATA_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/rng.h"
+
+namespace vadalog {
+
+enum class MappingPrimitive : uint8_t {
+  kCopy,               // S(x̄) → T(x̄)
+  kProjection,         // S(x,y) → ∃z T(x,z): drop + invent
+  kVerticalPartition,  // S(x,y,w) → ∃k (T1(x,k), T2(k,y,w))
+  kFusion,             // S1(x,y) → T(x,y);  S2(x,y) → T(x,y)
+  kGlavJoin,           // S1(x,y), S2(y,z) → ∃w T(x,z,w)
+};
+
+struct DataExchangeSpec {
+  std::vector<MappingPrimitive> primitives;  // one mapping per entry
+  uint64_t seed = 1;
+  /// Also emit `facts_per_source` random source facts per source relation.
+  uint64_t facts_per_source = 0;
+  uint32_t domain_size = 8;
+};
+
+/// Generates a data-exchange scenario: one set of mappings per primitive,
+/// over disjoint source/target relations named s{i}_* / t{i}_*.
+Program GenerateDataExchangeScenario(const DataExchangeSpec& spec);
+
+/// A mixed suite of `count` scenarios drawing 1–4 primitives each.
+std::vector<Program> GenerateDataExchangeSuite(size_t count, uint64_t seed);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_GEN_DATA_EXCHANGE_H_

@@ -1,0 +1,197 @@
+#include "gen/generators.h"
+
+#include <cassert>
+
+#include "ast/parser.h"
+
+namespace vadalog {
+namespace {
+
+Term NodeConstant(Program* program, uint32_t index) {
+  return program->symbols().InternConstant("v" + std::to_string(index));
+}
+
+}  // namespace
+
+void AddRandomGraphFacts(Program* program, const std::string& edge_predicate,
+                         uint32_t num_nodes, uint64_t num_edges, Rng* rng) {
+  PredicateId edge = program->symbols().InternPredicate(edge_predicate, 2);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    Term from = NodeConstant(program, static_cast<uint32_t>(
+                                          rng->Below(num_nodes)));
+    Term to = NodeConstant(program, static_cast<uint32_t>(
+                                        rng->Below(num_nodes)));
+    program->AddFact(Atom(edge, {from, to}));
+  }
+}
+
+void AddChainGraphFacts(Program* program, const std::string& edge_predicate,
+                        uint32_t num_nodes) {
+  PredicateId edge = program->symbols().InternPredicate(edge_predicate, 2);
+  for (uint32_t i = 0; i + 1 < num_nodes; ++i) {
+    program->AddFact(
+        Atom(edge, {NodeConstant(program, i), NodeConstant(program, i + 1)}));
+  }
+}
+
+Program MakeTransitiveClosureProgram(bool linear) {
+  const char* text = linear ? R"(
+      t(X, Y) :- e(X, Y).
+      t(X, Z) :- e(X, Y), t(Y, Z).
+    )"
+                            : R"(
+      t(X, Y) :- e(X, Y).
+      t(X, Z) :- t(X, Y), t(Y, Z).
+    )";
+  ParseResult parsed = ParseProgram(text);
+  assert(parsed.ok());
+  return std::move(*parsed.program);
+}
+
+Program MakeOwl2QlProgram() {
+  // Example 3.3; the underlined wards are subclassStar/type/triple atoms.
+  const char* text = R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+  )";
+  ParseResult parsed = ParseProgram(text);
+  assert(parsed.ok());
+  return std::move(*parsed.program);
+}
+
+void AddOntologyFacts(Program* program, uint32_t num_classes,
+                      uint32_t num_properties, uint32_t num_individuals,
+                      Rng* rng) {
+  SymbolTable& symbols = program->symbols();
+  PredicateId subclass = symbols.InternPredicate("subclass", 2);
+  PredicateId restriction = symbols.InternPredicate("restriction", 2);
+  PredicateId inverse = symbols.InternPredicate("inverse", 2);
+  PredicateId type = symbols.InternPredicate("type", 2);
+
+  auto class_constant = [&](uint32_t i) {
+    return symbols.InternConstant("class" + std::to_string(i));
+  };
+  auto property_constant = [&](uint32_t i) {
+    return symbols.InternConstant("prop" + std::to_string(i));
+  };
+  auto individual_constant = [&](uint32_t i) {
+    return symbols.InternConstant("ind" + std::to_string(i));
+  };
+
+  // Subclass forest: each non-root class gets a parent with smaller index.
+  for (uint32_t c = 1; c < num_classes; ++c) {
+    uint32_t parent = static_cast<uint32_t>(rng->Below(c));
+    program->AddFact(
+        Atom(subclass, {class_constant(c), class_constant(parent)}));
+  }
+  // Restrictions tie classes to properties; inverses pair properties.
+  for (uint32_t p = 0; p < num_properties; ++p) {
+    uint32_t c = static_cast<uint32_t>(rng->Below(num_classes));
+    program->AddFact(
+        Atom(restriction, {class_constant(c), property_constant(p)}));
+    if (p + 1 < num_properties && rng->Chance(0.5)) {
+      program->AddFact(
+          Atom(inverse, {property_constant(p), property_constant(p + 1)}));
+    }
+  }
+  // Typed individuals.
+  for (uint32_t i = 0; i < num_individuals; ++i) {
+    uint32_t c = static_cast<uint32_t>(rng->Below(num_classes));
+    program->AddFact(Atom(type, {individual_constant(i), class_constant(c)}));
+  }
+}
+
+Program GenerateScenario(const ScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  std::string text;
+  auto edb = [](uint32_t stratum) { return "e" + std::to_string(stratum); };
+  auto idb = [](uint32_t stratum, uint32_t i) {
+    return "p" + std::to_string(stratum) + "_" + std::to_string(i);
+  };
+
+  for (uint32_t s = 0; s < spec.num_strata; ++s) {
+    // The stratum's base predicate feeds on the previous stratum (or on an
+    // extensional predicate for stratum 0).
+    std::string lower = s == 0 ? edb(0) : idb(s - 1, 0);
+    for (uint32_t r = 0; r < spec.rules_per_stratum; ++r) {
+      std::string p = idb(s, r);
+      // Exit rule.
+      text += p + "(X, Y) :- " + lower + "(X, Y).\n";
+      switch (spec.shape) {
+        case RecursionShape::kLinear:
+          // p(X,Z) :- p(X,Y), e(Y,Z): one intensional body atom.
+          text += p + "(X, Z) :- " + p + "(X, Y), " + edb(s) + "(Y, Z).\n";
+          break;
+        case RecursionShape::kPiecewiseLinear:
+          // Two intensional body atoms, one mutually recursive with the
+          // head (the Example 3.3 Type/SubClass* pattern).
+          text += p + "(X, Z) :- " + p + "(X, Y), " + lower + "(Y, Z).\n";
+          break;
+        case RecursionShape::kLinearizable:
+          // Transitive-closure-style: rewritable by LinearizeProgram.
+          text += p + "(X, Z) :- " + p + "(X, Y), " + p + "(Y, Z).\n";
+          break;
+        case RecursionShape::kNonLinear: {
+          // Mutually recursive pair q ↔ p with two q-atoms in one body:
+          // not PWL and outside the chain-closure linearization pattern.
+          std::string q = p + "q";
+          text += q + "(X, Y) :- " + p + "(X, Y).\n";
+          text += p + "(X, Z) :- " + q + "(X, Y), " + q + "(Y, Z).\n";
+          break;
+        }
+      }
+      if (spec.with_existentials && rng.Chance(0.6)) {
+        // A self-contained warded ∃-pattern (the Section 3 example
+        // P(x) → ∃z R(x,z); R(x,y) → P(y)): the dangerous variable of the
+        // third rule is confined to its single-atom ward. Kept disjoint
+        // from the main hierarchy so affected positions do not leak into
+        // the other shapes' rules.
+        std::string pw = p + "w";
+        std::string aux = p + "wr";
+        text += pw + "(X) :- " + edb(s) + "(X, Y).\n";
+        text += aux + "(X, Z) :- " + pw + "(X).\n";  // Z existential
+        text += pw + "(Y) :- " + aux + "(X, Y).\n";
+        break;
+      }
+    }
+  }
+  ParseResult parsed = ParseProgram(text);
+  assert(parsed.ok());
+  return std::move(*parsed.program);
+}
+
+std::vector<Program> GenerateScenarioSuite(size_t count,
+                                           const SuiteMixture& mixture,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  double total = mixture.linear + mixture.piecewise + mixture.linearizable +
+                 mixture.nonlinear;
+  std::vector<Program> suite;
+  suite.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double draw = rng.Uniform() * total;
+    ScenarioSpec spec;
+    if (draw < mixture.linear) {
+      spec.shape = RecursionShape::kLinear;
+    } else if (draw < mixture.linear + mixture.piecewise) {
+      spec.shape = RecursionShape::kPiecewiseLinear;
+    } else if (draw <
+               mixture.linear + mixture.piecewise + mixture.linearizable) {
+      spec.shape = RecursionShape::kLinearizable;
+    } else {
+      spec.shape = RecursionShape::kNonLinear;
+    }
+    spec.num_strata = 1 + static_cast<uint32_t>(rng.Below(3));
+    spec.rules_per_stratum = 1 + static_cast<uint32_t>(rng.Below(3));
+    spec.with_existentials = rng.Chance(0.5);
+    spec.seed = seed * 7919 + i;
+    suite.push_back(GenerateScenario(spec));
+  }
+  return suite;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,180 @@
+#include "pipeline/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/predicate_graph.h"
+#include "pipeline/operators.h"
+
+namespace vadalog {
+namespace {
+
+/// Head variables of a rule, deduplicated, deterministic order.
+std::vector<Term> HeadVariables(const Tgd& rule) {
+  std::vector<Term> variables;
+  for (Term t : rule.head[0].args) {
+    if (t.is_variable() &&
+        std::find(variables.begin(), variables.end(), t) == variables.end()) {
+      variables.push_back(t);
+    }
+  }
+  return variables;
+}
+
+/// Builds the operator tree for one rule: anchor scan (delta or full),
+/// index joins for the remaining positive atoms in body order, anti-joins
+/// for the negated atoms, projection to the head variables, dedup, and an
+/// optional materialization root.
+std::unique_ptr<Operator> BuildRulePlan(const Tgd& rule,
+                                        const Instance* instance,
+                                        const std::vector<Atom>* delta,
+                                        size_t anchor,
+                                        const PipelineOptions& options) {
+  std::unique_ptr<Operator> plan;
+  if (delta != nullptr) {
+    plan = std::make_unique<DeltaScanOperator>(delta, rule.body[anchor]);
+  } else {
+    plan = std::make_unique<ScanOperator>(instance, rule.body[anchor]);
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i == anchor) continue;
+    plan = std::make_unique<JoinOperator>(std::move(plan), instance,
+                                          rule.body[i]);
+  }
+  for (const Atom& negated : rule.negative_body) {
+    plan = std::make_unique<AntiJoinOperator>(std::move(plan), instance,
+                                              negated);
+  }
+  plan = std::make_unique<ProjectOperator>(std::move(plan),
+                                           HeadVariables(rule));
+  plan = std::make_unique<DedupOperator>(std::move(plan));
+  if (options.materialize_rule_outputs) {
+    plan = std::make_unique<MaterializeOperator>(std::move(plan));
+  }
+  return plan;
+}
+
+/// Drains a plan and instantiates the rule head per emitted binding.
+void DrainPlan(Operator* plan, const Tgd& rule, std::vector<Atom>* out) {
+  plan->Open();
+  for (;;) {
+    std::optional<Binding> binding = plan->Next();
+    if (!binding.has_value()) break;
+    out->push_back(ApplySubstitution(*binding, rule.head[0]));
+  }
+}
+
+}  // namespace
+
+PipelineResult ExecutePipeline(const Program& program,
+                               const Instance& database,
+                               const PipelineOptions& options) {
+  PipelineResult result;
+  Instance& instance = result.instance;
+
+  PredicateGraph graph(program);
+  if (!graph.NegationIsStratified()) {
+    result.stratification_ok = false;
+    result.reached_fixpoint = false;
+    return result;
+  }
+  for (const Atom& fact : database.AllAtoms()) instance.Insert(fact);
+
+  const std::vector<int>& topo = graph.TopologicalComponents();
+  std::unordered_map<int, size_t> stratum_of_component;
+  for (size_t i = 0; i < topo.size(); ++i) stratum_of_component[topo[i]] = i;
+  std::vector<std::vector<size_t>> rules_by_stratum(topo.size());
+  for (size_t r = 0; r < program.tgds().size(); ++r) {
+    const Tgd& rule = program.tgds()[r];
+    assert(rule.IsDatalogRule() &&
+           "ExecutePipeline requires full single-head rules");
+    rules_by_stratum[stratum_of_component.at(
+                         graph.ComponentOf(rule.head[0].predicate))]
+        .push_back(r);
+  }
+
+  // Anchor order per rule: recursive operands first when requested.
+  auto anchor_order = [&](const Tgd& rule) {
+    std::vector<size_t> order(rule.body.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (options.recursive_operand_first) {
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        bool ra = graph.MutuallyRecursive(rule.body[a].predicate,
+                                          rule.head[0].predicate);
+        bool rb = graph.MutuallyRecursive(rule.body[b].predicate,
+                                          rule.head[0].predicate);
+        return ra > rb;
+      });
+    }
+    return order;
+  };
+
+  // Capture a sample plan from the first recursive rule.
+  for (size_t r = 0; r < program.tgds().size() && result.sample_plan.empty();
+       ++r) {
+    const Tgd& rule = program.tgds()[r];
+    for (const Atom& body : rule.body) {
+      if (graph.MutuallyRecursive(body.predicate, rule.head[0].predicate)) {
+        std::vector<Atom> empty_delta;
+        std::unique_ptr<Operator> plan = BuildRulePlan(
+            rule, &instance, &empty_delta, anchor_order(rule)[0], options);
+        result.sample_plan = ExplainPlan(*plan, program.symbols());
+        break;
+      }
+    }
+  }
+
+  for (const std::vector<size_t>& rules : rules_by_stratum) {
+    if (rules.empty()) continue;
+
+    // Seed round: full scans.
+    std::vector<Atom> produced;
+    for (size_t r : rules) {
+      const Tgd& rule = program.tgds()[r];
+      std::unique_ptr<Operator> plan =
+          BuildRulePlan(rule, &instance, nullptr, 0, options);
+      DrainPlan(plan.get(), rule, &produced);
+    }
+    std::vector<Atom> delta;
+    for (Atom& atom : produced) {
+      if (instance.Insert(atom)) {
+        ++result.derived;
+        delta.push_back(std::move(atom));
+      }
+    }
+    ++result.rounds;
+
+    // Delta rounds.
+    while (!delta.empty()) {
+      if (options.max_rounds != 0 && result.rounds >= options.max_rounds) {
+        result.reached_fixpoint = false;
+        break;
+      }
+      std::vector<Atom> round_output;
+      for (size_t r : rules) {
+        const Tgd& rule = program.tgds()[r];
+        for (size_t anchor : anchor_order(rule)) {
+          std::unique_ptr<Operator> plan =
+              BuildRulePlan(rule, &instance, &delta, anchor, options);
+          DrainPlan(plan.get(), rule, &round_output);
+        }
+      }
+      std::vector<Atom> next_delta;
+      for (Atom& atom : round_output) {
+        if (instance.Insert(atom)) {
+          ++result.derived;
+          next_delta.push_back(std::move(atom));
+        }
+      }
+      ++result.rounds;
+      delta = std::move(next_delta);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace vadalog

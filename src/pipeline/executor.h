@@ -1,0 +1,55 @@
+// Stratified fixpoint execution over operator networks: the pipeline
+// counterpart of datalog/seminaive.h, built from the Section 7 (3)
+// operator nodes. One plan per rule; delta anchoring implements the
+// Section 7 (2) join-order bias (the mutually recursive operand drives
+// the join); optional materialization nodes cap each rule's root.
+//
+// Answers must coincide with EvaluateDatalog — asserted by the pipeline
+// tests — making this an executable model of the Vadalog architecture
+// rather than an alternative semantics.
+
+#ifndef VADALOG_PIPELINE_EXECUTOR_H_
+#define VADALOG_PIPELINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ast/program.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+struct PipelineOptions {
+  /// Insert a materialization node at the root of every rule plan
+  /// (Section 7 (3)): each round's results are pinned before insertion.
+  bool materialize_rule_outputs = false;
+
+  /// Anchor delta scans on body atoms whose predicate is mutually
+  /// recursive with the head first (Section 7 (2)). When false, anchors
+  /// are tried in body order.
+  bool recursive_operand_first = true;
+
+  /// 0 = unlimited.
+  uint64_t max_rounds = 0;
+};
+
+struct PipelineResult {
+  Instance instance;
+  uint64_t rounds = 0;
+  uint64_t derived = 0;
+  bool reached_fixpoint = true;
+  bool stratification_ok = true;
+  /// The rendered operator network of the first recursive rule (empty if
+  /// none) — exposed for inspection and tests.
+  std::string sample_plan;
+};
+
+/// Runs the stratified pipeline over a Datalog program (FULL1, optional
+/// stratified negation).
+PipelineResult ExecutePipeline(const Program& program,
+                               const Instance& database,
+                               const PipelineOptions& options = {});
+
+}  // namespace vadalog
+
+#endif  // VADALOG_PIPELINE_EXECUTOR_H_

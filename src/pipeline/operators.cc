@@ -1,0 +1,285 @@
+#include "pipeline/operators.h"
+
+#include <algorithm>
+
+namespace vadalog {
+namespace {
+
+/// Attempts to extend `binding` so that `pattern` maps onto `tuple`.
+/// Returns nullopt on mismatch; otherwise the extended binding.
+std::optional<Binding> MatchTuple(const Atom& pattern,
+                                  const std::vector<Term>& tuple,
+                                  const Binding& binding) {
+  Binding extended = binding;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    Term t = ApplySubstitution(extended, pattern.args[i]);
+    if (t.is_rigid()) {
+      if (t != tuple[i]) return std::nullopt;
+    } else {
+      extended.emplace(t, tuple[i]);
+    }
+  }
+  return extended;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Scan --
+
+ScanOperator::ScanOperator(const Instance* instance, Atom pattern)
+    : instance_(instance), pattern_(std::move(pattern)) {}
+
+void ScanOperator::Open() { row_ = 0; }
+
+std::optional<Binding> ScanOperator::Next() {
+  const Relation* rel = instance_->RelationFor(pattern_.predicate);
+  if (rel == nullptr) return std::nullopt;
+  while (row_ < rel->size()) {
+    std::optional<Binding> match =
+        MatchTuple(pattern_, rel->TupleAt(row_++), {});
+    if (match.has_value()) return match;
+  }
+  return std::nullopt;
+}
+
+std::string ScanOperator::Describe(const SymbolTable& symbols) const {
+  return "Scan[" + pattern_.ToString(symbols) + "]";
+}
+
+// ----------------------------------------------------------- DeltaScan --
+
+DeltaScanOperator::DeltaScanOperator(const std::vector<Atom>* delta,
+                                     Atom pattern)
+    : delta_(delta), pattern_(std::move(pattern)) {}
+
+void DeltaScanOperator::Open() { index_ = 0; }
+
+std::optional<Binding> DeltaScanOperator::Next() {
+  while (index_ < delta_->size()) {
+    const Atom& atom = (*delta_)[index_++];
+    if (atom.predicate != pattern_.predicate) continue;
+    std::optional<Binding> match = MatchTuple(pattern_, atom.args, {});
+    if (match.has_value()) return match;
+  }
+  return std::nullopt;
+}
+
+std::string DeltaScanOperator::Describe(const SymbolTable& symbols) const {
+  return "DeltaScan[" + pattern_.ToString(symbols) + "]";
+}
+
+// ---------------------------------------------------------------- Join --
+
+JoinOperator::JoinOperator(std::unique_ptr<Operator> left,
+                           const Instance* instance, Atom right_pattern)
+    : left_(std::move(left)),
+      instance_(instance),
+      pattern_(std::move(right_pattern)) {}
+
+void JoinOperator::Open() {
+  left_->Open();
+  current_left_.reset();
+  probe_rows_.clear();
+  probe_index_ = 0;
+  scan_all_ = false;
+  scan_row_ = 0;
+}
+
+bool JoinOperator::AdvanceLeft() {
+  current_left_ = left_->Next();
+  if (!current_left_.has_value()) return false;
+  probe_rows_.clear();
+  probe_index_ = 0;
+  scan_all_ = false;
+  scan_row_ = 0;
+
+  const Relation* rel = instance_->RelationFor(pattern_.predicate);
+  if (rel == nullptr) return true;  // no probe candidates: skip this left
+
+  // Most selective bound position under the current left binding.
+  int best_position = -1;
+  size_t best_count = ~size_t{0};
+  for (size_t i = 0; i < pattern_.args.size(); ++i) {
+    Term t = ApplySubstitution(*current_left_, pattern_.args[i]);
+    if (!t.is_rigid()) continue;
+    size_t count = rel->RowsWith(static_cast<uint32_t>(i), t).size();
+    if (count < best_count) {
+      best_count = count;
+      best_position = static_cast<int>(i);
+    }
+  }
+  if (best_position < 0) {
+    scan_all_ = true;
+  } else {
+    Term key = ApplySubstitution(
+        *current_left_, pattern_.args[static_cast<size_t>(best_position)]);
+    probe_rows_ = rel->RowsWith(static_cast<uint32_t>(best_position), key);
+  }
+  return true;
+}
+
+std::optional<Binding> JoinOperator::Next() {
+  const Relation* rel = instance_->RelationFor(pattern_.predicate);
+  for (;;) {
+    if (!current_left_.has_value()) {
+      if (!AdvanceLeft()) return std::nullopt;
+      continue;
+    }
+    if (rel == nullptr) {
+      current_left_.reset();
+      continue;
+    }
+    if (scan_all_) {
+      while (scan_row_ < rel->size()) {
+        std::optional<Binding> match = MatchTuple(
+            pattern_, rel->TupleAt(scan_row_++), *current_left_);
+        if (match.has_value()) return match;
+      }
+    } else {
+      while (probe_index_ < probe_rows_.size()) {
+        std::optional<Binding> match = MatchTuple(
+            pattern_, rel->TupleAt(probe_rows_[probe_index_++]),
+            *current_left_);
+        if (match.has_value()) return match;
+      }
+    }
+    current_left_.reset();
+  }
+}
+
+std::string JoinOperator::Describe(const SymbolTable& symbols) const {
+  return "IndexJoin[" + pattern_.ToString(symbols) + "]";
+}
+
+// ------------------------------------------------------------ AntiJoin --
+
+AntiJoinOperator::AntiJoinOperator(std::unique_ptr<Operator> input,
+                                   const Instance* instance,
+                                   Atom negated_pattern)
+    : input_(std::move(input)),
+      instance_(instance),
+      pattern_(std::move(negated_pattern)) {}
+
+void AntiJoinOperator::Open() { input_->Open(); }
+
+std::optional<Binding> AntiJoinOperator::Next() {
+  for (;;) {
+    std::optional<Binding> binding = input_->Next();
+    if (!binding.has_value()) return std::nullopt;
+    Atom ground = ApplySubstitution(*binding, pattern_);
+    if (!instance_->Contains(ground)) return binding;
+  }
+}
+
+std::string AntiJoinOperator::Describe(const SymbolTable& symbols) const {
+  return "AntiJoin[not " + pattern_.ToString(symbols) + "]";
+}
+
+// ------------------------------------------------------------- Project --
+
+ProjectOperator::ProjectOperator(std::unique_ptr<Operator> input,
+                                 std::vector<Term> variables)
+    : input_(std::move(input)), variables_(std::move(variables)) {}
+
+void ProjectOperator::Open() { input_->Open(); }
+
+std::optional<Binding> ProjectOperator::Next() {
+  std::optional<Binding> binding = input_->Next();
+  if (!binding.has_value()) return std::nullopt;
+  Binding narrowed;
+  for (Term v : variables_) {
+    auto it = binding->find(v);
+    if (it != binding->end()) narrowed.emplace(v, it->second);
+  }
+  return narrowed;
+}
+
+std::string ProjectOperator::Describe(const SymbolTable& symbols) const {
+  std::string out = "Project[";
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.TermToString(variables_[i]);
+  }
+  return out + "]";
+}
+
+// --------------------------------------------------------------- Dedup --
+
+DedupOperator::DedupOperator(std::unique_ptr<Operator> input)
+    : input_(std::move(input)) {}
+
+void DedupOperator::Open() {
+  input_->Open();
+  seen_.clear();
+  key_order_.clear();
+}
+
+std::optional<Binding> DedupOperator::Next() {
+  for (;;) {
+    std::optional<Binding> binding = input_->Next();
+    if (!binding.has_value()) return std::nullopt;
+    if (key_order_.empty()) {
+      for (const auto& [var, value] : *binding) key_order_.push_back(var);
+      std::sort(key_order_.begin(), key_order_.end());
+    }
+    std::vector<Term> key;
+    key.reserve(key_order_.size());
+    for (Term v : key_order_) key.push_back(ApplySubstitution(*binding, v));
+    if (seen_.insert(std::move(key)).second) return binding;
+  }
+}
+
+std::string DedupOperator::Describe(const SymbolTable&) const {
+  return "Dedup";
+}
+
+// --------------------------------------------------------- Materialize --
+
+MaterializeOperator::MaterializeOperator(std::unique_ptr<Operator> input)
+    : input_(std::move(input)) {}
+
+void MaterializeOperator::Open() {
+  if (!drained_) {
+    input_->Open();
+    for (;;) {
+      std::optional<Binding> binding = input_->Next();
+      if (!binding.has_value()) break;
+      buffer_.push_back(std::move(*binding));
+    }
+    drained_ = true;
+  }
+  replay_ = 0;
+}
+
+std::optional<Binding> MaterializeOperator::Next() {
+  if (replay_ >= buffer_.size()) return std::nullopt;
+  return buffer_[replay_++];
+}
+
+std::string MaterializeOperator::Describe(const SymbolTable&) const {
+  return "Materialize[" + std::to_string(buffer_.size()) + " rows]";
+}
+
+// --------------------------------------------------------------- Plans --
+
+namespace {
+
+void Render(const Operator& node, const SymbolTable& symbols, int depth,
+            std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.Describe(symbols));
+  out->push_back('\n');
+  for (const Operator* child : node.Children()) {
+    Render(*child, symbols, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Operator& root, const SymbolTable& symbols) {
+  std::string out;
+  Render(root, symbols, 0, &out);
+  return out;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,196 @@
+// A streaming operator network, mirroring the Vadalog system architecture
+// sketched in Section 7 (3): "the Vadalog system builds from the plan
+// constructed by the optimizer a network of operator nodes. This allows
+// streaming of data through such a system. [...] the system may decide to
+// insert materialization nodes at the boundaries of these strata."
+//
+// This module provides a pull-based (Volcano-style) operator tree over
+// instances: scans, index-nested-loop joins, selections, projections to a
+// rule head, deduplication, and an explicit materialization operator. The
+// plan builder compiles one Datalog rule body into an operator tree whose
+// join order anchors the mutually recursive operand first (the Section
+// 7 (2) bias), and the executor runs stratified fixpoints by re-pulling
+// the network per round with delta anchoring.
+
+#ifndef VADALOG_PIPELINE_OPERATORS_H_
+#define VADALOG_PIPELINE_OPERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// A streamed row: the current variable binding, represented as a flat
+/// substitution. Operators extend and filter it as it flows upward.
+using Binding = Substitution;
+
+/// Pull-based operator interface. Open() resets the stream; Next()
+/// produces the next binding or nullopt at end of stream.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual void Open() = 0;
+  virtual std::optional<Binding> Next() = 0;
+
+  /// One-line plan description (for ExplainPlan).
+  virtual std::string Describe(const SymbolTable& symbols) const = 0;
+
+  /// Plan children (for ExplainPlan rendering).
+  virtual std::vector<const Operator*> Children() const { return {}; }
+};
+
+/// Scans a relation, matching the tuple against an atom pattern (binding
+/// the pattern's variables; rigid positions filter).
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(const Instance* instance, Atom pattern);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+
+ private:
+  const Instance* instance_;
+  Atom pattern_;
+  size_t row_ = 0;
+};
+
+/// Scans a fixed vector of atoms (the delta of a semi-naive round).
+class DeltaScanOperator : public Operator {
+ public:
+  DeltaScanOperator(const std::vector<Atom>* delta, Atom pattern);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+
+ private:
+  const std::vector<Atom>* delta_;
+  Atom pattern_;
+  size_t index_ = 0;
+};
+
+/// Index nested-loop join: for each left binding, probes the right atom
+/// pattern against the instance through the most selective bound position.
+class JoinOperator : public Operator {
+ public:
+  JoinOperator(std::unique_ptr<Operator> left, const Instance* instance,
+               Atom right_pattern);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+  std::vector<const Operator*> Children() const override {
+    return {left_.get()};
+  }
+
+ private:
+  bool AdvanceLeft();
+
+  std::unique_ptr<Operator> left_;
+  const Instance* instance_;
+  Atom pattern_;
+  std::optional<Binding> current_left_;
+  std::vector<uint32_t> probe_rows_;  // candidate row ids for current left
+  size_t probe_index_ = 0;
+  bool scan_all_ = false;             // no bound position: full scan
+  size_t scan_row_ = 0;
+};
+
+/// Anti-join for stratified negation: passes a binding iff the negated
+/// pattern (ground under the binding) is absent from the instance.
+class AntiJoinOperator : public Operator {
+ public:
+  AntiJoinOperator(std::unique_ptr<Operator> input, const Instance* instance,
+                   Atom negated_pattern);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+  std::vector<const Operator*> Children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  const Instance* instance_;
+  Atom pattern_;
+};
+
+/// Narrows each binding to the given variable set (typically the head
+/// variables); the executor instantiates the head atom from the narrowed
+/// binding.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(std::unique_ptr<Operator> input,
+                  std::vector<Term> variables);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+  std::vector<const Operator*> Children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::vector<Term> variables_;
+};
+
+/// Deduplicates bindings (on the narrowed variable set).
+class DedupOperator : public Operator {
+ public:
+  explicit DedupOperator(std::unique_ptr<Operator> input);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+  std::vector<const Operator*> Children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::set<std::vector<Term>> seen_;
+  std::vector<Term> key_order_;
+};
+
+/// A materialization node (Section 7 (3)): drains its input eagerly at
+/// Open() into a buffer and replays it. Decouples upstream operator state
+/// from downstream consumption — the strata-boundary trade-off.
+class MaterializeOperator : public Operator {
+ public:
+  explicit MaterializeOperator(std::unique_ptr<Operator> input);
+
+  void Open() override;
+  std::optional<Binding> Next() override;
+  std::string Describe(const SymbolTable& symbols) const override;
+  std::vector<const Operator*> Children() const override {
+    return {input_.get()};
+  }
+
+  size_t buffered_rows() const { return buffer_.size(); }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::vector<Binding> buffer_;
+  size_t replay_ = 0;
+  bool drained_ = false;
+};
+
+/// Renders an operator tree, one node per line, indented.
+std::string ExplainPlan(const Operator& root, const SymbolTable& symbols);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_PIPELINE_OPERATORS_H_

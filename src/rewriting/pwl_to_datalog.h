@@ -1,0 +1,71 @@
+// The Lemma 6.4 construction: rewriting a (WARD ∩ PWL, CQ) query into an
+// equivalent piece-wise linear Datalog query (Theorem 6.3 (1)).
+//
+// Every linear proof tree of q w.r.t. Σ with node-width at most
+// f_WARD∩PWL(q, Σ) is converted into full TGDs over fresh predicates
+// C[p](x̄) — one per canonical renaming [p] of a CQ p labeling a proof-tree
+// node. Since canonical CQs of bounded width over a fixed schema are
+// finitely many, the exhaustive conversion terminates and yields a finite
+// Datalog program Σ' with an atomic goal C[q](x̄) such that, for every
+// database D over edb(Σ), cert(q, D, Σ) = Σ'-evaluation of the goal on D.
+//
+// Operationally we explore the same state graph as the linear proof
+// search, but *database-independently*: instead of match-and-drop against
+// a concrete D, an atom over an extensional predicate can become a leaf,
+// contributing that atom to the rule body being built. Each reachable
+// canonical state S gets a predicate C[S] over its variables, and:
+//   * a resolution step S →σ S' yields the Datalog rule
+//         C[S](vars(S)) :- C[S'](vars(S')), leaves...
+//     — more precisely, we emit rules backwards: C[S] is derivable from
+//     C[S'] plus the extensional atoms dropped along the step;
+//   * a state whose atoms are all extensional yields the base rule
+//         C[S](vars(S)) :- atoms(S).
+// The goal is C[S0] for the initial state S0 = atoms(q).
+//
+// The construction witnesses Σ' ∈ FULL1 ∩ PWL: every rule body contains at
+// most one C[·] predicate (the linear-tree child), and only C[·]
+// predicates can be mutually recursive.
+
+#ifndef VADALOG_REWRITING_PWL_TO_DATALOG_H_
+#define VADALOG_REWRITING_PWL_TO_DATALOG_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+
+namespace vadalog {
+
+struct RewriteOptions {
+  /// Node-width cap for explored states; 0 = f_WARD∩PWL(q, Σ).
+  size_t node_width = 0;
+  /// Cap on |S1| per resolution chunk; 0 = node width.
+  size_t max_chunk = 0;
+  /// Safety budget on distinct canonical states; 0 = unlimited.
+  uint64_t max_states = 0;
+};
+
+struct RewriteResult {
+  /// The piece-wise linear Datalog program (over the symbol table of the
+  /// returned program), including the goal rule. Present iff the
+  /// exploration completed within budget.
+  std::optional<Program> datalog;
+  /// The goal query: an atomic CQ over the fresh goal predicate, with the
+  /// same output arity as the input query.
+  ConjunctiveQuery goal;
+  uint64_t states_explored = 0;
+  uint64_t rules_emitted = 0;
+  bool budget_exhausted = false;
+};
+
+/// Rewrites (Σ, q) ∈ (WARD ∩ PWL, CQ) into piece-wise linear Datalog.
+/// `program` must be single-head normalized. The output program shares no
+/// state with the input (fresh symbol table, cloned constants/predicates).
+RewriteResult RewritePwlWardedToDatalog(const Program& program,
+                                        const ConjunctiveQuery& query,
+                                        const RewriteOptions& options = {});
+
+}  // namespace vadalog
+
+#endif  // VADALOG_REWRITING_PWL_TO_DATALOG_H_

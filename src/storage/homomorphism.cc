@@ -1,0 +1,182 @@
+#include "storage/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vadalog {
+namespace {
+
+/// Number of rigid terms of `atom` after applying `subst`.
+size_t BoundCount(const Atom& atom, const Substitution& subst) {
+  size_t bound = 0;
+  for (Term t : atom.args) {
+    if (ApplySubstitution(subst, t).is_rigid()) ++bound;
+  }
+  return bound;
+}
+
+/// Chooses a join order greedily: the atom with the most bound terms first
+/// (ties: smaller relation). Returns indices into `atoms`.
+std::vector<size_t> JoinOrder(const std::vector<Atom>& atoms,
+                              const Instance& instance,
+                              const Substitution& seed) {
+  std::vector<size_t> order;
+  std::vector<bool> used(atoms.size(), false);
+  std::unordered_set<Term> bound_vars;
+  for (const auto& [from, to] : seed) {
+    if (from.is_variable()) bound_vars.insert(from);
+  }
+  auto bound_terms = [&](const Atom& atom) {
+    size_t bound = 0;
+    for (Term t : atom.args) {
+      if (t.is_rigid() || bound_vars.count(t) > 0) ++bound;
+    }
+    return bound;
+  };
+  for (size_t step = 0; step < atoms.size(); ++step) {
+    size_t best = atoms.size();
+    size_t best_bound = 0;
+    size_t best_size = ~size_t{0};
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      size_t bound = bound_terms(atoms[i]);
+      const Relation* rel = instance.RelationFor(atoms[i].predicate);
+      size_t size = rel == nullptr ? 0 : rel->size();
+      if (best == atoms.size() || bound > best_bound ||
+          (bound == best_bound && size < best_size)) {
+        best = i;
+        best_bound = bound;
+        best_size = size;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (Term t : atoms[best].args) {
+      if (t.is_variable()) bound_vars.insert(t);
+    }
+  }
+  return order;
+}
+
+/// Attempts to extend `subst` so that `atom` maps onto `tuple`; appends the
+/// newly bound variables to `newly_bound`. Returns false on mismatch (in
+/// which case the caller must roll back `newly_bound`).
+bool TryExtend(const Atom& atom, const std::vector<Term>& tuple,
+               Substitution* subst, std::vector<Term>* newly_bound) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    Term pattern = ApplySubstitution(*subst, atom.args[i]);
+    if (pattern.is_rigid()) {
+      if (pattern != tuple[i]) return false;
+    } else {
+      subst->emplace(pattern, tuple[i]);
+      newly_bound->push_back(pattern);
+    }
+  }
+  return true;
+}
+
+bool MatchFrom(const std::vector<Atom>& atoms,
+               const std::vector<size_t>& order, size_t depth,
+               const Instance& instance, Substitution* subst,
+               const HomomorphismCallback& callback) {
+  if (depth == order.size()) return callback(*subst);
+  const Atom& atom = atoms[order[depth]];
+  const Relation* rel = instance.RelationFor(atom.predicate);
+  if (rel == nullptr) return true;  // no tuples: zero matches, keep going
+
+  // Pick the most selective bound position to drive the index lookup.
+  int best_position = -1;
+  size_t best_candidates = ~size_t{0};
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    Term t = ApplySubstitution(*subst, atom.args[i]);
+    if (!t.is_rigid()) continue;
+    size_t n = rel->RowsWith(static_cast<uint32_t>(i), t).size();
+    if (n < best_candidates) {
+      best_candidates = n;
+      best_position = static_cast<int>(i);
+    }
+  }
+
+  auto try_row = [&](size_t row) {
+    std::vector<Term> newly_bound;
+    if (TryExtend(atom, rel->TupleAt(row), subst, &newly_bound)) {
+      if (!MatchFrom(atoms, order, depth + 1, instance, subst, callback)) {
+        for (Term t : newly_bound) subst->erase(t);
+        return false;
+      }
+    }
+    for (Term t : newly_bound) subst->erase(t);
+    return true;
+  };
+
+  if (best_position >= 0) {
+    Term key = ApplySubstitution(
+        *subst, atom.args[static_cast<size_t>(best_position)]);
+    for (uint32_t row :
+         rel->RowsWith(static_cast<uint32_t>(best_position), key)) {
+      if (!try_row(row)) return false;
+    }
+  } else {
+    for (size_t row = 0; row < rel->size(); ++row) {
+      if (!try_row(row)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachHomomorphism(const std::vector<Atom>& atoms,
+                         const Instance& instance, const Substitution& seed,
+                         const HomomorphismCallback& callback) {
+  if (atoms.empty()) return callback(seed);
+  std::vector<size_t> order = JoinOrder(atoms, instance, seed);
+  Substitution subst = seed;
+  return MatchFrom(atoms, order, 0, instance, &subst, callback);
+}
+
+bool HasHomomorphism(const std::vector<Atom>& atoms, const Instance& instance,
+                     const Substitution& seed) {
+  bool found = false;
+  ForEachHomomorphism(atoms, instance, seed, [&found](const Substitution&) {
+    found = true;
+    return false;  // stop at the first match
+  });
+  return found;
+}
+
+std::vector<std::vector<Term>> EvaluateQuery(const ConjunctiveQuery& query,
+                                             const Instance& instance,
+                                             bool certain_only) {
+  std::vector<std::vector<Term>> results;
+  std::set<std::vector<Term>> seen;
+  ForEachHomomorphism(
+      query.atoms, instance, {}, [&](const Substitution& h) {
+        std::vector<Term> tuple;
+        tuple.reserve(query.output.size());
+        bool ok = true;
+        for (Term t : query.output) {
+          Term image = ApplySubstitution(h, t);
+          if (certain_only && !image.is_constant()) {
+            ok = false;
+            break;
+          }
+          tuple.push_back(image);
+        }
+        if (ok && seen.insert(tuple).second) results.push_back(tuple);
+        return true;
+      });
+  return results;
+}
+
+std::vector<std::vector<Term>> EvaluateQuerySorted(
+    const ConjunctiveQuery& query, const Instance& instance,
+    bool certain_only) {
+  std::vector<std::vector<Term>> results =
+      EvaluateQuery(query, instance, certain_only);
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace vadalog
+

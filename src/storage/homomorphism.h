@@ -1,0 +1,51 @@
+// Homomorphism enumeration: matching conjunctions of atoms (with
+// variables) against an instance. This is the workhorse behind chase-step
+// applicability, CQ evaluation (Proposition 2.1), and the match-and-drop
+// step of the bounded proof search.
+
+#ifndef VADALOG_STORAGE_HOMOMORPHISM_H_
+#define VADALOG_STORAGE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// Callback invoked once per homomorphism with the full substitution
+/// (bindings for every variable of the matched atoms, plus whatever was in
+/// the seed). Return false to stop enumeration early.
+using HomomorphismCallback = std::function<bool(const Substitution&)>;
+
+/// Enumerates homomorphisms h extending `seed` with h(atoms) ⊆ instance.
+/// Terms in the atoms that are constants or nulls must match exactly
+/// (homomorphisms are the identity on C; nulls in a *pattern* are treated
+/// as rigid names, which is what chase-step applicability needs).
+/// Returns true if enumeration ran to completion (callback never returned
+/// false).
+bool ForEachHomomorphism(const std::vector<Atom>& atoms,
+                         const Instance& instance, const Substitution& seed,
+                         const HomomorphismCallback& callback);
+
+/// True if at least one homomorphism extending `seed` exists.
+bool HasHomomorphism(const std::vector<Atom>& atoms, const Instance& instance,
+                     const Substitution& seed = {});
+
+/// Evaluates a CQ over an instance: the set of output tuples h(x̄) over all
+/// homomorphisms. When `certain_only` is set, tuples containing nulls are
+/// discarded (certain answers contain constants only).
+std::vector<std::vector<Term>> EvaluateQuery(const ConjunctiveQuery& query,
+                                             const Instance& instance,
+                                             bool certain_only = true);
+
+/// Deduplicated + sorted variant for stable comparisons in tests.
+std::vector<std::vector<Term>> EvaluateQuerySorted(
+    const ConjunctiveQuery& query, const Instance& instance,
+    bool certain_only = true);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_STORAGE_HOMOMORPHISM_H_

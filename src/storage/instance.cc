@@ -1,0 +1,118 @@
+#include "storage/instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vadalog {
+
+bool Relation::Insert(const std::vector<Term>& tuple) {
+  assert(tuple.size() == arity_);
+  auto [it, inserted] =
+      tuple_set_.try_emplace(tuple, static_cast<uint32_t>(tuples_.size()));
+  if (!inserted) return false;
+  uint32_t row = it->second;
+  tuples_.push_back(tuple);
+  for (uint32_t i = 0; i < arity_; ++i) {
+    indexes_[i][tuple[i]].push_back(row);
+  }
+  return true;
+}
+
+bool Relation::Contains(const std::vector<Term>& tuple) const {
+  return tuple_set_.count(tuple) > 0;
+}
+
+const std::vector<uint32_t>& Relation::RowsWith(uint32_t position,
+                                                Term value) const {
+  assert(position < arity_);
+  auto it = indexes_[position].find(value);
+  return it == indexes_[position].end() ? empty_ : it->second;
+}
+
+size_t Relation::ApproximateBytes() const {
+  size_t bytes = tuples_.size() * (arity_ * sizeof(Term) + sizeof(void*));
+  // Index entries: one row id per position per tuple plus bucket overhead.
+  bytes += tuples_.size() * arity_ * (sizeof(uint32_t) + sizeof(void*));
+  return bytes;
+}
+
+bool Instance::Insert(const Atom& atom) {
+  assert(atom.IsRigid() && "instances hold constants and nulls only");
+  auto it = relations_.find(atom.predicate);
+  if (it == relations_.end()) {
+    it = relations_
+             .emplace(atom.predicate,
+                      Relation(static_cast<uint32_t>(atom.args.size())))
+             .first;
+  }
+  if (!it->second.Insert(atom.args)) return false;
+  ++size_;
+  for (Term t : atom.args) {
+    if (t.is_null()) {
+      max_null_index_ = std::max(max_null_index_, t.index() + 1);
+    }
+  }
+  return true;
+}
+
+bool Instance::Contains(const Atom& atom) const {
+  auto it = relations_.find(atom.predicate);
+  return it != relations_.end() && it->second.Contains(atom.args);
+}
+
+const Relation* Instance::RelationFor(PredicateId predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<PredicateId> Instance::Predicates() const {
+  std::vector<PredicateId> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [p, rel] : relations_) {
+    if (rel.size() > 0) preds.push_back(p);
+  }
+  std::sort(preds.begin(), preds.end());
+  return preds;
+}
+
+std::vector<Atom> Instance::AllAtoms() const {
+  std::vector<Atom> atoms;
+  atoms.reserve(size_);
+  for (const auto& [p, rel] : relations_) {
+    for (size_t row = 0; row < rel.size(); ++row) {
+      atoms.push_back(Atom(p, rel.TupleAt(row)));
+    }
+  }
+  return atoms;
+}
+
+std::unordered_set<Term> Instance::ActiveDomain() const {
+  std::unordered_set<Term> domain;
+  for (const auto& [p, rel] : relations_) {
+    for (size_t row = 0; row < rel.size(); ++row) {
+      for (Term t : rel.TupleAt(row)) domain.insert(t);
+    }
+  }
+  return domain;
+}
+
+size_t Instance::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [p, rel] : relations_) bytes += rel.ApproximateBytes();
+  return bytes;
+}
+
+void Instance::DropRelation(PredicateId predicate) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return;
+  size_ -= it->second.size();
+  relations_.erase(it);
+}
+
+Instance DatabaseFromFacts(const std::vector<Atom>& facts) {
+  Instance db;
+  for (const Atom& fact : facts) db.Insert(fact);
+  return db;
+}
+
+}  // namespace vadalog

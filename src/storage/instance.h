@@ -1,0 +1,106 @@
+// Instances and databases.
+//
+// An instance is a set of atoms over constants and labeled nulls; a
+// database is the special case with constants only (a finite set of
+// facts). Tuples are stored per predicate with a per-position hash index so
+// that pattern matching binds the most selective position first.
+
+#ifndef VADALOG_STORAGE_INSTANCE_H_
+#define VADALOG_STORAGE_INSTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/atom.h"
+#include "base/hash.h"
+
+namespace vadalog {
+
+/// Tuple storage for one predicate.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity), indexes_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+
+  const std::vector<Term>& TupleAt(size_t row) const { return tuples_[row]; }
+
+  /// Inserts a tuple; returns true if it was new.
+  bool Insert(const std::vector<Term>& tuple);
+
+  bool Contains(const std::vector<Term>& tuple) const;
+
+  /// Rows whose `position`-th component equals `value` (empty if none).
+  const std::vector<uint32_t>& RowsWith(uint32_t position, Term value) const;
+
+  /// Approximate bytes held by this relation (tuples + indexes), used by
+  /// the space-efficiency benchmarks.
+  size_t ApproximateBytes() const;
+
+ private:
+  struct TupleHash {
+    size_t operator()(const std::vector<Term>& t) const {
+      return HashRange(t.begin(), t.end());
+    }
+  };
+
+  uint32_t arity_;
+  std::vector<std::vector<Term>> tuples_;
+  std::unordered_map<std::vector<Term>, uint32_t, TupleHash> tuple_set_;
+  // indexes_[i] maps a term to the rows where it appears at position i.
+  std::vector<std::unordered_map<Term, std::vector<uint32_t>>> indexes_;
+  std::vector<uint32_t> empty_;
+};
+
+/// A set of atoms over constants and nulls. Databases are instances whose
+/// atoms are ground.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts an atom (must be rigid: no variables). Returns true if new.
+  bool Insert(const Atom& atom);
+
+  bool Contains(const Atom& atom) const;
+
+  /// Total number of atoms.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The stored relation for a predicate, or nullptr if empty.
+  const Relation* RelationFor(PredicateId predicate) const;
+
+  /// Predicates with at least one tuple.
+  std::vector<PredicateId> Predicates() const;
+
+  /// All atoms, materialized (test/debug helper; O(size)).
+  std::vector<Atom> AllAtoms() const;
+
+  /// Every constant and null occurring in the instance (dom(I)).
+  std::unordered_set<Term> ActiveDomain() const;
+
+  size_t ApproximateBytes() const;
+
+  /// Highest null index used plus one (for fresh null allocation on top of
+  /// an existing instance).
+  uint64_t MaxNullIndex() const { return max_null_index_; }
+
+  /// Removes every tuple of `predicate` (stratum garbage collection for
+  /// the Section 7 (3) materialization-boundary optimization).
+  void DropRelation(PredicateId predicate);
+
+ private:
+  std::unordered_map<PredicateId, Relation> relations_;
+  size_t size_ = 0;
+  uint64_t max_null_index_ = 0;
+};
+
+/// Loads the parsed facts of a program into a database instance.
+Instance DatabaseFromFacts(const std::vector<Atom>& facts);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_STORAGE_INSTANCE_H_

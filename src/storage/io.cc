@@ -1,0 +1,68 @@
+#include "storage/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vadalog {
+
+std::string LoadFactsTsv(std::istream& input, Program* program) {
+  std::string line;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+      size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    if (fields.empty() || fields[0].empty()) {
+      return "line " + std::to_string(line_number) +
+             ": missing predicate name";
+    }
+    uint32_t arity = static_cast<uint32_t>(fields.size() - 1);
+    PredicateId pred = program->symbols().InternPredicate(fields[0], arity);
+    if (pred == kInvalidPredicate) {
+      return "line " + std::to_string(line_number) + ": predicate '" +
+             fields[0] + "' used with inconsistent arity";
+    }
+    Atom fact;
+    fact.predicate = pred;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      fact.args.push_back(program->symbols().InternConstant(fields[i]));
+    }
+    program->AddFact(std::move(fact));
+  }
+  return "";
+}
+
+std::string LoadFactsTsvFile(const std::string& path, Program* program) {
+  std::ifstream file(path);
+  if (!file) return "cannot open " + path;
+  return LoadFactsTsv(file, program);
+}
+
+void WriteFactsTsv(const Instance& instance, const SymbolTable& symbols,
+                   std::ostream& output, bool include_nulls) {
+  for (PredicateId pred : instance.Predicates()) {
+    const Relation* rel = instance.RelationFor(pred);
+    for (size_t row = 0; row < rel->size(); ++row) {
+      const std::vector<Term>& tuple = rel->TupleAt(row);
+      bool has_null = false;
+      for (Term t : tuple) has_null = has_null || t.is_null();
+      if (has_null && !include_nulls) continue;
+      output << symbols.PredicateName(pred);
+      for (Term t : tuple) output << '\t' << symbols.TermToString(t);
+      output << '\n';
+    }
+  }
+}
+
+}  // namespace vadalog

@@ -1,0 +1,35 @@
+// Loading and saving fact sets in a simple TSV format, one file per use:
+//
+//   predicate<TAB>arg1<TAB>arg2...
+//
+// one fact per line, '#' comments, blank lines ignored. Used by the CLI's
+// --data flag and by tests that persist generated workloads.
+
+#ifndef VADALOG_STORAGE_IO_H_
+#define VADALOG_STORAGE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "ast/program.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// Parses TSV facts from `input` into `program` (interning predicates and
+/// constants). Returns an empty string on success, else an error message
+/// with a line number. Arities are fixed by first use and enforced.
+std::string LoadFactsTsv(std::istream& input, Program* program);
+
+/// Convenience: loads from a file path.
+std::string LoadFactsTsvFile(const std::string& path, Program* program);
+
+/// Writes every constant-only atom of `instance` as TSV. Atoms containing
+/// labeled nulls are written with the null rendered as `_:nK` when
+/// `include_nulls` is set, and skipped otherwise.
+void WriteFactsTsv(const Instance& instance, const SymbolTable& symbols,
+                   std::ostream& output, bool include_nulls = false);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_STORAGE_IO_H_

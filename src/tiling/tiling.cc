@@ -1,0 +1,180 @@
+#include "tiling/tiling.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "ast/parser.h"
+
+namespace vadalog {
+namespace {
+
+/// The fixed TGD set Σ of Section 5 — piece-wise linear, not warded, and
+/// independent of the tiling system. Rows are encoded as Row(p, c, s, e):
+/// previous row id, current row id, starting tile, ending tile.
+constexpr const char* kTilingRules = R"(
+  % All rows that respect the horizontal constraints, built left to right.
+  row(Z, Z, X, X) :- tile(X).
+  row(X, U, Y, W) :- row(_, X, Y, Z), h(Z, W).
+
+  % Compatible row pairs: r2 can be placed below r1 (vertical constraints),
+  % checked column by column following the two rows' derivations.
+  comp(X, X2) :- row(X, X, Y, Y), row(X2, X2, Y2, Y2), v(Y, Y2).
+  comp(Y, Y2) :- row(X, Y, _, Z), row(X2, Y2, _, Z2), comp(X, X2), v(Z, Z2).
+
+  % Candidate tilings, tracked with the starting tile of the latest row.
+  ctiling(X, Y) :- row(_, X, Y, Z), start(Y), right(Z).
+  ctiling(Y, Z) :- ctiling(X, _), row(_, Y, Z, W), comp(X, Y), le(Z), right(W).
+)";
+
+std::string TileName(uint32_t tile) { return "t" + std::to_string(tile); }
+
+}  // namespace
+
+bool TilingSystem::Valid() const {
+  auto in_range = [this](uint32_t t) { return t < num_tiles; };
+  for (uint32_t t : left) {
+    if (!in_range(t)) return false;
+  }
+  for (uint32_t t : right) {
+    if (!in_range(t)) return false;
+    if (std::find(left.begin(), left.end(), t) != left.end()) return false;
+  }
+  for (auto [x, y] : horizontal) {
+    if (!in_range(x) || !in_range(y)) return false;
+  }
+  for (auto [x, y] : vertical) {
+    if (!in_range(x) || !in_range(y)) return false;
+  }
+  return in_range(start_tile) && in_range(finish_tile) && num_tiles > 0;
+}
+
+TilingReduction BuildTilingReduction(const TilingSystem& system) {
+  TilingReduction reduction;
+  ParseResult parsed = ParseProgram(kTilingRules);
+  reduction.program = std::move(*parsed.program);
+  Program& program = reduction.program;
+  SymbolTable& symbols = program.symbols();
+
+  auto unary = [&](const char* pred, uint32_t tile) {
+    PredicateId p = symbols.InternPredicate(pred, 1);
+    program.AddFact(Atom(p, {symbols.InternConstant(TileName(tile))}));
+  };
+  auto binary = [&](const char* pred, uint32_t t1, uint32_t t2) {
+    PredicateId p = symbols.InternPredicate(pred, 2);
+    program.AddFact(Atom(p, {symbols.InternConstant(TileName(t1)),
+                             symbols.InternConstant(TileName(t2))}));
+  };
+
+  for (uint32_t t = 0; t < system.num_tiles; ++t) unary("tile", t);
+  for (uint32_t t : system.left) unary("le", t);
+  for (uint32_t t : system.right) unary("right", t);
+  for (auto [x, y] : system.horizontal) binary("h", x, y);
+  for (auto [x, y] : system.vertical) binary("v", x, y);
+  unary("start", system.start_tile);
+  unary("finish", system.finish_tile);
+
+  // Q ← CTiling(x, y), Finish(y).
+  PredicateId ctiling = symbols.FindPredicate("ctiling");
+  PredicateId finish = symbols.FindPredicate("finish");
+  reduction.query.output = {};
+  reduction.query.atoms.push_back(
+      Atom(ctiling, {Term::Variable(0), Term::Variable(1)}));
+  reduction.query.atoms.push_back(Atom(finish, {Term::Variable(1)}));
+  return reduction;
+}
+
+bool SolveTilingDirect(const TilingSystem& system, uint32_t max_width,
+                       uint32_t max_height) {
+  if (!system.Valid()) return false;
+  std::unordered_set<uint32_t> left(system.left.begin(), system.left.end());
+  std::unordered_set<uint32_t> right(system.right.begin(),
+                                     system.right.end());
+  std::set<std::pair<uint32_t, uint32_t>> h(system.horizontal.begin(),
+                                            system.horizontal.end());
+  std::set<std::pair<uint32_t, uint32_t>> v(system.vertical.begin(),
+                                            system.vertical.end());
+
+  for (uint32_t width = 1; width <= max_width; ++width) {
+    // Enumerate all rows of this width respecting H, with endpoints in
+    // L × R.
+    std::vector<std::vector<uint32_t>> rows;
+    std::vector<uint32_t> partial;
+    auto extend = [&](auto&& self) -> void {
+      if (partial.size() == width) {
+        if (right.count(partial.back()) > 0) rows.push_back(partial);
+        return;
+      }
+      for (uint32_t t = 0; t < system.num_tiles; ++t) {
+        if (partial.empty()) {
+          if (left.count(t) == 0) continue;
+        } else if (h.count({partial.back(), t}) == 0) {
+          continue;
+        }
+        partial.push_back(t);
+        self(self);
+        partial.pop_back();
+      }
+    };
+    extend(extend);
+
+    // BFS over rows: start at rows beginning with the start tile, follow
+    // V-compatibility, look for a row beginning with the finish tile.
+    auto compatible = [&](const std::vector<uint32_t>& above,
+                          const std::vector<uint32_t>& below) {
+      for (uint32_t i = 0; i < width; ++i) {
+        if (v.count({above[i], below[i]}) == 0) return false;
+      }
+      return true;
+    };
+    std::deque<std::pair<size_t, uint32_t>> frontier;  // (row index, height)
+    std::unordered_set<size_t> seen;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i][0] == system.start_tile) {
+        if (rows[i][0] == system.finish_tile) return true;  // m = 1
+        frontier.emplace_back(i, 1);
+        seen.insert(i);
+      }
+    }
+    while (!frontier.empty()) {
+      auto [index, height] = frontier.front();
+      frontier.pop_front();
+      if (height >= max_height) continue;
+      for (size_t j = 0; j < rows.size(); ++j) {
+        if (seen.count(j) > 0) continue;
+        if (!compatible(rows[index], rows[j])) continue;
+        if (rows[j][0] == system.finish_tile) return true;
+        seen.insert(j);
+        frontier.emplace_back(j, height + 1);
+      }
+    }
+  }
+  return false;
+}
+
+TilingSystem MakeSolvableSystem() {
+  TilingSystem system;
+  system.num_tiles = 3;  // 0 = a (left), 1 = r (right), 2 = b (left)
+  system.left = {0, 2};
+  system.right = {1};
+  system.horizontal = {{0, 1}, {2, 1}};
+  system.vertical = {{0, 2}, {1, 1}, {0, 0}};
+  system.start_tile = 0;
+  system.finish_tile = 2;
+  return system;
+}
+
+TilingSystem MakeUnsolvableSystem() {
+  TilingSystem system;
+  system.num_tiles = 3;  // tile 2 is isolated; rows can grow unboundedly
+  system.left = {0};
+  system.right = {1};
+  system.horizontal = {{0, 1}, {1, 0}};
+  system.vertical = {};
+  system.start_tile = 0;
+  system.finish_tile = 2;
+  return system;
+}
+
+}  // namespace vadalog

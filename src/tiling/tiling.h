@@ -1,0 +1,72 @@
+// Tiling systems and the Section 5 reduction showing that CQ answering
+// under piece-wise linear TGDs *without* wardedness is undecidable
+// (Theorem 5.1).
+//
+// A tiling system T = (T, L, R, H, V, a, b) has tiles T, left/right border
+// tiles L, R ⊆ T (disjoint), horizontal/vertical constraints H, V ⊆ T²,
+// and start/finish tiles a, b. A tiling is an n×m assignment whose first
+// and last rows start with a and b respectively, whose leftmost/rightmost
+// columns use only L/R tiles, and which respects H and V.
+//
+// The reduction builds a database D_T encoding T, a *fixed* set Σ of TGDs
+// in PWL (independent of T) generating all candidate tilings row by row,
+// and the Boolean CQ  Q ← CTiling(x,y), Finish(y).  T has a tiling iff
+// () ∈ cert(Q, D_T, Σ).
+
+#ifndef VADALOG_TILING_TILING_H_
+#define VADALOG_TILING_TILING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+
+namespace vadalog {
+
+struct TilingSystem {
+  uint32_t num_tiles = 0;                       // tiles are 0..num_tiles-1
+  std::vector<uint32_t> left;                   // L
+  std::vector<uint32_t> right;                  // R (disjoint from L)
+  std::vector<std::pair<uint32_t, uint32_t>> horizontal;  // H
+  std::vector<std::pair<uint32_t, uint32_t>> vertical;    // V
+  uint32_t start_tile = 0;                      // a
+  uint32_t finish_tile = 0;                     // b
+
+  bool Valid() const;
+};
+
+/// The reduction output: database facts, the fixed PWL TGD set, and the
+/// Boolean query, all over one program.
+struct TilingReduction {
+  Program program;          // TGDs + facts (D_T) in one program
+  ConjunctiveQuery query;   // Boolean: Q ← CTiling(x, y), Finish(y)
+};
+
+/// Builds D_T, Σ, and q per Section 5. Σ is piece-wise linear but not
+/// warded; it does not depend on the tiling system (only D_T does).
+TilingReduction BuildTilingReduction(const TilingSystem& system);
+
+/// Ground-truth solver: searches for a tiling directly, over grids of
+/// width ≤ max_width and height ≤ max_height (the reduction quantifies
+/// over unbounded grids; the solver bounds them, which suffices to
+/// cross-check solvable instances). Returns true iff a tiling exists
+/// within the bounds.
+bool SolveTilingDirect(const TilingSystem& system, uint32_t max_width,
+                       uint32_t max_height);
+
+/// A small solvable tiling system (2 column tiles, permissive
+/// constraints) used by tests and benches.
+TilingSystem MakeSolvableSystem();
+
+/// A system with unsatisfiable vertical constraints: no tiling of height
+/// > 1 exists and the finish condition is unreachable, so the reduction's
+/// chase diverges (it keeps generating longer rows) — the undecidability
+/// witness behavior.
+TilingSystem MakeUnsolvableSystem();
+
+}  // namespace vadalog
+
+#endif  // VADALOG_TILING_TILING_H_

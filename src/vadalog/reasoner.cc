@@ -1,0 +1,167 @@
+#include "vadalog/reasoner.h"
+
+#include <algorithm>
+
+#include "analysis/fragments.h"
+#include "analysis/predicate_graph.h"
+#include "ast/parser.h"
+#include "datalog/seminaive.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+
+std::unique_ptr<Reasoner> Reasoner::FromText(std::string_view text,
+                                             std::string* error) {
+  ParseResult parsed = ParseProgram(text);
+  if (!parsed.ok()) {
+    if (error != nullptr) *error = parsed.error;
+    return nullptr;
+  }
+  return std::make_unique<Reasoner>(std::move(*parsed.program));
+}
+
+Reasoner::Reasoner(Program program) : program_(std::move(program)) {
+  NormalizeToSingleHead(&program_, nullptr);
+  database_ = DatabaseFromFacts(program_.facts());
+  classification_ = ClassifyProgram(program_);
+  wardedness_ = CheckWardedness(program_);
+}
+
+std::string Reasoner::AnalysisReport() const {
+  PredicateGraph graph(program_);
+  std::string report;
+  report += "rules: " + std::to_string(program_.tgds().size()) + "\n";
+  report += "facts: " + std::to_string(database_.size()) + "\n";
+  report += std::string("warded: ") +
+            (classification_.warded ? "yes" : "no") + "\n";
+  report += std::string("piece-wise linear: ") +
+            (classification_.piecewise_linear
+                 ? "yes"
+                 : (classification_.pwl_after_linearization
+                        ? "after linearization"
+                        : "no")) +
+            "\n";
+  report += std::string("intensionally linear: ") +
+            (classification_.intensionally_linear ? "yes" : "no") + "\n";
+  report += std::string("datalog (FULL1): ") +
+            (classification_.datalog ? "yes" : "no") + "\n";
+  report += std::string("linear TGDs: ") +
+            (classification_.linear_tgds ? "yes" : "no") + "\n";
+  report += std::string("guarded: ") +
+            (classification_.guarded ? "yes" : "no") + "\n";
+  report += std::string("sticky: ") +
+            (classification_.sticky ? "yes" : "no") + "\n";
+  if (classification_.uses_negation) {
+    report += "uses stratified negation: yes\n";
+  }
+  report += "max predicate level: " + std::to_string(graph.MaxLevel()) + "\n";
+  report += "expected data complexity: ";
+  if (classification_.warded && classification_.piecewise_linear) {
+    report += "NLogSpace (Theorem 4.2)\n";
+  } else if (classification_.warded) {
+    report += "PTime (Proposition 3.2)\n";
+  } else if (classification_.piecewise_linear) {
+    report += "undecidable in general (Theorem 5.1)\n";
+  } else {
+    report += "undecidable in general\n";
+  }
+  return report;
+}
+
+EngineChoice Reasoner::ResolveEngine(EngineChoice requested) const {
+  if (requested != EngineChoice::kAuto) return requested;
+  if (classification_.warded && classification_.piecewise_linear) {
+    return EngineChoice::kLinearProof;
+  }
+  if (classification_.warded) return EngineChoice::kAlternatingProof;
+  return EngineChoice::kChase;
+}
+
+std::vector<std::vector<Term>> Reasoner::Answer(
+    const ConjunctiveQuery& query, const ReasonerOptions& options) {
+  if (classification_.uses_negation) {
+    // Stratified negation: well-defined for Datalog programs only, via
+    // the stratified bottom-up evaluator.
+    if (!classification_.datalog) return {};
+    DatalogResult evaluated = EvaluateDatalog(program_, database_);
+    return EvaluateQuerySorted(query, evaluated.instance);
+  }
+  // Enumeration in kAuto mode always materializes via the chase — the
+  // proof searches are *decision* procedures; enumerating through them
+  // means one exhaustive refutation per non-answer in dom(D)^k (they
+  // remain available by explicit selection, and IsCertain uses them).
+  EngineChoice engine = options.engine;
+  switch (engine) {
+    case EngineChoice::kAuto:
+    case EngineChoice::kChase:
+      return CertainAnswersViaChase(program_, database_, query,
+                                    options.chase);
+    case EngineChoice::kLinearProof:
+      return CertainAnswersViaSearch(program_, database_, query,
+                                     /*use_alternating=*/false,
+                                     options.proof);
+    case EngineChoice::kAlternatingProof:
+      return CertainAnswersViaSearch(program_, database_, query,
+                                     /*use_alternating=*/true, options.proof);
+  }
+  return {};
+}
+
+std::vector<std::vector<Term>> Reasoner::Answer(
+    size_t query_index, const ReasonerOptions& options) {
+  if (query_index >= program_.queries().size()) return {};
+  return Answer(program_.queries()[query_index], options);
+}
+
+std::vector<std::string> Reasoner::AnswerStrings(
+    size_t query_index, const ReasonerOptions& options) {
+  std::vector<std::string> rendered;
+  for (const std::vector<Term>& tuple : Answer(query_index, options)) {
+    rendered.push_back(TupleToString(tuple));
+  }
+  return rendered;
+}
+
+bool Reasoner::IsCertain(const ConjunctiveQuery& query,
+                         const std::vector<Term>& answer,
+                         const ReasonerOptions& options) {
+  EngineChoice engine = ResolveEngine(options.engine);
+  switch (engine) {
+    case EngineChoice::kChase: {
+      std::vector<std::vector<Term>> all =
+          CertainAnswersViaChase(program_, database_, query, options.chase);
+      return std::binary_search(all.begin(), all.end(), answer);
+    }
+    case EngineChoice::kLinearProof:
+      return IsCertainViaLinearSearch(program_, database_, query, answer,
+                                      options.proof);
+    case EngineChoice::kAlternatingProof:
+      return IsCertainViaAlternatingSearch(program_, database_, query, answer,
+                                           options.proof);
+    case EngineChoice::kAuto:
+      break;  // unreachable
+  }
+  return false;
+}
+
+std::string Reasoner::Explain(const ConjunctiveQuery& query,
+                              const std::vector<Term>& answer,
+                              const ReasonerOptions& options) {
+  ProofExplanation explanation;
+  ProofSearchResult result = LinearProofSearch(
+      program_, database_, query, answer, options.proof, &explanation);
+  if (!result.accepted) return "";
+  return explanation.ToString(program_);
+}
+
+std::string Reasoner::TupleToString(const std::vector<Term>& tuple) const {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += program_.symbols().TermToString(tuple[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,111 @@
+// vadalog::Reasoner — the high-level public API tying the library together:
+// parse a program, analyze its fragment memberships, load a database, and
+// answer conjunctive queries with the engine matching the program's class.
+//
+// Quickstart:
+//
+//   auto reasoner = vadalog::Reasoner::FromText(R"(
+//     t(X, Y) :- e(X, Y).
+//     t(X, Z) :- e(X, Y), t(Y, Z).
+//     e(a, b).  e(b, c).
+//     ?(X) :- t(a, X).
+//   )");
+//   for (const std::string& row : reasoner->AnswerStrings(0)) { ... }
+
+#ifndef VADALOG_VADALOG_REASONER_H_
+#define VADALOG_VADALOG_REASONER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/wardedness.h"
+#include "ast/program.h"
+#include "chase/chase.h"
+#include "engine/certain.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// Which decision/enumeration engine to use.
+enum class EngineChoice : uint8_t {
+  kAuto,         // linear search for WARD∩PWL, alternating for WARD, else chase
+  kChase,        // materialize chase(D, Σ), evaluate (Proposition 2.1)
+  kLinearProof,  // Section 4.3 bounded linear proof search
+  kAlternatingProof,  // Section 4.3 alternating search (general WARD)
+};
+
+struct ReasonerOptions {
+  EngineChoice engine = EngineChoice::kAuto;
+  ChaseOptions chase;
+  ProofSearchOptions proof;
+};
+
+class Reasoner {
+ public:
+  /// Parses a full program text (rules + facts + optional queries).
+  /// Returns nullptr and sets `error` on parse failure.
+  static std::unique_ptr<Reasoner> FromText(std::string_view text,
+                                            std::string* error = nullptr);
+
+  explicit Reasoner(Program program);
+
+  /// The single-head-normalized program the engines run on.
+  const Program& program() const { return program_; }
+
+  /// The database built from the program's parsed facts (extendable).
+  const Instance& database() const { return database_; }
+  void AddFact(const Atom& fact) { database_.Insert(fact); }
+
+  /// Fragment analysis of the normalized rule set.
+  const ProgramClassification& classification() const {
+    return classification_;
+  }
+  const WardednessReport& wardedness() const { return wardedness_; }
+
+  /// Human-readable analysis summary (fragments, levels, width bounds).
+  std::string AnalysisReport() const;
+
+  /// Certain answers to a query (sorted, deduplicated tuples of constants).
+  std::vector<std::vector<Term>> Answer(
+      const ConjunctiveQuery& query, const ReasonerOptions& options = {});
+
+  /// Certain answers to the program's `index`-th parsed query.
+  std::vector<std::vector<Term>> Answer(size_t query_index,
+                                        const ReasonerOptions& options = {});
+
+  /// Rendered answers, e.g. "(a, b)".
+  std::vector<std::string> AnswerStrings(size_t query_index,
+                                         const ReasonerOptions& options = {});
+
+  /// Decides one candidate tuple with the engine chosen by `options`.
+  bool IsCertain(const ConjunctiveQuery& query,
+                 const std::vector<Term>& answer,
+                 const ReasonerOptions& options = {});
+
+  /// Decides a candidate tuple with the linear proof search and, when it
+  /// is a certain answer, returns the reconstructed linear proof tree as
+  /// a human-readable explanation (Definition 4.6); empty string when the
+  /// tuple is not certain.
+  std::string Explain(const ConjunctiveQuery& query,
+                      const std::vector<Term>& answer,
+                      const ReasonerOptions& options = {});
+
+  /// Renders a tuple with this reasoner's symbol table.
+  std::string TupleToString(const std::vector<Term>& tuple) const;
+
+ private:
+  EngineChoice ResolveEngine(EngineChoice requested) const;
+
+  Program program_;
+  Instance database_;
+  ProgramClassification classification_;
+  WardednessReport wardedness_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_VADALOG_REASONER_H_

@@ -1,0 +1,176 @@
+// Tests for the chase graph and its unraveling (Section 4.2).
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "chase/chase.h"
+#include "chase/chase_graph.h"
+
+namespace vadalog {
+namespace {
+
+struct TestEnv {
+  Program program;
+  Instance db;
+  ChaseResult chase;
+
+  explicit TestEnv(const char* text, uint32_t max_depth = 0) {
+    ParseResult parsed = ParseProgram(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    db = DatabaseFromFacts(program.facts());
+    ChaseOptions options;
+    options.record_provenance = true;
+    options.max_depth = max_depth;
+    chase = RunChase(program, db, options);
+  }
+
+  Atom MakeAtom(const char* pred, std::vector<const char*> constants) {
+    std::vector<Term> args;
+    for (const char* c : constants) {
+      args.push_back(program.symbols().InternConstant(c));
+    }
+    return Atom(program.symbols().FindPredicate(pred), std::move(args));
+  }
+};
+
+TEST(ChaseGraphTest, SourcesAreDatabaseFacts) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  EXPECT_EQ(graph.num_atoms(), s.chase.instance.size());
+  int64_t edge_id = graph.IdOf(s.MakeAtom("e", {"a", "b"}));
+  ASSERT_GE(edge_id, 0);
+  EXPECT_TRUE(graph.IsSource(static_cast<size_t>(edge_id)));
+  int64_t derived_id = graph.IdOf(s.MakeAtom("t", {"a", "b"}));
+  ASSERT_GE(derived_id, 0);
+  EXPECT_FALSE(graph.IsSource(static_cast<size_t>(derived_id)));
+}
+
+TEST(ChaseGraphTest, AncestorsFormDerivation) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  int64_t id = graph.IdOf(s.MakeAtom("t", {"a", "d"}));
+  ASSERT_GE(id, 0);
+  std::vector<Atom> support = graph.SupportOf(static_cast<size_t>(id));
+  // t(a,d) needs all three edges.
+  EXPECT_EQ(support.size(), 3u);
+  for (const Atom& atom : support) {
+    EXPECT_EQ(s.program.symbols().PredicateName(atom.predicate), "e");
+  }
+}
+
+TEST(ChaseGraphTest, DepthsMatchProvenance) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  int64_t shallow = graph.IdOf(s.MakeAtom("t", {"a", "b"}));
+  int64_t deep = graph.IdOf(s.MakeAtom("t", {"a", "d"}));
+  ASSERT_GE(shallow, 0);
+  ASSERT_GE(deep, 0);
+  EXPECT_LT(graph.DepthOf(static_cast<size_t>(shallow)),
+            graph.DepthOf(static_cast<size_t>(deep)));
+}
+
+TEST(ChaseGraphTest, DotExportContainsNodes) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    e(a, b).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  std::string dot = graph.ToDot(s.program);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("e(a, b)"), std::string::npos);
+  EXPECT_NE(dot.find("t(a, b)"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(UnravelTest, TreeCopiesSharedDerivations) {
+  // t(a,c) and t(b,c) share e(b,c); the unraveling duplicates the shared
+  // backward path per tree.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  std::vector<Atom> theta = {s.MakeAtom("t", {"a", "c"}),
+                             s.MakeAtom("t", {"b", "c"})};
+  UnravelForest forest =
+      UnravelAround(graph, theta, s.chase.instance.MaxNullIndex());
+  ASSERT_EQ(forest.roots.size(), 2u);
+  // The forest has more nodes than the original sub-DAG (duplication).
+  EXPECT_GE(forest.nodes.size(), 5u);
+  // Roots carry the Θ atoms.
+  EXPECT_EQ(forest.nodes[forest.roots[0]].original, theta[0]);
+  EXPECT_EQ(forest.nodes[forest.roots[1]].original, theta[1]);
+}
+
+TEST(UnravelTest, NullsAreRenamedApart) {
+  // Two P-facts derive isomorphic existential R-atoms whose nulls must be
+  // renamed apart between the two trees of the unraveling.
+  TestEnv s(R"(
+    r(X, Z) :- p(X).
+    p(a). p(b).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  PredicateId r = s.program.symbols().FindPredicate("r");
+  std::vector<Atom> theta;
+  const Relation* rel = s.chase.instance.RelationFor(r);
+  ASSERT_NE(rel, nullptr);
+  for (size_t row = 0; row < rel->size(); ++row) {
+    theta.push_back(Atom(r, rel->TupleAt(row)));
+  }
+  ASSERT_EQ(theta.size(), 2u);
+  UnravelForest forest =
+      UnravelAround(graph, theta, s.chase.instance.MaxNullIndex());
+  // The copies' nulls differ from each other and from the originals.
+  Term null_a = forest.nodes[forest.roots[0]].atom.args[1];
+  Term null_b = forest.nodes[forest.roots[1]].atom.args[1];
+  EXPECT_TRUE(null_a.is_null());
+  EXPECT_TRUE(null_b.is_null());
+  EXPECT_NE(null_a, null_b);
+  EXPECT_GE(null_a.index(), s.chase.instance.MaxNullIndex());
+}
+
+TEST(UnravelTest, LeavesAreDatabaseFacts) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  std::vector<Atom> theta = {s.MakeAtom("t", {"a", "c"})};
+  UnravelForest forest =
+      UnravelAround(graph, theta, s.chase.instance.MaxNullIndex());
+  for (const UnravelNode& node : forest.nodes) {
+    if (node.children.empty()) {
+      EXPECT_TRUE(node.is_database_fact)
+          << node.atom.ToString(s.program.symbols());
+    }
+  }
+}
+
+TEST(UnravelTest, MissingAtomIgnored) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    e(a, b).
+  )");
+  ChaseGraph graph(s.chase, s.db);
+  std::vector<Atom> theta = {s.MakeAtom("t", {"b", "a"})};  // not derived
+  UnravelForest forest = UnravelAround(graph, theta, 0);
+  EXPECT_TRUE(forest.roots.empty());
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,122 @@
+// Tests for the iBench-style data-exchange scenario generator and its
+// interaction with the chase and the classifier.
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "chase/chase.h"
+#include "gen/data_exchange.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+TEST(DataExchangeTest, CopyIsPlainDatalog) {
+  DataExchangeSpec spec;
+  spec.primitives = {MappingPrimitive::kCopy};
+  Program program = GenerateDataExchangeScenario(spec);
+  ProgramClassification c = ClassifyProgram(program);
+  EXPECT_TRUE(c.datalog);
+  EXPECT_TRUE(c.warded);
+  EXPECT_TRUE(c.piecewise_linear);
+  EXPECT_FALSE(c.recursive);
+}
+
+TEST(DataExchangeTest, ProjectionInventsValues) {
+  DataExchangeSpec spec;
+  spec.primitives = {MappingPrimitive::kProjection};
+  spec.facts_per_source = 5;
+  spec.seed = 3;
+  Program program = GenerateDataExchangeScenario(spec);
+  EXPECT_TRUE(ClassifyProgram(program).uses_existentials);
+  Instance db = DatabaseFromFacts(program.facts());
+  ChaseResult chase = RunChase(program, db);
+  EXPECT_TRUE(chase.Saturated());
+  EXPECT_GT(chase.nulls_created, 0u);
+}
+
+TEST(DataExchangeTest, VerticalPartitionSharesKey) {
+  DataExchangeSpec spec;
+  spec.primitives = {MappingPrimitive::kVerticalPartition};
+  spec.facts_per_source = 1;
+  Program program = GenerateDataExchangeScenario(spec);
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+  ChaseResult chase = RunChase(program, db);
+  // t0a(x, k) and t0b(k, y, w) share the invented key k.
+  PredicateId ta = program.symbols().FindPredicate("t0a");
+  PredicateId tb = program.symbols().FindPredicate("t0b");
+  const Relation* ra = chase.instance.RelationFor(ta);
+  const Relation* rb = chase.instance.RelationFor(tb);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  ASSERT_EQ(ra->size(), 1u);
+  ASSERT_EQ(rb->size(), 1u);
+  EXPECT_TRUE(ra->TupleAt(0)[1].is_null());
+  EXPECT_EQ(ra->TupleAt(0)[1], rb->TupleAt(0)[0]);
+}
+
+TEST(DataExchangeTest, FusionMergesSources) {
+  DataExchangeSpec spec;
+  spec.primitives = {MappingPrimitive::kFusion};
+  spec.facts_per_source = 4;
+  spec.seed = 9;
+  Program program = GenerateDataExchangeScenario(spec);
+  Instance db = DatabaseFromFacts(program.facts());
+  ChaseResult chase = RunChase(program, db);
+  PredicateId t = program.symbols().FindPredicate("t0");
+  const Relation* rel = chase.instance.RelationFor(t);
+  ASSERT_NE(rel, nullptr);
+  // Target holds the union (up to duplicates) of both sources.
+  PredicateId sa = program.symbols().FindPredicate("s0a");
+  PredicateId sb = program.symbols().FindPredicate("s0b");
+  size_t source_count = db.RelationFor(sa)->size() +
+                        db.RelationFor(sb)->size();
+  EXPECT_LE(rel->size(), source_count);
+  EXPECT_GE(rel->size(), db.RelationFor(sa)->size());
+}
+
+TEST(DataExchangeTest, GlavJoinNeedsWitness) {
+  DataExchangeSpec spec;
+  spec.primitives = {MappingPrimitive::kGlavJoin};
+  Program program = GenerateDataExchangeScenario(spec);
+  SymbolTable& symbols = program.symbols();
+  PredicateId sa = symbols.InternPredicate("s0a", 2);
+  PredicateId sb = symbols.InternPredicate("s0b", 2);
+  Term a = symbols.InternConstant("a"), b = symbols.InternConstant("b"),
+       c = symbols.InternConstant("c");
+  program.AddFact(Atom(sa, {a, b}));
+  program.AddFact(Atom(sb, {b, c}));
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+  ChaseResult chase = RunChase(program, db);
+  PredicateId t = symbols.FindPredicate("t0");
+  const Relation* rel = chase.instance.RelationFor(t);
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->TupleAt(0)[0], a);
+  EXPECT_EQ(rel->TupleAt(0)[1], c);
+  EXPECT_TRUE(rel->TupleAt(0)[2].is_null());
+}
+
+TEST(DataExchangeTest, SuiteIsAllWardedPwl) {
+  std::vector<Program> suite = GenerateDataExchangeSuite(40, 777);
+  ASSERT_EQ(suite.size(), 40u);
+  for (const Program& program : suite) {
+    ProgramClassification c = ClassifyProgram(program);
+    EXPECT_TRUE(c.warded) << program.ToString();
+    EXPECT_TRUE(c.piecewise_linear) << program.ToString();
+    EXPECT_FALSE(c.recursive);
+  }
+}
+
+TEST(DataExchangeTest, DeterministicForSeed) {
+  std::vector<Program> a = GenerateDataExchangeSuite(5, 42);
+  std::vector<Program> b = GenerateDataExchangeSuite(5, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace vadalog

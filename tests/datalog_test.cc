@@ -1,0 +1,157 @@
+// Tests for the semi-naive Datalog evaluator and the Section 7
+// optimization knobs (join-order bias, strata materialization).
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "datalog/seminaive.h"
+#include "storage/homomorphism.h"
+
+namespace vadalog {
+namespace {
+
+struct TestEnv {
+  Program program;
+  Instance db;
+
+  explicit TestEnv(const char* text) {
+    ParseResult parsed = ParseProgram(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    db = DatabaseFromFacts(program.facts());
+  }
+
+  size_t Count(const char* predicate, const Instance& instance) {
+    PredicateId p = program.symbols().FindPredicate(predicate);
+    const Relation* rel = instance.RelationFor(p);
+    return rel == nullptr ? 0 : rel->size();
+  }
+};
+
+TEST(DatalogTest, TransitiveClosureChain) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d). e(d, f).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_TRUE(result.reached_fixpoint);
+  EXPECT_EQ(s.Count("t", result.instance), 10u);  // 4+3+2+1
+}
+
+TEST(DatalogTest, SeminaiveAndNaiveAgree) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    s(X) :- t(X, X).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+  )");
+  DatalogOptions naive;
+  naive.seminaive = false;
+  DatalogResult r1 = EvaluateDatalog(s.program, s.db);
+  DatalogResult r2 = EvaluateDatalog(s.program, s.db, naive);
+  EXPECT_EQ(s.Count("t", r1.instance), s.Count("t", r2.instance));
+  EXPECT_EQ(s.Count("s", r1.instance), s.Count("s", r2.instance));
+  EXPECT_EQ(s.Count("s", r1.instance), 3u);  // cycle a→b→c→a
+}
+
+TEST(DatalogTest, StratifiedEvaluationOrders) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    u(X, Y) :- t(X, Y).
+    u(X, Z) :- u(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(s.Count("t", result.instance), 3u);
+  EXPECT_EQ(s.Count("u", result.instance), 3u);
+}
+
+TEST(DatalogTest, MaterializeStrataDropsDeadRelations) {
+  TestEnv s(R"(
+    mid(X, Y) :- e(X, Y).
+    top(X) :- mid(X, Y).
+    e(a, b). e(b, c).
+  )");
+  DatalogOptions options;
+  options.materialize_strata = true;
+  options.preserve = {s.program.symbols().FindPredicate("top")};
+  DatalogResult result = EvaluateDatalog(s.program, s.db, options);
+  // top is preserved; e and mid are dropped after their last reader.
+  EXPECT_EQ(s.Count("top", result.instance), 2u);
+  EXPECT_EQ(s.Count("mid", result.instance), 0u);
+  EXPECT_EQ(s.Count("e", result.instance), 0u);
+}
+
+TEST(DatalogTest, MaterializeStrataPreservesAnswers) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    reach(Y) :- t(a, Y).
+    e(a, b). e(b, c). e(c, d).
+  )");
+  DatalogOptions options;
+  options.materialize_strata = true;
+  options.preserve = {s.program.symbols().FindPredicate("reach")};
+  DatalogResult gc = EvaluateDatalog(s.program, s.db, options);
+  DatalogResult plain = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(s.Count("reach", gc.instance), s.Count("reach", plain.instance));
+  EXPECT_LT(gc.instance.size(), plain.instance.size());
+}
+
+TEST(DatalogTest, RoundBudgetStopsEarly) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d). e(d, f). e(f, g).
+  )");
+  DatalogOptions options;
+  options.max_rounds = 2;
+  DatalogResult result = EvaluateDatalog(s.program, s.db, options);
+  EXPECT_FALSE(result.reached_fixpoint);
+  EXPECT_LT(s.Count("t", result.instance), 15u);
+}
+
+TEST(DatalogTest, ConstantsInRules) {
+  TestEnv s(R"(
+    special(X) :- e(a, X).
+    e(a, b). e(b, c).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(s.Count("special", result.instance), 1u);
+}
+
+TEST(DatalogTest, MutualRecursion) {
+  TestEnv s(R"(
+    even(X) :- zero(X).
+    odd(Y) :- even(X), succ(X, Y).
+    even(Y) :- odd(X), succ(X, Y).
+    zero(n0).
+    succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(s.Count("even", result.instance), 3u);  // n0 n2 n4
+  EXPECT_EQ(s.Count("odd", result.instance), 2u);   // n1 n3
+}
+
+TEST(DatalogTest, RuleApplicationsCounted) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    e(a, b). e(b, c).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(result.rule_applications, 2u);
+}
+
+TEST(DatalogTest, SelfJoinBody) {
+  TestEnv s(R"(
+    tri(X, Y, Z) :- e(X, Y), e(Y, Z), e(X, Z).
+    e(a, b). e(b, c). e(a, c).
+  )");
+  DatalogResult result = EvaluateDatalog(s.program, s.db);
+  EXPECT_EQ(s.Count("tri", result.instance), 1u);
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,132 @@
+// Tests for the additional Datalog± fragment checks: LINEAR, GUARDED, and
+// STICKY, and their interplay with wardedness / piece-wise linearity.
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/fragments.h"
+#include "ast/parser.h"
+
+namespace vadalog {
+namespace {
+
+Program Parse(const char* text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return std::move(*result.program);
+}
+
+TEST(LinearTgdsTest, SingleBodyAtomRules) {
+  Program linear = Parse(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+  )");
+  EXPECT_TRUE(IsLinearTgds(linear));
+
+  Program join = Parse("t(X, Z) :- e(X, Y), t(Y, Z).");
+  EXPECT_FALSE(IsLinearTgds(join));
+}
+
+TEST(LinearTgdsTest, LinearImpliesIntensionallyLinear) {
+  Program program = Parse(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+  )");
+  EXPECT_TRUE(IsLinearTgds(program));
+  EXPECT_TRUE(IsIntensionallyLinear(program));
+}
+
+TEST(GuardedTest, GuardContainsAllBodyVariables) {
+  Program guarded = Parse(R"(
+    s(X, Y) :- r(X, Y, Z), p(X), q(Y).
+  )");
+  EXPECT_TRUE(IsGuarded(guarded));
+
+  // e(X,Y), e(Y,Z): no single atom holds {X, Y, Z}.
+  Program unguarded = Parse("t(X, Z) :- e(X, Y), e(Y, Z).");
+  EXPECT_FALSE(IsGuarded(unguarded));
+}
+
+TEST(GuardedTest, SingleAtomBodiesAreGuarded) {
+  Program program = Parse("p(X) :- q(X, Y).");
+  EXPECT_TRUE(IsGuarded(program));
+}
+
+TEST(StickyTest, TransitiveClosureIsNotSticky) {
+  // The join variable y of T(x,y), T(y,z) → T(x,z) is marked (it does not
+  // appear in the head) and occurs twice in the body.
+  Program tc = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  EXPECT_FALSE(IsSticky(tc));
+}
+
+TEST(StickyTest, FullJoinPropagationIsSticky) {
+  // The join variable appears in the head, and nothing marks it.
+  Program program = Parse(R"(
+    s(X, Y, Z) :- r(X, Y), q(Y, Z).
+  )");
+  EXPECT_TRUE(IsSticky(program));
+}
+
+TEST(StickyTest, MarkingPropagatesThroughHeads) {
+  // Positive control: the join variable is kept by every head, so nothing
+  // ever marks it.
+  Program program = Parse(R"(
+    s(X, Y, Z) :- r(X, Y), q(Y, Z).
+    w(A, B, C) :- s(A, B, C).
+  )");
+  EXPECT_TRUE(IsSticky(program));
+
+  Program violating = Parse(R"(
+    s(Y) :- r(X, Y), p(Y).
+    w(X2) :- s(V2), p2(X2).
+  )");
+  // V2 is marked (base: not in rule 2's head) at position s[1];
+  // propagation marks Y in rule 1 (Y sits at head position s[1]); Y
+  // occurs twice in rule 1's body → not sticky.
+  EXPECT_FALSE(IsSticky(violating));
+}
+
+TEST(StickyTest, LinearRulesAreSticky) {
+  Program program = Parse(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+  )");
+  EXPECT_TRUE(IsSticky(program));
+}
+
+TEST(ClassifierTest, NewFlagsExposed) {
+  Program program = Parse(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+  )");
+  ProgramClassification c = ClassifyProgram(program);
+  EXPECT_TRUE(c.linear_tgds);
+  EXPECT_TRUE(c.guarded);
+  EXPECT_TRUE(c.sticky);
+  EXPECT_TRUE(c.warded);
+  EXPECT_FALSE(c.uses_negation);
+}
+
+TEST(ClassifierTest, WardedButNotGuardedNotSticky) {
+  // Example 3.3 is warded ∩ PWL but neither guarded nor sticky — the
+  // separation that motivates wardedness as the Vadalog core.
+  Program program = Parse(R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+  )");
+  ProgramClassification c = ClassifyProgram(program);
+  EXPECT_TRUE(c.warded);
+  EXPECT_TRUE(c.piecewise_linear);
+  EXPECT_FALSE(c.guarded);
+  EXPECT_FALSE(c.sticky);
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,124 @@
+// Tests for the workload generators (graphs, ontologies, iWarded-style
+// scenario suites).
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "ast/parser.h"
+#include "gen/generators.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+namespace {
+
+TEST(GraphGenTest, ChainHasExactEdges) {
+  Program program;
+  AddChainGraphFacts(&program, "e", 10);
+  EXPECT_EQ(program.facts().size(), 9u);
+  Instance db = DatabaseFromFacts(program.facts());
+  EXPECT_EQ(db.size(), 9u);
+}
+
+TEST(GraphGenTest, RandomGraphDeterministicForSeed) {
+  Program p1, p2;
+  Rng r1(99), r2(99);
+  AddRandomGraphFacts(&p1, "e", 50, 200, &r1);
+  AddRandomGraphFacts(&p2, "e", 50, 200, &r2);
+  ASSERT_EQ(p1.facts().size(), p2.facts().size());
+  for (size_t i = 0; i < p1.facts().size(); ++i) {
+    EXPECT_EQ(p1.symbols().ConstantName(p1.facts()[i].args[0]),
+              p2.symbols().ConstantName(p2.facts()[i].args[0]));
+  }
+}
+
+TEST(GraphGenTest, TransitiveClosureVariants) {
+  EXPECT_TRUE(
+      ClassifyProgram(MakeTransitiveClosureProgram(true)).piecewise_linear);
+  ProgramClassification nonlinear =
+      ClassifyProgram(MakeTransitiveClosureProgram(false));
+  EXPECT_FALSE(nonlinear.piecewise_linear);
+  EXPECT_TRUE(nonlinear.pwl_after_linearization);
+}
+
+TEST(OntologyGenTest, Owl2QlProgramIsWardedPwl) {
+  ProgramClassification c = ClassifyProgram(MakeOwl2QlProgram());
+  EXPECT_TRUE(c.warded);
+  EXPECT_TRUE(c.piecewise_linear);
+  EXPECT_TRUE(c.uses_existentials);
+}
+
+TEST(OntologyGenTest, FactsCoverAllRelations) {
+  Program program = MakeOwl2QlProgram();
+  Rng rng(7);
+  AddOntologyFacts(&program, 20, 5, 50, &rng);
+  Instance db = DatabaseFromFacts(program.facts());
+  EXPECT_GT(db.size(), 50u);
+  EXPECT_NE(program.symbols().FindPredicate("subclass"), kInvalidPredicate);
+  EXPECT_NE(program.symbols().FindPredicate("type"), kInvalidPredicate);
+}
+
+TEST(ScenarioGenTest, ShapesClassifyAsIntended) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioSpec spec;
+    spec.seed = seed;
+
+    spec.shape = RecursionShape::kLinear;
+    ProgramClassification linear = ClassifyProgram(GenerateScenario(spec));
+    EXPECT_TRUE(linear.warded) << "seed " << seed;
+    EXPECT_TRUE(linear.piecewise_linear) << "seed " << seed;
+
+    spec.shape = RecursionShape::kPiecewiseLinear;
+    ProgramClassification pwl = ClassifyProgram(GenerateScenario(spec));
+    EXPECT_TRUE(pwl.warded) << "seed " << seed;
+    EXPECT_TRUE(pwl.piecewise_linear) << "seed " << seed;
+
+    spec.shape = RecursionShape::kLinearizable;
+    ProgramClassification lin = ClassifyProgram(GenerateScenario(spec));
+    EXPECT_TRUE(lin.warded) << "seed " << seed;
+    EXPECT_FALSE(lin.piecewise_linear) << "seed " << seed;
+    EXPECT_TRUE(lin.pwl_after_linearization) << "seed " << seed;
+
+    spec.shape = RecursionShape::kNonLinear;
+    ProgramClassification non = ClassifyProgram(GenerateScenario(spec));
+    EXPECT_TRUE(non.warded) << "seed " << seed;
+    EXPECT_FALSE(non.piecewise_linear) << "seed " << seed;
+    EXPECT_FALSE(non.pwl_after_linearization) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenTest, SuiteMixtureRoughlyCalibrated) {
+  SuiteMixture mixture;  // defaults ≈ paper profile
+  std::vector<Program> suite = GenerateScenarioSuite(200, mixture, 4242);
+  ASSERT_EQ(suite.size(), 200u);
+  size_t direct = 0, after = 0, non = 0;
+  for (const Program& program : suite) {
+    ProgramClassification c = ClassifyProgram(program);
+    EXPECT_TRUE(c.warded);
+    if (c.piecewise_linear) {
+      ++direct;
+    } else if (c.pwl_after_linearization) {
+      ++after;
+    } else {
+      ++non;
+    }
+  }
+  // ≈55% / 15% / 30% within generous tolerances.
+  EXPECT_GT(direct, 80u);
+  EXPECT_LT(direct, 140u);
+  EXPECT_GT(after, 10u);
+  EXPECT_LT(after, 60u);
+  EXPECT_GT(non, 30u);
+  EXPECT_LT(non, 90u);
+}
+
+TEST(ScenarioGenTest, DeterministicForSeed) {
+  ScenarioSpec spec;
+  spec.shape = RecursionShape::kPiecewiseLinear;
+  spec.seed = 77;
+  Program a = GenerateScenario(spec);
+  Program b = GenerateScenario(spec);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,98 @@
+// Tests for TSV fact loading/saving.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ast/parser.h"
+#include "chase/chase.h"
+#include "storage/io.h"
+
+namespace vadalog {
+namespace {
+
+TEST(IoTest, LoadsFacts) {
+  std::istringstream input(
+      "edge\ta\tb\n"
+      "edge\tb\tc\n"
+      "# comment\n"
+      "\n"
+      "node\ta\n");
+  Program program;
+  std::string error = LoadFactsTsv(input, &program);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(program.facts().size(), 3u);
+  Instance db = DatabaseFromFacts(program.facts());
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(IoTest, RejectsArityClash) {
+  std::istringstream input(
+      "edge\ta\tb\n"
+      "edge\ta\n");
+  Program program;
+  std::string error = LoadFactsTsv(input, &program);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("arity"), std::string::npos);
+}
+
+TEST(IoTest, RejectsMissingPredicate) {
+  std::istringstream input("\ta\tb\n");
+  Program program;
+  EXPECT_FALSE(LoadFactsTsv(input, &program).empty());
+}
+
+TEST(IoTest, ZeroArityFacts) {
+  std::istringstream input("flag\n");
+  Program program;
+  std::string error = LoadFactsTsv(input, &program);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(program.facts().size(), 1u);
+  EXPECT_TRUE(program.facts()[0].args.empty());
+}
+
+TEST(IoTest, ValuesWithSpacesSurvive) {
+  std::istringstream input("person\tAda Lovelace\tLondon\n");
+  Program program;
+  ASSERT_TRUE(LoadFactsTsv(input, &program).empty());
+  EXPECT_EQ(program.symbols().ConstantName(program.facts()[0].args[0]),
+            "Ada Lovelace");
+}
+
+TEST(IoTest, RoundTripThroughWriter) {
+  std::istringstream input(
+      "edge\ta\tb\n"
+      "node\tc\n");
+  Program program;
+  ASSERT_TRUE(LoadFactsTsv(input, &program).empty());
+  Instance db = DatabaseFromFacts(program.facts());
+
+  std::ostringstream out;
+  WriteFactsTsv(db, program.symbols(), out);
+
+  Program reloaded;
+  std::istringstream back(out.str());
+  ASSERT_TRUE(LoadFactsTsv(back, &reloaded).empty());
+  EXPECT_EQ(DatabaseFromFacts(reloaded.facts()).size(), db.size());
+}
+
+TEST(IoTest, NullsSkippedUnlessRequested) {
+  ParseResult parsed = ParseProgram(R"(
+    r(X, Z) :- p(X).
+    p(a).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Instance db = DatabaseFromFacts(parsed.program->facts());
+  ChaseResult chase = RunChase(*parsed.program, db);
+
+  std::ostringstream no_nulls;
+  WriteFactsTsv(chase.instance, parsed.program->symbols(), no_nulls, false);
+  EXPECT_EQ(no_nulls.str().find("_:n"), std::string::npos);
+
+  std::ostringstream with_nulls;
+  WriteFactsTsv(chase.instance, parsed.program->symbols(), with_nulls, true);
+  EXPECT_NE(with_nulls.str().find("_:n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vadalog

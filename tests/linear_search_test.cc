@@ -1,0 +1,220 @@
+// Tests for the bounded linear proof search (Section 4.3) — the paper's
+// headline NLogSpace algorithm for CQAns(WARD ∩ PWL).
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "engine/certain.h"
+#include "engine/linear_search.h"
+#include "vadalog/reasoner.h"
+
+namespace vadalog {
+namespace {
+
+struct TestEnv {
+  Program program;
+  Instance db;
+
+  explicit TestEnv(const char* text) {
+    ParseResult parsed = ParseProgram(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    NormalizeToSingleHead(&program, nullptr);
+    db = DatabaseFromFacts(program.facts());
+  }
+
+  Term Const(const char* name) {
+    return program.symbols().InternConstant(name);
+  }
+  ConjunctiveQuery Query(size_t index = 0) {
+    return program.queries()[index];
+  }
+};
+
+TEST(LinearSearchTest, ReachabilityPositive) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("d")}).accepted);
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("b")}).accepted);
+}
+
+TEST(LinearSearchTest, ReachabilityNegative) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("a")}).accepted);
+  ProofSearchResult r =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")});
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(LinearSearchTest, ExistentialWitnessBooleanQuery) {
+  // P(x) → ∃z R(x,z): the Boolean query ∃x∃z R(x,z) is certain although
+  // no R-fact exists in D.
+  TestEnv s(R"(
+    r(X, Z) :- p(X).
+    p(a).
+    ?() :- r(X, Y).
+  )");
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(), {}).accepted);
+}
+
+TEST(LinearSearchTest, NullNotACertainAnswer) {
+  // The witness z is a null: ?(Y) :- r(a, Y) has no certain (constant)
+  // answer.
+  TestEnv s(R"(
+    r(X, Z) :- p(X).
+    p(a).
+    ?(Y) :- r(a, Y).
+  )");
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("a")}).accepted);
+}
+
+TEST(LinearSearchTest, WardedExistentialCycle) {
+  // The Section 3 warded pair; derived P-facts are null-valued, so the
+  // only certain P-answer is the database one... plus none propagated.
+  TestEnv s(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+    p(a).
+    ?(X) :- p(X).
+  )");
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("a")}).accepted);
+  Term b = s.Const("b");
+  EXPECT_FALSE(LinearProofSearch(s.program, s.db, s.Query(), {b}).accepted);
+  // Boolean: ∃x∃z r(x,z) and the deeper ∃ chain are certain.
+  ConjunctiveQuery boolean_query;
+  PredicateId r = s.program.symbols().FindPredicate("r");
+  boolean_query.atoms = {Atom(r, {Term::Variable(0), Term::Variable(1)})};
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, boolean_query, {}).accepted);
+}
+
+TEST(LinearSearchTest, JoinQueryOverDerivedAtoms) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(b, d).
+    ?(X, Y) :- t(a, X), t(X, Y).
+  )");
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(),
+                                {s.Const("b"), s.Const("c")})
+                  .accepted);
+  EXPECT_FALSE(LinearProofSearch(s.program, s.db, s.Query(),
+                                 {s.Const("c"), s.Const("b")})
+                   .accepted);
+}
+
+TEST(LinearSearchTest, RepeatedOutputVariable) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, a).
+    ?(X, X) :- t(X, X).
+  )");
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(),
+                                {s.Const("a"), s.Const("a")})
+                  .accepted);
+  // Inconsistent candidate for the repeated variable.
+  EXPECT_FALSE(LinearProofSearch(s.program, s.db, s.Query(),
+                                 {s.Const("a"), s.Const("b")})
+                   .accepted);
+}
+
+TEST(LinearSearchTest, Owl2QlTypeInference) {
+  TestEnv s(R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+    subclass(cat, mammal). subclass(mammal, animal).
+    type(tom, cat).
+    restriction(hunter, hunts).
+    type(tom, hunter).
+    ?(Y) :- type(tom, Y).
+  )");
+  // Transitive subclass inference: tom : cat, mammal, animal.
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(),
+                                {s.Const("animal")})
+                  .accepted);
+  // Through restriction + inverse-free round trip: triple(tom, hunts, z)
+  // with restriction(hunter, hunts) re-derives type(tom, hunter).
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(),
+                                {s.Const("hunter")})
+                  .accepted);
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("hunts")})
+          .accepted);
+}
+
+TEST(LinearSearchTest, AgreesWithChaseOnEnumeration) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  std::vector<std::vector<Term>> via_chase =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  std::vector<std::vector<Term>> via_search =
+      CertainAnswersViaSearch(s.program, s.db, s.Query());
+  EXPECT_EQ(via_chase, via_search);
+  EXPECT_EQ(via_search.size(), 12u);  // 3-cycle closure (9) + edges into d (3)
+}
+
+TEST(LinearSearchTest, StateBudgetReported) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchOptions options;
+  options.max_states = 1;
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(LinearSearchTest, StatsArePopulated) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("c")});
+  EXPECT_TRUE(result.accepted);
+  EXPECT_GT(result.node_width_used, 0u);
+  EXPECT_GT(result.peak_state_bytes, 0u);
+}
+
+TEST(LinearSearchTest, FreezeQueryRejectsMalformedCandidates) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    e(a, b).
+    ?(X) :- t(X, X).
+  )");
+  EXPECT_FALSE(FreezeQuery(s.Query(), {}).has_value());             // arity
+  EXPECT_FALSE(FreezeQuery(s.Query(), {Term::Null(0)}).has_value()); // null
+  EXPECT_TRUE(FreezeQuery(s.Query(), {s.Const("a")}).has_value());
+}
+
+}  // namespace
+}  // namespace vadalog

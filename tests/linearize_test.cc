@@ -1,0 +1,144 @@
+// Tests for the Section 1.2 linearization transform and the whole-program
+// classifier used in experiment E4.
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/fragments.h"
+#include "analysis/linearize.h"
+#include "ast/parser.h"
+
+namespace vadalog {
+namespace {
+
+Program Parse(const char* text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return std::move(*result.program);
+}
+
+TEST(LinearizeTest, TransitiveClosureBecomesLinear) {
+  Program program = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  ASSERT_FALSE(IsPiecewiseLinear(program));
+  LinearizeResult result = LinearizeProgram(&program);
+  EXPECT_TRUE(result.changed);
+  EXPECT_TRUE(result.now_piecewise);
+  EXPECT_EQ(result.rules_rewritten, 1u);
+  // The rewritten rule is  t(X,Z) :- e(X,Y), t(Y,Z).
+  bool found = false;
+  for (const Tgd& tgd : program.tgds()) {
+    if (tgd.body.size() == 2 &&
+        program.symbols().PredicateName(tgd.body[0].predicate) == "e" &&
+        program.symbols().PredicateName(tgd.body[1].predicate) == "t") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LinearizeTest, AlreadyLinearProgramUnchanged) {
+  Program program = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+  )");
+  LinearizeResult result = LinearizeProgram(&program);
+  EXPECT_FALSE(result.changed);
+  EXPECT_TRUE(result.now_piecewise);
+}
+
+TEST(LinearizeTest, NoExitRuleMeansNoRewrite) {
+  Program program = Parse("t(X, Z) :- t(X, Y), t(Y, Z).");
+  LinearizeResult result = LinearizeProgram(&program);
+  EXPECT_FALSE(result.changed);
+  EXPECT_FALSE(result.now_piecewise);
+}
+
+TEST(LinearizeTest, MutualRecursionPairIsOutOfPattern) {
+  Program program = Parse(R"(
+    q(X, Y) :- p(X, Y).
+    p(X, Y) :- e(X, Y).
+    p(X, Z) :- q(X, Y), q(Y, Z).
+  )");
+  LinearizeResult result = LinearizeProgram(&program);
+  // Body predicates (q) differ from the head predicate (p): outside the
+  // chain-closure pattern, left untouched.
+  EXPECT_FALSE(result.changed);
+  EXPECT_FALSE(result.now_piecewise);
+}
+
+TEST(LinearizeTest, MultipleExitRulesAllUnfolded) {
+  Program program = Parse(R"(
+    t(X, Y) :- e1(X, Y).
+    t(X, Y) :- e2(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  LinearizeResult result = LinearizeProgram(&program);
+  EXPECT_TRUE(result.changed);
+  EXPECT_TRUE(result.now_piecewise);
+  // One rewritten rule per exit rule.
+  EXPECT_EQ(program.tgds().size(), 4u);
+}
+
+TEST(ClassifyTest, BucketsMatchShapes) {
+  Program direct = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+  )");
+  EXPECT_EQ(ClassifyProgram(direct).RecursionBucket(), "pwl-direct");
+
+  Program linearizable = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  EXPECT_EQ(ClassifyProgram(linearizable).RecursionBucket(),
+            "pwl-after-linearization");
+
+  Program nonpwl = Parse(R"(
+    q(X, Y) :- p(X, Y).
+    p(X, Y) :- e(X, Y).
+    p(X, Z) :- q(X, Y), q(Y, Z).
+  )");
+  EXPECT_EQ(ClassifyProgram(nonpwl).RecursionBucket(), "non-pwl");
+}
+
+TEST(ClassifyTest, FlagsAreConsistent) {
+  Program program = Parse(R"(
+    r(X, Z) :- p(X).
+    p(Y) :- r(X, Y).
+  )");
+  ProgramClassification c = ClassifyProgram(program);
+  EXPECT_TRUE(c.warded);
+  EXPECT_TRUE(c.piecewise_linear);
+  EXPECT_TRUE(c.uses_existentials);
+  EXPECT_TRUE(c.recursive);
+  EXPECT_FALSE(c.datalog);
+}
+
+TEST(ClassifyTest, CloneProgramPreservesIds) {
+  Program program = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    e(a, b).
+  )");
+  Program copy = CloneProgram(program);
+  EXPECT_EQ(copy.tgds().size(), 1u);
+  EXPECT_EQ(copy.facts().size(), 1u);
+  EXPECT_EQ(copy.symbols().PredicateName(copy.facts()[0].predicate), "e");
+  EXPECT_EQ(copy.symbols().ConstantName(copy.facts()[0].args[0]), "a");
+}
+
+TEST(ClassifyTest, ClassificationDoesNotMutate) {
+  Program program = Parse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  size_t before = program.tgds().size();
+  ClassifyProgram(program);
+  EXPECT_EQ(program.tgds().size(), before);
+  EXPECT_FALSE(IsPiecewiseLinear(program));  // still the non-linear version
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,165 @@
+// Tests for stratified negation — the paper's "very mild and easy to
+// handle negation" (Section 1.1): parsing, safety, stratification, and
+// evaluation semantics.
+
+#include <gtest/gtest.h>
+
+#include "analysis/predicate_graph.h"
+#include "ast/parser.h"
+#include "chase/chase.h"
+#include "datalog/seminaive.h"
+#include "storage/homomorphism.h"
+#include "vadalog/reasoner.h"
+
+namespace vadalog {
+namespace {
+
+TEST(NegationParseTest, ParsesNegatedAtoms) {
+  ParseResult result = ParseProgram(R"(
+    orphan(X) :- node(X), not parent(X, X).
+  )");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Tgd& tgd = result.program->tgds()[0];
+  EXPECT_EQ(tgd.body.size(), 1u);
+  EXPECT_EQ(tgd.negative_body.size(), 1u);
+}
+
+TEST(NegationParseTest, PredicateNamedNotStaysPositive) {
+  ParseResult result = ParseProgram("p(X) :- not(X).");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Tgd& tgd = result.program->tgds()[0];
+  EXPECT_EQ(tgd.body.size(), 1u);
+  EXPECT_TRUE(tgd.negative_body.empty());
+}
+
+TEST(NegationParseTest, RejectsUnsafeNegation) {
+  ParseResult result = ParseProgram("p(X) :- q(X), not r(X, Y).");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unsafe"), std::string::npos);
+}
+
+TEST(NegationParseTest, RejectsNegativeOnlyBody) {
+  ParseResult result = ParseProgram("p(a2) :- not q(a2).");
+  // No positive atom: the rule body must have at least one positive atom.
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(NegationParseTest, ToStringRoundTrips) {
+  const char* text = "orphan(X) :- node(X), not parent(X, X).\n";
+  ParseResult first = ParseProgram(text);
+  ASSERT_TRUE(first.ok());
+  std::string printed = first.program->ToString();
+  ParseResult second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << second.error << "\n" << printed;
+  EXPECT_EQ(second.program->tgds()[0].negative_body.size(), 1u);
+}
+
+TEST(NegationStratificationTest, DetectsNegationInCycle) {
+  ParseResult result = ParseProgram(R"(
+    p(X) :- dom(X), not q(X).
+    q(X) :- dom(X), not p(X).
+  )");
+  ASSERT_TRUE(result.ok());
+  PredicateGraph graph(*result.program);
+  EXPECT_FALSE(graph.NegationIsStratified());
+}
+
+TEST(NegationStratificationTest, AcyclicNegationIsStratified) {
+  ParseResult result = ParseProgram(R"(
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    unreachable(X, Y) :- node(X), node(Y), not reach(X, Y).
+  )");
+  ASSERT_TRUE(result.ok());
+  PredicateGraph graph(*result.program);
+  EXPECT_TRUE(graph.NegationIsStratified());
+}
+
+TEST(NegationEvalTest, UnreachablePairs) {
+  ParseResult parsed = ParseProgram(R"(
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    unreachable(X, Y) :- node(X), node(Y), not reach(X, Y).
+    edge(a, b). edge(b, c).
+    node(a). node(b). node(c).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  Instance db = DatabaseFromFacts(program.facts());
+  DatalogResult result = EvaluateDatalog(program, db);
+  EXPECT_TRUE(result.reached_fixpoint);
+  PredicateId unreachable = program.symbols().FindPredicate("unreachable");
+  const Relation* rel = result.instance.RelationFor(unreachable);
+  ASSERT_NE(rel, nullptr);
+  // 9 pairs - reach = {ab, ac, bc} => 6 unreachable (incl. self pairs).
+  EXPECT_EQ(rel->size(), 6u);
+}
+
+TEST(NegationEvalTest, RefusesUnstratifiedProgram) {
+  ParseResult parsed = ParseProgram(R"(
+    p(X) :- dom(X), not q(X).
+    q(X) :- dom(X), not p(X).
+    dom(a).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  Instance db = DatabaseFromFacts(program.facts());
+  DatalogResult result = EvaluateDatalog(program, db);
+  EXPECT_FALSE(result.reached_fixpoint);
+  EXPECT_EQ(result.instance.size(), 0u);
+}
+
+TEST(NegationEvalTest, SemiNaiveAndNaiveAgreeWithNegation) {
+  ParseResult parsed = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+    sink(X) :- node(X), not starts(X).
+    starts(X) :- e(X, Y).
+    e(a, b). e(b, c).
+    node(a). node(b). node(c).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  Instance db = DatabaseFromFacts(program.facts());
+  DatalogOptions naive;
+  naive.seminaive = false;
+  DatalogResult r1 = EvaluateDatalog(program, db);
+  DatalogResult r2 = EvaluateDatalog(program, db, naive);
+  PredicateId sink = program.symbols().FindPredicate("sink");
+  ASSERT_NE(r1.instance.RelationFor(sink), nullptr);
+  EXPECT_EQ(r1.instance.RelationFor(sink)->size(),
+            r2.instance.RelationFor(sink)->size());
+  EXPECT_EQ(r1.instance.RelationFor(sink)->size(), 1u);  // only c
+}
+
+TEST(NegationEvalTest, ChaseRefusesNegation) {
+  ParseResult parsed = ParseProgram(R"(
+    p(X) :- q(X), not r(X).
+    q(a).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Instance db = DatabaseFromFacts(parsed.program->facts());
+  ChaseResult result = RunChase(*parsed.program, db);
+  EXPECT_EQ(result.stop_reason, ChaseStopReason::kUnsupported);
+}
+
+TEST(NegationReasonerTest, EndToEnd) {
+  std::unique_ptr<Reasoner> reasoner = Reasoner::FromText(R"(
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    isolated(X) :- node(X), not touched(X).
+    touched(X) :- edge(X, Y).
+    touched(Y) :- edge(X, Y).
+    edge(a, b).
+    node(a). node(b). node(z).
+    ?(X) :- isolated(X).
+  )");
+  ASSERT_NE(reasoner, nullptr);
+  EXPECT_TRUE(reasoner->classification().uses_negation);
+  std::vector<std::string> answers = reasoner->AnswerStrings(0);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], "(z)");
+}
+
+}  // namespace
+}  // namespace vadalog

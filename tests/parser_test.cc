@@ -1,0 +1,197 @@
+// Unit tests for the surface-syntax parser, the AST, and single-head
+// normalization.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/program.h"
+
+namespace vadalog {
+namespace {
+
+TEST(ParserTest, ParsesRuleFactAndQuery) {
+  ParseResult result = ParseProgram(R"(
+    % transitive closure
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).
+    ?(X) :- t(a, X).
+  )");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Program& program = *result.program;
+  EXPECT_EQ(program.tgds().size(), 2u);
+  EXPECT_EQ(program.facts().size(), 1u);
+  EXPECT_EQ(program.queries().size(), 1u);
+  EXPECT_EQ(program.queries()[0].output.size(), 1u);
+}
+
+TEST(ParserTest, VariablesAreScopedPerStatement) {
+  ParseResult result = ParseProgram(R"(
+    p(X) :- q(X).
+    r(X) :- s(X).
+  )");
+  ASSERT_TRUE(result.ok());
+  // Both rules use variable index 0 — scopes are independent.
+  EXPECT_EQ(result.program->tgds()[0].body[0].args[0], Term::Variable(0));
+  EXPECT_EQ(result.program->tgds()[1].body[0].args[0], Term::Variable(0));
+}
+
+TEST(ParserTest, WildcardsAreFreshVariables) {
+  ParseResult result = ParseProgram("p(X) :- q(_, _), r(X).");
+  ASSERT_TRUE(result.ok());
+  const Tgd& tgd = result.program->tgds()[0];
+  EXPECT_NE(tgd.body[0].args[0], tgd.body[0].args[1]);
+}
+
+TEST(ParserTest, UnderscorePrefixedNamesAreVariables) {
+  ParseResult result = ParseProgram("p(_Foo) :- q(_Foo).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.program->tgds()[0].body[0].args[0].is_variable());
+}
+
+TEST(ParserTest, QuotedStringsAreConstants) {
+  ParseResult result = ParseProgram(R"(p("two words", a).)");
+  ASSERT_TRUE(result.ok());
+  const Atom& fact = result.program->facts()[0];
+  EXPECT_TRUE(fact.IsGround());
+  EXPECT_EQ(result.program->symbols().ConstantName(fact.args[0]),
+            "two words");
+}
+
+TEST(ParserTest, ExistentialVariablesDetected) {
+  ParseResult result = ParseProgram("r(X, Z) :- p(X).");
+  ASSERT_TRUE(result.ok());
+  const Tgd& tgd = result.program->tgds()[0];
+  EXPECT_FALSE(tgd.IsFull());
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 1u);
+  EXPECT_EQ(tgd.Frontier().size(), 1u);
+}
+
+TEST(ParserTest, MultiHeadRules) {
+  ParseResult result = ParseProgram("a(X), b(X, Y) :- c(X).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program->tgds()[0].head.size(), 2u);
+}
+
+TEST(ParserTest, RejectsNonGroundFact) {
+  ParseResult result = ParseProgram("e(a, X).");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("ground"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsArityClash) {
+  ParseResult result = ParseProgram(R"(
+    p(X) :- q(X).
+    p(X, Y) :- q(X), q(Y).
+  )");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsLineNumbers) {
+  ParseResult result = ParseProgram("p(a).\nq(X) :- .\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnterminatedString) {
+  ParseResult result = ParseProgram("p(\"oops).");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, BooleanQueryHasEmptyOutput) {
+  ParseResult result = ParseProgram("?() :- p(X, Y).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.program->queries()[0].IsBoolean());
+}
+
+TEST(ParserTest, ParseIntoSharesSymbols) {
+  ParseResult result = ParseProgram("p(a).");
+  ASSERT_TRUE(result.ok());
+  Program& program = *result.program;
+  std::string err = ParseInto("q(X) :- p(X).", &program);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(program.tgds().size(), 1u);
+  // 'p' resolves to the same predicate id in both texts.
+  EXPECT_EQ(program.tgds()[0].body[0].predicate,
+            program.facts()[0].predicate);
+}
+
+TEST(AstTest, FrontierAndExistentials) {
+  ParseResult result = ParseProgram("r(X, Z, W) :- p(X, Y), q(Y).");
+  ASSERT_TRUE(result.ok());
+  const Tgd& tgd = result.program->tgds()[0];
+  EXPECT_EQ(tgd.Frontier().size(), 1u);        // X
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 2u);  // Z, W
+  EXPECT_EQ(tgd.VariableCount(), 4u);
+}
+
+TEST(AstTest, VariableOffsetRenamesConsistently) {
+  ParseResult result = ParseProgram("r(X, Z) :- p(X, Y).");
+  ASSERT_TRUE(result.ok());
+  Tgd shifted = result.program->tgds()[0].WithVariableOffset(10);
+  EXPECT_EQ(shifted.body[0].args[0], shifted.head[0].args[0]);
+  EXPECT_GE(shifted.body[0].args[0].index(), 10u);
+}
+
+TEST(AstTest, ProgramPredicateSets) {
+  ParseResult result = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    ?(X) :- t(X, X).
+  )");
+  ASSERT_TRUE(result.ok());
+  const Program& program = *result.program;
+  EXPECT_EQ(program.IntensionalPredicates().size(), 1u);
+  EXPECT_EQ(program.ExtensionalPredicates().size(), 1u);
+  EXPECT_EQ(program.SchemaPredicates().size(), 2u);
+  EXPECT_EQ(program.MaxBodySize(), 1u);
+}
+
+TEST(NormalizeTest, SplitsMultiAtomHeads) {
+  ParseResult result = ParseProgram("a(X, Z), b(Z, W) :- c(X).");
+  ASSERT_TRUE(result.ok());
+  Program& program = *result.program;
+  std::unordered_set<PredicateId> aux;
+  size_t rewritten = NormalizeToSingleHead(&program, &aux);
+  EXPECT_EQ(rewritten, 1u);
+  EXPECT_EQ(aux.size(), 1u);
+  EXPECT_EQ(program.tgds().size(), 3u);  // generator + two projections
+  for (const Tgd& tgd : program.tgds()) {
+    EXPECT_EQ(tgd.head.size(), 1u);
+  }
+  // Only the generator rule has existentials.
+  size_t existential_rules = 0;
+  for (const Tgd& tgd : program.tgds()) {
+    if (!tgd.IsFull()) ++existential_rules;
+  }
+  EXPECT_EQ(existential_rules, 1u);
+}
+
+TEST(NormalizeTest, SingleHeadRulesUntouched) {
+  ParseResult result = ParseProgram("t(X, Z) :- e(X, Y), t(Y, Z).");
+  ASSERT_TRUE(result.ok());
+  Program& program = *result.program;
+  EXPECT_EQ(NormalizeToSingleHead(&program, nullptr), 0u);
+  EXPECT_EQ(program.tgds().size(), 1u);
+}
+
+TEST(PrinterTest, RoundTripsThroughParser) {
+  const char* text = R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).
+    ?(X) :- t(a, X).
+  )";
+  ParseResult first = ParseProgram(text);
+  ASSERT_TRUE(first.ok());
+  std::string printed = first.program->ToString();
+  ParseResult second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << second.error << "\n" << printed;
+  EXPECT_EQ(second.program->tgds().size(), first.program->tgds().size());
+  EXPECT_EQ(second.program->facts().size(), first.program->facts().size());
+  EXPECT_EQ(second.program->queries().size(),
+            first.program->queries().size());
+}
+
+}  // namespace
+}  // namespace vadalog

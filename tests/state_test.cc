@@ -1,0 +1,176 @@
+// Tests for proof-state canonicalization, decomposition into components,
+// and eager simplification.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "engine/state.h"
+
+namespace vadalog {
+namespace {
+
+Atom MakeAtom(PredicateId p, std::initializer_list<Term> args) {
+  return Atom(p, std::vector<Term>(args));
+}
+
+TEST(CanonicalizeTest, VariableRenamingInvariance) {
+  // {e(X5, X9)} and {e(X0, X1)} canonicalize identically.
+  CanonicalState a =
+      Canonicalize({MakeAtom(0, {Term::Variable(5), Term::Variable(9)})});
+  CanonicalState b =
+      Canonicalize({MakeAtom(0, {Term::Variable(0), Term::Variable(1)})});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(CanonicalizeTest, AtomOrderInvariance) {
+  std::vector<Atom> forward = {
+      MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(1, {Term::Variable(1), Term::Variable(2)})};
+  std::vector<Atom> backward = {
+      MakeAtom(1, {Term::Variable(7), Term::Variable(3)}),
+      MakeAtom(0, {Term::Variable(9), Term::Variable(7)})};
+  EXPECT_EQ(Canonicalize(forward), Canonicalize(backward));
+}
+
+TEST(CanonicalizeTest, DistinguishesJoinStructure) {
+  // e(X,Y), e(Y,Z)  vs  e(X,Y), e(Z,Y): different join shapes.
+  std::vector<Atom> chain = {
+      MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(0, {Term::Variable(1), Term::Variable(2)})};
+  std::vector<Atom> vee = {
+      MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(0, {Term::Variable(2), Term::Variable(1)})};
+  EXPECT_FALSE(Canonicalize(chain) == Canonicalize(vee));
+}
+
+TEST(CanonicalizeTest, ConstantsAreRigid) {
+  std::vector<Atom> with_a = {MakeAtom(0, {Term::Constant(1)})};
+  std::vector<Atom> with_b = {MakeAtom(0, {Term::Constant(2)})};
+  EXPECT_FALSE(Canonicalize(with_a) == Canonicalize(with_b));
+}
+
+TEST(CanonicalizeTest, SymmetricStatesMerge) {
+  // {e(X,Y), e(Y,X)} under either atom order.
+  std::vector<Atom> one = {
+      MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(0, {Term::Variable(1), Term::Variable(0)})};
+  std::vector<Atom> two = {
+      MakeAtom(0, {Term::Variable(1), Term::Variable(0)}),
+      MakeAtom(0, {Term::Variable(0), Term::Variable(1)})};
+  EXPECT_EQ(Canonicalize(one), Canonicalize(two));
+}
+
+TEST(CanonicalizeTest, EmptyState) {
+  CanonicalState state = Canonicalize({});
+  EXPECT_TRUE(state.atoms.empty());
+  EXPECT_TRUE(state.encoding.empty());
+}
+
+TEST(CanonicalizeTest, SentinelModeRenamesNulls) {
+  std::vector<Atom> one = {MakeAtom(0, {Term::Null(7), Term::Variable(0)})};
+  std::vector<Atom> two = {MakeAtom(0, {Term::Null(2), Term::Variable(5)})};
+  EXPECT_EQ(CanonicalizeEx(one, true, nullptr),
+            CanonicalizeEx(two, true, nullptr));
+  // Without renaming, the nulls are rigid and distinct.
+  EXPECT_FALSE(Canonicalize(one) == Canonicalize(two));
+}
+
+TEST(CanonicalizeTest, SentinelsStayDistinctFromVariables) {
+  std::vector<Atom> null_version = {MakeAtom(0, {Term::Null(0)})};
+  std::vector<Atom> var_version = {MakeAtom(0, {Term::Variable(0)})};
+  EXPECT_FALSE(CanonicalizeEx(null_version, true, nullptr) ==
+               CanonicalizeEx(var_version, true, nullptr));
+}
+
+TEST(CanonicalizeTest, MappingReportsRenaming) {
+  std::unordered_map<Term, Term> mapping;
+  CanonicalizeEx({MakeAtom(0, {Term::Variable(8), Term::Null(4)})}, true,
+                 &mapping);
+  EXPECT_EQ(mapping.at(Term::Variable(8)), Term::Variable(0));
+  EXPECT_EQ(mapping.at(Term::Null(4)), Term::Null(0));
+}
+
+TEST(SplitComponentsTest, DisjointAtomsSplit) {
+  std::vector<std::vector<Atom>> components = SplitComponents(
+      {MakeAtom(0, {Term::Variable(0)}), MakeAtom(1, {Term::Variable(1)})});
+  EXPECT_EQ(components.size(), 2u);
+}
+
+TEST(SplitComponentsTest, SharedVariableConnects) {
+  std::vector<std::vector<Atom>> components = SplitComponents(
+      {MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+       MakeAtom(1, {Term::Variable(1)}), MakeAtom(2, {Term::Variable(2)})});
+  EXPECT_EQ(components.size(), 2u);
+}
+
+TEST(SplitComponentsTest, ConstantsDoNotConnect) {
+  std::vector<std::vector<Atom>> components = SplitComponents(
+      {MakeAtom(0, {Term::Constant(5), Term::Variable(0)}),
+       MakeAtom(1, {Term::Constant(5), Term::Variable(1)})});
+  EXPECT_EQ(components.size(), 2u);
+}
+
+TEST(SplitComponentsTest, TransitiveConnection) {
+  std::vector<std::vector<Atom>> components = SplitComponents(
+      {MakeAtom(0, {Term::Variable(0), Term::Variable(1)}),
+       MakeAtom(0, {Term::Variable(1), Term::Variable(2)}),
+       MakeAtom(0, {Term::Variable(2), Term::Variable(3)})});
+  EXPECT_EQ(components.size(), 1u);
+}
+
+struct DbFixture {
+  Program program;
+  Instance db;
+  PredicateId e, t;
+
+  DbFixture() {
+    ParseResult parsed = ParseProgram("e(a, b). e(b, c).");
+    program = std::move(*parsed.program);
+    db = DatabaseFromFacts(program.facts());
+    e = program.symbols().FindPredicate("e");
+    t = program.symbols().InternPredicate("t", 2);
+  }
+};
+
+TEST(EagerSimplifyTest, RemovesSatisfiableComponents) {
+  DbFixture f;
+  std::vector<Atom> atoms = {
+      MakeAtom(f.e, {Term::Variable(0), Term::Variable(1)}),  // matches db
+      MakeAtom(f.t, {Term::Variable(2), Term::Variable(3)})}; // t is empty
+  size_t removed = EagerSimplify(&atoms, f.db);
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0].predicate, f.t);
+}
+
+TEST(EagerSimplifyTest, KeepsConnectedUnsatisfiedPart) {
+  DbFixture f;
+  // e(X,Y) joined with t(Y,Z): one component, t unmatched, nothing drops.
+  std::vector<Atom> atoms = {
+      MakeAtom(f.e, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(f.t, {Term::Variable(1), Term::Variable(2)})};
+  EXPECT_EQ(EagerSimplify(&atoms, f.db), 0u);
+  EXPECT_EQ(atoms.size(), 2u);
+}
+
+TEST(EagerSimplifyTest, GroundAtomInDatabase) {
+  DbFixture f;
+  Term a = f.program.symbols().InternConstant("a");
+  Term b = f.program.symbols().InternConstant("b");
+  std::vector<Atom> atoms = {MakeAtom(f.e, {a, b})};
+  EXPECT_EQ(EagerSimplify(&atoms, f.db), 1u);
+  EXPECT_TRUE(atoms.empty());
+}
+
+TEST(SelectAtomTest, PrefersMoreRigidArguments) {
+  DbFixture f;
+  Term a = f.program.symbols().InternConstant("a");
+  std::vector<Atom> atoms = {
+      MakeAtom(f.e, {Term::Variable(0), Term::Variable(1)}),
+      MakeAtom(f.e, {a, Term::Variable(2)})};
+  EXPECT_EQ(SelectAtom(atoms, f.db), 1u);
+}
+
+}  // namespace
+}  // namespace vadalog

@@ -1,0 +1,158 @@
+// Tests for the Section 5 tiling reduction (Theorem 5.1) and its direct
+// ground-truth solver.
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "analysis/wardedness.h"
+#include "chase/chase.h"
+#include "storage/homomorphism.h"
+#include "tiling/tiling.h"
+
+namespace vadalog {
+namespace {
+
+TEST(TilingSystemTest, ValidityChecks) {
+  TilingSystem ok = MakeSolvableSystem();
+  EXPECT_TRUE(ok.Valid());
+
+  TilingSystem overlap = ok;
+  overlap.right.push_back(0);  // 0 is already in L
+  EXPECT_FALSE(overlap.Valid());
+
+  TilingSystem out_of_range = ok;
+  out_of_range.start_tile = 99;
+  EXPECT_FALSE(out_of_range.Valid());
+}
+
+TEST(DirectSolverTest, SolvableSystemHasTiling) {
+  EXPECT_TRUE(SolveTilingDirect(MakeSolvableSystem(), 4, 4));
+}
+
+TEST(DirectSolverTest, UnsolvableSystemHasNoTiling) {
+  EXPECT_FALSE(SolveTilingDirect(MakeUnsolvableSystem(), 4, 6));
+}
+
+TEST(DirectSolverTest, SingleRowTilingNeedsStartEqualsFinish) {
+  TilingSystem system;
+  system.num_tiles = 2;
+  system.left = {0};
+  system.right = {1};
+  system.horizontal = {{0, 1}};
+  system.vertical = {};
+  system.start_tile = 0;
+  system.finish_tile = 0;  // m = 1: first row is also the last
+  EXPECT_TRUE(SolveTilingDirect(system, 3, 3));
+  system.finish_tile = 1;  // unreachable: rows never start with 1 ∈ R
+  EXPECT_FALSE(SolveTilingDirect(system, 3, 3));
+}
+
+TEST(ReductionTest, SigmaIsPwlButNotWarded) {
+  TilingReduction reduction = BuildTilingReduction(MakeSolvableSystem());
+  EXPECT_TRUE(IsPiecewiseLinear(reduction.program));
+  EXPECT_FALSE(IsWarded(reduction.program));
+}
+
+TEST(ReductionTest, DatabaseEncodesSystem) {
+  TilingSystem system = MakeSolvableSystem();
+  TilingReduction reduction = BuildTilingReduction(system);
+  Instance db = DatabaseFromFacts(reduction.program.facts());
+  PredicateId tile = reduction.program.symbols().FindPredicate("tile");
+  const Relation* rel = db.RelationFor(tile);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), system.num_tiles);
+}
+
+TEST(ReductionTest, SolvableSystemEntailsQuery) {
+  TilingReduction reduction = BuildTilingReduction(MakeSolvableSystem());
+  Instance db = DatabaseFromFacts(reduction.program.facts());
+  // The chase must run WITHOUT the (warded-only) isomorphism termination:
+  // Σ is unwarded, so we bound it by depth instead. The query becomes true
+  // at a finite stage (semi-decidability of the 'yes' side).
+  ChaseOptions options;
+  options.isomorphism_termination = false;
+  options.max_depth = 12;
+  options.max_atoms = 100000;
+  ChaseResult chase = RunChase(reduction.program, db, options);
+  EXPECT_FALSE(
+      EvaluateQuerySorted(reduction.query, chase.instance).empty());
+}
+
+TEST(ReductionTest, UnsolvableSystemNeverEntailsWithinBudget) {
+  TilingReduction reduction = BuildTilingReduction(MakeUnsolvableSystem());
+  Instance db = DatabaseFromFacts(reduction.program.facts());
+  ChaseOptions options;
+  options.isomorphism_termination = false;
+  options.max_depth = 10;
+  options.max_atoms = 100000;
+  ChaseResult chase = RunChase(reduction.program, db, options);
+  EXPECT_TRUE(EvaluateQuerySorted(reduction.query, chase.instance).empty());
+}
+
+TEST(ReductionTest, UnsolvableSystemChaseDiverges) {
+  // The unwarded chase keeps producing ever-longer rows: raising the depth
+  // budget strictly increases the instance — the undecidability witness.
+  TilingReduction reduction = BuildTilingReduction(MakeUnsolvableSystem());
+  Instance db = DatabaseFromFacts(reduction.program.facts());
+  size_t previous = 0;
+  for (uint32_t depth = 2; depth <= 8; depth += 2) {
+    ChaseOptions options;
+    options.isomorphism_termination = false;
+    options.max_depth = depth;
+    ChaseResult chase = RunChase(reduction.program, db, options);
+    EXPECT_GT(chase.instance.size(), previous);
+    previous = chase.instance.size();
+  }
+}
+
+TEST(ReductionTest, AgreesWithDirectSolverOnRandomSystems) {
+  // Randomized cross-check on small systems where both sides are exact
+  // within the bounds.
+  uint64_t seed = 12345;
+  int checked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    TilingSystem system;
+    system.num_tiles = 3;
+    system.left = {0};
+    system.right = {1};
+    system.start_tile = 0;
+    system.finish_tile = static_cast<uint32_t>((seed >> 8) % 3);
+    // Sparse random constraint sets (two seed bits per pair) keep both the
+    // direct row enumeration and the chase small.
+    for (uint32_t x = 0; x < 3; ++x) {
+      for (uint32_t y = 0; y < 3; ++y) {
+        uint32_t h_bits = (seed >> (2 * (x * 3 + y))) & 3;
+        uint32_t v_bits = (seed >> (18 + 2 * (x * 3 + y))) & 3;
+        if (h_bits == 3) system.horizontal.push_back({x, y});
+        if (v_bits >= 2) system.vertical.push_back({x, y});
+      }
+    }
+    bool direct_small = SolveTilingDirect(system, 3, 3);
+
+    TilingReduction reduction = BuildTilingReduction(system);
+    Instance db = DatabaseFromFacts(reduction.program.facts());
+    ChaseOptions options;
+    options.isomorphism_termination = false;
+    // Depth d certifies tilings with width + height ≤ d: enough for every
+    // witness the (3,3)-bounded solver can find.
+    options.max_depth = 8;
+    options.max_atoms = 200000;
+    ChaseResult chase = RunChase(reduction.program, db, options);
+    bool reduced = !EvaluateQuerySorted(reduction.query, chase.instance).empty();
+    if (direct_small) {
+      // Completeness on 'yes' instances with small witnesses.
+      EXPECT_TRUE(reduced) << "trial " << trial;
+      ++checked;
+    }
+    if (reduced) {
+      // Soundness: anything the reduction certifies within depth 8 is a
+      // real tiling of width, height ≤ 8.
+      EXPECT_TRUE(SolveTilingDirect(system, 8, 8)) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(checked, 0);  // at least one solvable instance exercised
+}
+
+}  // namespace
+}  // namespace vadalog
