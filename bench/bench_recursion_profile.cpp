@@ -38,7 +38,9 @@ int main() {
     }
   }
 
-  auto pct = [](size_t n) { return 100.0 * n / kScenarios; };
+  auto pct = [](size_t n) {
+    return 100.0 * static_cast<double>(n) / kScenarios;
+  };
   Row("%-34s %8s %8s", "bucket", "count", "share");
   Row("%-34s %8zu %7.1f%%", "directly piece-wise linear", direct,
       pct(direct));
@@ -65,9 +67,9 @@ int main() {
   }
   Row("%s", "");
   Row("%-34s %8s %8s", "data-exchange corpus (n=100)", "count", "share");
-  Row("%-34s %8zu %7.1f%%", "warded", de_warded, de_warded * 1.0);
-  Row("%-34s %8zu %7.1f%%", "piece-wise linear", de_pwl, de_pwl * 1.0);
+  Row("%-34s %8zu %7.1f%%", "warded", de_warded, static_cast<double>(de_warded));
+  Row("%-34s %8zu %7.1f%%", "piece-wise linear", de_pwl, static_cast<double>(de_pwl));
   Row("%-34s %8zu %7.1f%%", "using existentials", de_existential,
-      de_existential * 1.0);
+      static_cast<double>(de_existential));
   return warded == kScenarios && de_warded == exchange.size() ? 0 : 1;
 }

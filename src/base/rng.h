@@ -44,12 +44,12 @@ class Rng {
   uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
 
   /// Bernoulli draw with probability p.
-  bool Chance(double p) {
-    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
-  }
+  bool Chance(double p) { return Uniform() < p; }
 
   /// Uniform double in [0, 1).
-  double Uniform() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

@@ -195,7 +195,7 @@ class RewriteBuilder {
 
     if (!edb_part.empty()) {
       // Extensional atoms can only ever be leaves: retire them all.
-      ExpandRetire(state, c_pred, arity, edb_part, idb_part);
+      ExpandRetire(c_pred, arity, edb_part, idb_part);
     } else {
       ExpandResolve(state, c_pred, arity);
       // An intensional atom may also be a leaf (the database of the
@@ -207,7 +207,7 @@ class RewriteBuilder {
         for (size_t j = 0; j < state.atoms.size(); ++j) {
           if (j != i) rest.push_back(state.atoms[j]);
         }
-        ExpandRetire(state, c_pred, arity, leaf, rest);
+        ExpandRetire(c_pred, arity, leaf, rest);
       }
     }
   }
@@ -216,8 +216,8 @@ class RewriteBuilder {
   /// variables shared with the remainder are promoted to frozen outputs
   /// (specialization, Definition 4.5, followed by a leaf decomposition,
   /// Definition 4.4).
-  void ExpandRetire(const CanonicalState& state, PredicateId c_pred,
-                    uint32_t arity, const std::vector<Atom>& edb_part,
+  void ExpandRetire(PredicateId c_pred, uint32_t arity,
+                    const std::vector<Atom>& edb_part,
                     const std::vector<Atom>& idb_part) {
     // Promote shared variables to fresh sentinels.
     std::unordered_set<Term> edb_vars = VariablesOf(edb_part);

@@ -6,15 +6,6 @@
 namespace vadalog {
 namespace {
 
-/// Number of rigid terms of `atom` after applying `subst`.
-size_t BoundCount(const Atom& atom, const Substitution& subst) {
-  size_t bound = 0;
-  for (Term t : atom.args) {
-    if (ApplySubstitution(subst, t).is_rigid()) ++bound;
-  }
-  return bound;
-}
-
 /// Chooses a join order greedily: the atom with the most bound terms first
 /// (ties: smaller relation). Returns indices into `atoms`.
 std::vector<size_t> JoinOrder(const std::vector<Atom>& atoms,

@@ -108,6 +108,19 @@ TEST_P(PwlEngineEquivalence, AllEnginesAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PwlEngineEquivalence,
                          ::testing::Range<uint64_t>(1, 13));
 
+// Pinned regression seeds — the PODS'19 equal-certain-answers check on
+// every run. Policy: any seed that EVER produced a cross-engine
+// disagreement gets appended here (never removed), so a fixed bug stays
+// fixed. The initial entries are a spread from an offline 1..1000 sweep
+// (all green as of the build-bootstrap PR) chosen to cover both scenario
+// shapes, both strata counts, and the with/without-existentials split far
+// outside the default Range(1, 13) sweep above.
+constexpr uint64_t kPinnedPwlSeeds[] = {37,  137, 256, 389, 512,
+                                        641, 777, 891, 997};
+
+INSTANTIATE_TEST_SUITE_P(PinnedRegressions, PwlEngineEquivalence,
+                         ::testing::ValuesIn(kPinnedPwlSeeds));
+
 class WardedEngineEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(WardedEngineEquivalence, ChaseAgreesWithAlternating) {
@@ -138,6 +151,14 @@ TEST_P(WardedEngineEquivalence, ChaseAgreesWithAlternating) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WardedEngineEquivalence,
                          ::testing::Range<uint64_t>(1, 9));
+
+// Same pin policy as kPinnedPwlSeeds: seeds that ever failed the
+// chase-vs-alternating agreement live here forever.
+constexpr uint64_t kPinnedWardedSeeds[] = {41, 173, 294, 447, 568,
+                                           699, 803, 929};
+
+INSTANTIATE_TEST_SUITE_P(PinnedRegressions, WardedEngineEquivalence,
+                         ::testing::ValuesIn(kPinnedWardedSeeds));
 
 class TcGraphEquivalence
     : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};

@@ -9,6 +9,7 @@
 //     --dot-chase                              dump the chase graph (dot)
 //     --data=facts.tsv                         load extra TSV facts
 //                                              (predicate\targ1\targ2...)
+//     --version                                print the version and exit
 //
 // The program file uses the surface syntax of ast/parser.h (rules, facts,
 // '?(..) :- ..' queries). Every query in the file is answered.
@@ -20,6 +21,7 @@
 #include <string>
 
 #include "ast/parser.h"
+#include "base/version.h"
 #include "chase/chase.h"
 #include "chase/chase_graph.h"
 #include "storage/homomorphism.h"
@@ -50,7 +52,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--data=", 7) == 0) {
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("vadalog_cli %s\n", kVersionString);
+      return 0;
+    } else if (std::strncmp(arg, "--data=", 7) == 0) {
       data_path = arg + 7;
     } else if (std::strcmp(arg, "--analyze") == 0) {
       analyze = true;
@@ -87,7 +92,6 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << file.rdbuf();
 
-  std::string error;
   ParseResult parsed = ParseProgram(buffer.str());
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error.c_str());
