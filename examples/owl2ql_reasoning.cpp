@@ -13,6 +13,7 @@
 #include "ast/parser.h"
 #include "base/rng.h"
 #include "engine/certain.h"
+#include "engine/search_cache.h"
 #include "gen/generators.h"
 #include "storage/instance.h"
 
@@ -85,8 +86,15 @@ int main() {
                             std::vector<Term>{student}) != ada_types.end();
     any_student = !CertainAnswersViaChase(program, db, someone).empty();
   } else {
-    ada_student = IsCertainViaLinearSearch(program, db, query, {student});
-    any_student = IsCertainViaLinearSearch(program, db, someone, {});
+    // One memoization cache serves both decisions: the refutation of the
+    // first dumps its canonical-state closure, which the second reuses.
+    ProofSearchCache cache(program, db);
+    ProofSearchOptions search_options;
+    search_options.cache = &cache;
+    ada_student =
+        IsCertainViaLinearSearch(program, db, query, {student}, search_options);
+    any_student =
+        IsCertainViaLinearSearch(program, db, someone, {}, search_options);
   }
   const char* engine_name = scale > 1 ? "chase" : "proof search";
   std::printf("\nada typed student (%s): %s\n", engine_name,

@@ -14,7 +14,7 @@ namespace vadalog {
 struct ProgramClassification {
   bool warded = false;
   bool piecewise_linear = false;        // directly PWL (Definition 4.1)
-  bool pwl_after_linearization = false; // not PWL, but PWL after Sec. 1.2 rewrite
+  bool pwl_after_linearization = false; // PWL after the Sec. 1.2 rewrite
   bool intensionally_linear = false;    // IL (Section 5)
   bool datalog = false;                 // FULL1
   bool linear_datalog = false;

@@ -47,7 +47,8 @@ class Lexer {
       return {TokenKind::kError, "unexpected ':'", line_};
     }
     if (c == '"') return QuotedString();
-    if (c == '_' && (pos_ + 1 >= text_.size() || !IsIdentChar(text_[pos_ + 1]))) {
+    if (c == '_' &&
+        (pos_ + 1 >= text_.size() || !IsIdentChar(text_[pos_ + 1]))) {
       ++pos_;
       return {TokenKind::kWildcard, "_", line_};
     }

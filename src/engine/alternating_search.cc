@@ -1,12 +1,15 @@
 #include "engine/alternating_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/fragments.h"
 #include "engine/resolution.h"
+#include "engine/search_cache.h"
 #include "engine/state.h"
 #include "storage/homomorphism.h"
 
@@ -17,19 +20,21 @@ constexpr size_t kNoTouch = std::numeric_limits<size_t>::max();
 
 class Searcher {
  public:
-  Searcher(const Program& program, const Instance& database, size_t width,
-           size_t max_chunk, uint64_t max_states,
+  Searcher(const Program& program, const Instance& database,
+           const ProgramIndex& index, ProofSearchCache* cache, size_t width,
+           size_t max_chunk, const ProofSearchOptions& options,
            AlternatingSearchResult* result)
       : program_(program),
         database_(database),
+        index_(index),
+        cache_(cache),
         width_(width),
         max_chunk_(max_chunk),
-        max_states_(max_states),
-        result_(result) {
-    for (const Tgd& tgd : program.tgds()) {
-      for (const Atom& head : tgd.head) derivable_.insert(head.predicate);
-    }
-  }
+        max_states_(options.max_states),
+        timed_(options.max_millis != 0),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options.max_millis)),
+        result_(result) {}
 
   struct Outcome {
     bool proven;
@@ -40,7 +45,7 @@ class Searcher {
     EagerSimplify(&atoms, database_);
     if (atoms.empty()) return {true, kNoTouch};
     if (atoms.size() > width_) return {false, kNoTouch};  // Theorem 4.9
-    if (HasDeadAtom(atoms, database_, derivable_)) return {false, kNoTouch};
+    if (index_.StateIsDead(atoms, database_)) return {false, kNoTouch};
 
     CanonicalState state = Canonicalize(std::move(atoms));
     result_->peak_state_bytes =
@@ -48,12 +53,28 @@ class Searcher {
 
     if (proven_.count(state) > 0) return {true, kNoTouch};
     if (refuted_.count(state) > 0) return {false, kNoTouch};
+    if (cache_ != nullptr) {
+      if (cache_->AltKnownProven(state, width_, max_chunk_)) {
+        ++result_->cache_hits;
+        return {true, kNoTouch};
+      }
+      if (cache_->AltKnownRefuted(state, width_, max_chunk_)) {
+        ++result_->cache_hits;
+        return {false, kNoTouch};
+      }
+    }
     auto path_it = on_path_.find(state);
     if (path_it != on_path_.end()) {
       // Cycle: a minimal proof never repeats a state along a branch.
       return {false, path_it->second};
     }
+    if (result_->budget_exhausted) return {false, 0};  // hard stop
     if (max_states_ != 0 && result_->states_expanded >= max_states_) {
+      result_->budget_exhausted = true;
+      return {false, 0};  // uncacheable
+    }
+    if (timed_ && (result_->states_expanded & 63) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
       result_->budget_exhausted = true;
       return {false, 0};  // uncacheable
     }
@@ -67,10 +88,16 @@ class Searcher {
     if (proven) {
       proven_.insert(state);
       ++result_->proven_cached;
+      if (cache_ != nullptr) {
+        cache_->AltRecordProven(state, width_, max_chunk_);
+      }
     } else if (min_touch >= depth && !result_->budget_exhausted) {
       // Refutation independent of any proper ancestor: cacheable.
       refuted_.insert(state);
       ++result_->refuted_cached;
+      if (cache_ != nullptr) {
+        cache_->AltRecordRefuted(state, width_, max_chunk_);
+      }
     }
     // Pruning against this very node is resolved here; only shallower
     // touches remain relevant to the caller.
@@ -120,15 +147,13 @@ class Searcher {
         if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
       }
     }
-    for (size_t tgd_index = 0; tgd_index < program_.tgds().size();
-         ++tgd_index) {
-      std::vector<Resolvent> resolvents = ResolveWithTgd(
-          state.atoms, program_, tgd_index, fresh_base, max_chunk_);
+    // Chunks through the pivot exist only for TGDs whose head predicate
+    // matches it: resolve against the relevance bucket, anchored.
+    for (size_t tgd_index : index_.TgdsWithHead(pivot.predicate)) {
+      std::vector<Resolvent> resolvents =
+          ResolveWithTgd(state.atoms, program_, tgd_index, fresh_base,
+                         max_chunk_, /*anchor=*/selected);
       for (Resolvent& r : resolvents) {
-        if (std::find(r.chunk.begin(), r.chunk.end(), selected) ==
-            r.chunk.end()) {
-          continue;
-        }
         Outcome out = Prove(std::move(r.atoms), depth + 1);
         *min_touch = std::min(*min_touch, out.min_touch);
         if (out.proven) return true;
@@ -139,15 +164,18 @@ class Searcher {
 
   const Program& program_;
   const Instance& database_;
+  const ProgramIndex& index_;
+  ProofSearchCache* cache_;
   size_t width_;
   size_t max_chunk_;
   uint64_t max_states_;
+  bool timed_;
+  std::chrono::steady_clock::time_point deadline_;
   AlternatingSearchResult* result_;
 
   std::unordered_set<CanonicalState, CanonicalStateHash> proven_;
   std::unordered_set<CanonicalState, CanonicalStateHash> refuted_;
   std::unordered_map<CanonicalState, size_t, CanonicalStateHash> on_path_;
-  std::unordered_set<PredicateId> derivable_;
 };
 
 }  // namespace
@@ -167,8 +195,14 @@ AlternatingSearchResult AlternatingProofSearch(
   std::optional<std::vector<Atom>> frozen = FreezeQuery(query, answer);
   if (!frozen.has_value()) return result;
 
-  Searcher searcher(program, database, width, max_chunk, options.max_states,
-                    &result);
+  ProofSearchCache* cache = options.cache;
+  std::optional<ProgramIndex> local_index;
+  if (cache == nullptr) local_index.emplace(program, database);
+  const ProgramIndex& index =
+      cache != nullptr ? cache->index() : *local_index;
+
+  Searcher searcher(program, database, index, cache, width, max_chunk,
+                    options, &result);
   result.accepted = searcher.Prove(std::move(*frozen), 0).proven;
   return result;
 }

@@ -1,7 +1,10 @@
 #include "engine/certain.h"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_set>
 
+#include "engine/search_cache.h"
 #include "storage/homomorphism.h"
 
 namespace vadalog {
@@ -36,12 +39,12 @@ std::vector<std::vector<Term>> CertainAnswersViaSearch(
   std::vector<std::vector<Term>> answers;
 
   // Collect distinct output variables (a repeated variable must take the
-  // same constant in every candidate).
+  // same constant in every candidate); set-backed so repeated outputs cost
+  // O(1) instead of a scan per output term.
   std::vector<Term> distinct_outputs;
+  std::unordered_set<Term> seen_outputs;
   for (Term t : query.output) {
-    if (t.is_variable() &&
-        std::find(distinct_outputs.begin(), distinct_outputs.end(), t) ==
-            distinct_outputs.end()) {
+    if (t.is_variable() && seen_outputs.insert(t).second) {
       distinct_outputs.push_back(t);
     }
   }
@@ -52,16 +55,10 @@ std::vector<std::vector<Term>> CertainAnswersViaSearch(
   }
   std::sort(domain.begin(), domain.end());
 
-  // Enumerate assignments of domain constants to the distinct output
-  // variables; verify each induced tuple.
+  // Enumerate the induced candidate tuples first and deduplicate them, so
+  // no tuple is ever verified twice (verification is the expensive part).
+  std::vector<std::vector<Term>> candidates;
   std::vector<Term> assignment(distinct_outputs.size());
-  auto verify = [&](const std::vector<Term>& candidate) {
-    return use_alternating
-               ? IsCertainViaAlternatingSearch(program, database, query,
-                                               candidate, options)
-               : IsCertainViaLinearSearch(program, database, query, candidate,
-                                          options);
-  };
   auto recurse = [&](auto&& self, size_t position) -> void {
     if (position == distinct_outputs.size()) {
       Substitution binding;
@@ -73,7 +70,7 @@ std::vector<std::vector<Term>> CertainAnswersViaSearch(
       for (Term t : query.output) {
         candidate.push_back(ApplySubstitution(binding, t));
       }
-      if (verify(candidate)) answers.push_back(candidate);
+      candidates.push_back(std::move(candidate));
       return;
     }
     for (Term c : domain) {
@@ -82,12 +79,32 @@ std::vector<std::vector<Term>> CertainAnswersViaSearch(
     }
   };
   if (query.output.empty()) {
-    if (verify({})) answers.push_back({});
+    candidates.push_back({});
   } else {
     recurse(recurse, 0);
   }
-  std::sort(answers.begin(), answers.end());
-  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // All candidates run against one shared memoization cache: the frozen
+  // constants differ per candidate but the derived canonical states
+  // largely recur, so refutation work is paid once across the sweep.
+  std::optional<ProofSearchCache> local_cache;
+  ProofSearchOptions effective = options;
+  if (effective.cache == nullptr) {
+    local_cache.emplace(program, database);
+    effective.cache = &*local_cache;
+  }
+  for (const std::vector<Term>& candidate : candidates) {
+    bool certain = use_alternating
+                       ? IsCertainViaAlternatingSearch(program, database,
+                                                       query, candidate,
+                                                       effective)
+                       : IsCertainViaLinearSearch(program, database, query,
+                                                  candidate, effective);
+    if (certain) answers.push_back(candidate);
+  }
   return answers;
 }
 

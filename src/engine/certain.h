@@ -38,9 +38,12 @@ bool IsCertainViaAlternatingSearch(const Program& program,
                                    const std::vector<Term>& answer,
                                    const ProofSearchOptions& options = {});
 
-/// Enumerates cert(q, D, Σ) purely via proof search: every tuple over the
-/// constants of dom(D) (respecting repeated output variables) is verified.
-/// Exponential in the output arity — intended for tests and small inputs.
+/// Enumerates cert(q, D, Σ) purely via proof search: every distinct tuple
+/// over the constants of dom(D) (respecting repeated output variables) is
+/// verified once, all candidates sharing one memoization cache (the one in
+/// `options`, or an internal one when unset) so refutation work transfers
+/// across the sweep. Exponential in the output arity — intended for tests
+/// and small inputs.
 std::vector<std::vector<Term>> CertainAnswersViaSearch(
     const Program& program, const Instance& database,
     const ConjunctiveQuery& query, bool use_alternating = false,

@@ -1,6 +1,7 @@
 #include "engine/linear_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <optional>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "analysis/predicate_graph.h"
 #include "base/hash.h"
 #include "engine/resolution.h"
+#include "engine/search_cache.h"
 #include "engine/state.h"
 #include "storage/homomorphism.h"
 
@@ -68,14 +70,23 @@ ProofSearchResult LinearProofSearch(const Program& program,
   std::optional<std::vector<Atom>> frozen = FreezeQuery(query, answer);
   if (!frozen.has_value()) return result;  // inconsistent candidate
 
+  // The relevance index comes from the shared cache when one is supplied
+  // (it must have been built for this same program + database); otherwise
+  // a local one is built for this call.
+  ProofSearchCache* cache = options.cache;
+  std::optional<ProgramIndex> local_index;
+  if (cache == nullptr) local_index.emplace(program, database);
+  const ProgramIndex& index =
+      cache != nullptr ? cache->index() : *local_index;
+
+  const bool timed = options.max_millis != 0;
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options.max_millis);
+
   std::unordered_set<CanonicalState, CanonicalStateHash> visited;
   std::deque<CanonicalState> frontier;
   std::unordered_map<std::vector<uint64_t>, ParentEdge, EncodingHash> parents;
-
-  std::unordered_set<PredicateId> derivable;
-  for (const Tgd& tgd : program.tgds()) {
-    for (const Atom& head : tgd.head) derivable.insert(head.predicate);
-  }
 
   // Enqueues a successor state; returns true on acceptance (empty state).
   // `step` carries the provenance when explanations are requested.
@@ -84,7 +95,7 @@ ProofSearchResult LinearProofSearch(const Program& program,
                      ProofStep step) {
     EagerSimplify(&atoms, database);
     if (atoms.size() > width) return false;  // pruned by Theorem 4.8
-    if (HasDeadAtom(atoms, database, derivable)) return false;
+    if (index.StateIsDead(atoms, database)) return false;
     CanonicalState canonical = Canonicalize(std::move(atoms));
     if (explanation != nullptr) {
       step.state = canonical.atoms;
@@ -95,11 +106,16 @@ ProofSearchResult LinearProofSearch(const Program& program,
       result.accepted = true;
       return true;
     }
+    if (cache != nullptr &&
+        cache->LinearKnownRefuted(canonical, width, max_chunk)) {
+      ++result.cache_hits;  // a previous search refuted this whole subtree
+      return false;
+    }
     result.peak_state_bytes =
         std::max(result.peak_state_bytes, canonical.ApproximateBytes());
-    auto [it, inserted] = visited.insert(canonical);
+    auto [it, inserted] = visited.insert(std::move(canonical));
     if (inserted) {
-      result.visited_bytes += canonical.ApproximateBytes();
+      result.visited_bytes += it->ApproximateBytes();
       frontier.push_back(*it);
     }
     return false;
@@ -107,6 +123,14 @@ ProofSearchResult LinearProofSearch(const Program& program,
 
   auto finish = [&]() {
     result.states_visited = visited.size();
+    if (!result.accepted && !result.budget_exhausted && cache != nullptr) {
+      // A completed BFS is a refutation certificate for every state it
+      // visited: everything reachable from a visited state was explored
+      // (or already known refuted) and no empty state appeared.
+      for (const CanonicalState& state : visited) {
+        cache->LinearRecordRefuted(state, width, max_chunk);
+      }
+    }
     if (result.accepted && explanation != nullptr) {
       // Fold the parent chain back into the linear proof.
       explanation->steps.clear();
@@ -132,6 +156,11 @@ ProofSearchResult LinearProofSearch(const Program& program,
   while (!frontier.empty()) {
     if (options.max_states != 0 &&
         result.states_expanded >= options.max_states) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (timed && (result.states_expanded & 63) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
       result.budget_exhausted = true;
       break;
     }
@@ -166,22 +195,20 @@ ProofSearchResult LinearProofSearch(const Program& program,
     if (done) return finish();
 
     // Resolution: every chunk unifier whose chunk contains the selected
-    // atom (Definition 4.3), over every TGD.
+    // atom (Definition 4.3). Only TGDs whose head predicate matches the
+    // pivot can contribute such a chunk, so the per-predicate bucket of
+    // the relevance index replaces the loop over program.tgds().
     uint64_t fresh_base = 0;
     for (const Atom& a : state.atoms) {
       for (Term t : a.args) {
         if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
       }
     }
-    for (size_t tgd_index = 0; tgd_index < program.tgds().size();
-         ++tgd_index) {
-      std::vector<Resolvent> resolvents = ResolveWithTgd(
-          state.atoms, program, tgd_index, fresh_base, max_chunk);
+    for (size_t tgd_index : index.TgdsWithHead(pivot.predicate)) {
+      std::vector<Resolvent> resolvents =
+          ResolveWithTgd(state.atoms, program, tgd_index, fresh_base,
+                         max_chunk, /*anchor=*/selected);
       for (Resolvent& r : resolvents) {
-        if (std::find(r.chunk.begin(), r.chunk.end(), selected) ==
-            r.chunk.end()) {
-          continue;  // selection function: pivot must be resolved
-        }
         ++result.resolution_edges;
         ProofStep step;
         step.kind = ProofStep::Kind::kResolution;

@@ -39,6 +39,8 @@
 
 namespace vadalog {
 
+class ProofSearchCache;
+
 struct ProofSearchOptions {
   /// Maximum atoms per CQ state. 0 = derive f_WARD∩PWL(q, Σ) from the
   /// program (requires it to be warded and piece-wise linear for
@@ -51,6 +53,16 @@ struct ProofSearchOptions {
   /// Visited-state budget; 0 = unlimited. When exhausted the result is
   /// reported as not-accepted with `budget_exhausted` set.
   uint64_t max_states = 0;
+
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Like `max_states`,
+  /// exhaustion reports not-accepted with `budget_exhausted` set.
+  uint64_t max_millis = 0;
+
+  /// Optional memoization shared across searches. Must have been built
+  /// for the exact same (program, database) pair, or results are unsound.
+  /// The cache also supplies the precomputed relevance index; without it a
+  /// local index is built per call.
+  ProofSearchCache* cache = nullptr;
 };
 
 struct ProofSearchResult {
@@ -60,6 +72,7 @@ struct ProofSearchResult {
   uint64_t states_visited = 0;    // distinct canonical states seen
   uint64_t resolution_edges = 0;
   uint64_t drop_edges = 0;
+  uint64_t cache_hits = 0;        // successors skipped via the shared cache
   /// Size of the largest single CQ state — the analog of the
   /// nondeterministic machine's work tape (O(width · log |dom(D)|) bits).
   size_t peak_state_bytes = 0;

@@ -1,5 +1,6 @@
 #include "engine/resolution.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -12,28 +13,35 @@ namespace {
 /// success, emits the resolvent.
 bool TryEmitResolvent(const std::vector<Atom>& state,
                       const std::vector<size_t>& chunk, const Tgd& renamed,
+                      const std::vector<Term>& existentials,
                       uint64_t fresh_variable_base, const Unifier& unifier,
                       size_t tgd_index, std::vector<Resolvent>* out) {
-  // Variables of the chunk (S1) and of the remainder of the state.
-  std::unordered_set<Term> chunk_vars;
-  std::unordered_set<size_t> chunk_set(chunk.begin(), chunk.end());
-  std::unordered_set<Term> rest_vars;
+  // Variables of the chunk (S1) and of the remainder of the state. States
+  // are node-width bounded, so flat membership structures beat hash sets;
+  // the buffers are thread-local scratch (this runs millions of times per
+  // search, mostly failing the validation below).
+  static thread_local std::vector<char> in_chunk;
+  static thread_local std::vector<Term> chunk_vars;
+  static thread_local std::vector<Term> rest_vars;
+  in_chunk.assign(state.size(), 0);
+  chunk_vars.clear();
+  rest_vars.clear();
+  for (size_t i : chunk) in_chunk[i] = 1;
   for (size_t i = 0; i < state.size(); ++i) {
+    std::vector<Term>& vars = in_chunk[i] ? chunk_vars : rest_vars;
     for (Term t : state[i].args) {
-      if (!t.is_variable()) continue;
-      if (chunk_set.count(i) > 0) {
-        chunk_vars.insert(t);
-      } else {
-        rest_vars.insert(t);
-      }
+      if (t.is_variable()) vars.push_back(t);
     }
   }
+  auto contains = [](const std::vector<Term>& vars, Term t) {
+    return std::find(vars.begin(), vars.end(), t) != vars.end();
+  };
 
   auto is_sigma_variable = [fresh_variable_base](Term t) {
     return t.is_variable() && t.index() >= fresh_variable_base;
   };
 
-  for (Term x : renamed.ExistentialVariables()) {
+  for (Term x : existentials) {
     // (1) γ(x) must not be rigid: a fresh null can never equal a constant
     // or a pre-existing null.
     Term resolved = unifier.Resolve(x);
@@ -45,47 +53,59 @@ bool TryEmitResolvent(const std::vector<Atom>& state,
     for (Term y : unifier.ClassOf(x)) {
       if (y == x) continue;
       if (is_sigma_variable(y)) return false;
-      if (chunk_vars.count(y) == 0) return false;   // must occur in S1
-      if (rest_vars.count(y) > 0) return false;     // and not be shared
+      if (!contains(chunk_vars, y)) return false;  // must occur in S1
+      if (contains(rest_vars, y)) return false;    // and not be shared
     }
   }
 
-  Substitution gamma = unifier.ToSubstitution();
+  // γ applied on the fly: Resolve() maps every bound variable to its
+  // representative, which is exactly ToSubstitution() without building the
+  // intermediate map.
   Resolvent resolvent;
   resolvent.tgd_index = tgd_index;
   resolvent.chunk = chunk;
+  std::sort(resolvent.chunk.begin(), resolvent.chunk.end());
+  resolvent.atoms.reserve(state.size() - chunk.size() + renamed.body.size());
+  auto emit = [&](const Atom& atom) {
+    Atom resolved;
+    resolved.predicate = atom.predicate;
+    resolved.args.reserve(atom.args.size());
+    for (Term t : atom.args) resolved.args.push_back(unifier.Resolve(t));
+    resolvent.atoms.push_back(std::move(resolved));
+  };
   for (size_t i = 0; i < state.size(); ++i) {
-    if (chunk_set.count(i) > 0) continue;
-    resolvent.atoms.push_back(ApplySubstitution(gamma, state[i]));
+    if (!in_chunk[i]) emit(state[i]);
   }
-  for (const Atom& b : renamed.body) {
-    resolvent.atoms.push_back(ApplySubstitution(gamma, b));
-  }
+  for (const Atom& b : renamed.body) emit(b);
   out->push_back(std::move(resolvent));
   return true;
 }
 
 /// DFS over chunks S1 ⊆ candidate atoms: extends the chunk one atom at a
 /// time, unifying incrementally (a chunk that fails to unify prunes all of
-/// its supersets).
+/// its supersets). The shared unifier is extended in place and rewound via
+/// its journal instead of being copied per branch.
 void ExtendChunk(const std::vector<Atom>& state,
                  const std::vector<size_t>& candidates, size_t start,
-                 const Unifier& unifier, std::vector<size_t>* chunk,
-                 const Tgd& renamed, uint64_t fresh_variable_base,
-                 size_t tgd_index, size_t max_chunk,
-                 std::vector<Resolvent>* out) {
+                 Unifier& unifier, std::vector<size_t>* chunk,
+                 const Tgd& renamed, const std::vector<Term>& existentials,
+                 uint64_t fresh_variable_base, size_t tgd_index,
+                 size_t max_chunk, std::vector<Resolvent>* out) {
   if (!chunk->empty()) {
-    TryEmitResolvent(state, *chunk, renamed, fresh_variable_base, unifier,
-                     tgd_index, out);
+    TryEmitResolvent(state, *chunk, renamed, existentials,
+                     fresh_variable_base, unifier, tgd_index, out);
   }
   if (chunk->size() >= max_chunk) return;
   for (size_t i = start; i < candidates.size(); ++i) {
-    Unifier extended = unifier;
-    if (!extended.UnifyAtoms(state[candidates[i]], renamed.head[0])) continue;
-    chunk->push_back(candidates[i]);
-    ExtendChunk(state, candidates, i + 1, extended, chunk, renamed,
-                fresh_variable_base, tgd_index, max_chunk, out);
-    chunk->pop_back();
+    size_t mark = unifier.Mark();
+    if (unifier.UnifyAtoms(state[candidates[i]], renamed.head[0])) {
+      chunk->push_back(candidates[i]);
+      ExtendChunk(state, candidates, i + 1, unifier, chunk, renamed,
+                  existentials, fresh_variable_base, tgd_index, max_chunk,
+                  out);
+      chunk->pop_back();
+    }
+    unifier.Rewind(mark);
   }
 }
 
@@ -95,24 +115,37 @@ std::vector<Resolvent> ResolveWithTgd(const std::vector<Atom>& state,
                                       const Program& program,
                                       size_t tgd_index,
                                       uint64_t fresh_variable_base,
-                                      size_t max_chunk) {
+                                      size_t max_chunk, size_t anchor) {
   std::vector<Resolvent> out;
   const Tgd& tgd = program.tgds()[tgd_index];
   assert(tgd.head.size() == 1 &&
          "resolution requires single-head TGDs (normalize first)");
+  PredicateId head_predicate = tgd.head[0].predicate;
+  if (anchor != kNoAnchor && state[anchor].predicate != head_predicate) {
+    return out;  // the anchor can never join a chunk of this TGD
+  }
   Tgd renamed = tgd.WithVariableOffset(fresh_variable_base);
 
   std::vector<size_t> candidates;
   for (size_t i = 0; i < state.size(); ++i) {
-    if (state[i].predicate == renamed.head[0].predicate) {
+    if (state[i].predicate == head_predicate && i != anchor) {
       candidates.push_back(i);
     }
   }
-  if (candidates.empty()) return out;
 
   std::vector<size_t> chunk;
-  Unifier empty;
-  ExtendChunk(state, candidates, 0, empty, &chunk, renamed,
+  Unifier unifier;
+  if (anchor != kNoAnchor) {
+    // Pre-seed the chunk with the anchor; every emitted chunk extends it.
+    if (!unifier.UnifyAtoms(state[anchor], renamed.head[0])) return out;
+    chunk.push_back(anchor);
+  } else if (candidates.empty()) {
+    return out;
+  }
+  std::unordered_set<Term> existential_set = renamed.ExistentialVariables();
+  std::vector<Term> existentials(existential_set.begin(),
+                                 existential_set.end());
+  ExtendChunk(state, candidates, 0, unifier, &chunk, renamed, existentials,
               fresh_variable_base, tgd_index, max_chunk, &out);
   return out;
 }

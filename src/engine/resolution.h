@@ -30,15 +30,22 @@ struct Resolvent {
   std::vector<size_t> chunk; // indices of the resolved S1 atoms in the state
 };
 
+/// Sentinel for `anchor`: enumerate chunks without an anchoring atom.
+inline constexpr size_t kNoAnchor = static_cast<size_t>(-1);
+
 /// Enumerates all σ-resolvents of `state` with the single-head TGD at
 /// `tgd_index` of `program`. `max_chunk` bounds |S1| (chunks larger than
 /// the node width can never be needed). Fresh body variables are renamed
 /// starting at `fresh_variable_base` to stay disjoint from state variables.
+/// When `anchor` names a state atom, only chunks containing that atom are
+/// enumerated (the SLD selection restriction of the searches), skipping
+/// the non-anchored chunks instead of generating and discarding them.
 std::vector<Resolvent> ResolveWithTgd(const std::vector<Atom>& state,
                                       const Program& program,
                                       size_t tgd_index,
                                       uint64_t fresh_variable_base,
-                                      size_t max_chunk = 4);
+                                      size_t max_chunk = 4,
+                                      size_t anchor = kNoAnchor);
 
 /// Enumerates resolvents over every TGD of the program.
 std::vector<Resolvent> ResolveAll(const std::vector<Atom>& state,

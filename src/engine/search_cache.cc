@@ -1,0 +1,197 @@
+#include "engine/search_cache.h"
+
+#include <algorithm>
+
+#include "analysis/predicate_graph.h"
+
+namespace vadalog {
+
+ProgramIndex::ProgramIndex(const Program& program, const Instance& database) {
+  const std::vector<Tgd>& tgds = program.tgds();
+  size_t max_predicate = 0;
+  auto note = [&max_predicate](PredicateId p) {
+    max_predicate = std::max<size_t>(max_predicate, p);
+  };
+  for (const Tgd& tgd : tgds) {
+    for (const Atom& a : tgd.head) note(a.predicate);
+    for (const Atom& a : tgd.body) note(a.predicate);
+  }
+  for (PredicateId p : database.Predicates()) note(p);
+  tgds_by_head_.resize(max_predicate + 1);
+  supported_.assign(max_predicate + 1, 0);
+
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    for (const Atom& head : tgds[i].head) {
+      tgds_by_head_[head.predicate].push_back(i);
+    }
+  }
+
+  // Supported-predicate least fixpoint, seeded with the database
+  // predicates and evaluated one SCC of pg(Σ) at a time in topological
+  // order: a head's body can only mention predicates of the same SCC or of
+  // earlier ones, so each component stabilizes with a local iteration.
+  for (PredicateId p : database.Predicates()) supported_[p] = 1;
+  PredicateGraph graph(program);
+  auto body_supported = [this](const Tgd& tgd) {
+    for (const Atom& a : tgd.body) {
+      if (!Supported(a.predicate)) return false;
+    }
+    return true;
+  };
+  for (int scc : graph.TopologicalComponents()) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (PredicateId p : graph.Component(scc)) {
+        if (Supported(p)) continue;
+        for (size_t tgd_index : TgdsWithHead(p)) {
+          if (body_supported(tgds[tgd_index])) {
+            supported_[p] = 1;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+const std::vector<size_t>& ProgramIndex::TgdsWithHead(PredicateId p) const {
+  return p < tgds_by_head_.size() ? tgds_by_head_[p] : no_tgds_;
+}
+
+bool ProgramIndex::StateIsDead(const std::vector<Atom>& atoms,
+                               const Instance& database) const {
+  for (const Atom& atom : atoms) {
+    if (!Supported(atom.predicate)) return true;
+    if (!RuleDerivable(atom.predicate) &&
+        EstimateMatches(atom, database) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ProofSearchCache::ProofSearchCache(const Program& program,
+                                   const Instance& database)
+    : index_(program, database) {}
+
+ProofSearchCache::Key ProofSearchCache::InternKey(const CanonicalState& state) {
+  Key key;
+  key.reserve(state.atoms.size());
+  size_t offset = 0;
+  for (const Atom& atom : state.atoms) {
+    size_t len = 1 + atom.args.size();
+    std::vector<uint64_t> chunk(state.encoding.begin() + offset,
+                                state.encoding.begin() + offset + len);
+    offset += len;
+    uint32_t next_id = static_cast<uint32_t>(atom_ids_.size());
+    auto [it, inserted] = atom_ids_.try_emplace(std::move(chunk), next_id);
+    if (inserted) interned_words_ += len;
+    key.push_back(it->second);
+  }
+  return key;
+}
+
+bool ProofSearchCache::BuildKey(const CanonicalState& state, Key* out) {
+  out->clear();
+  out->reserve(state.atoms.size());
+  size_t offset = 0;
+  for (const Atom& atom : state.atoms) {
+    size_t len = 1 + atom.args.size();
+    chunk_scratch_.assign(state.encoding.begin() + offset,
+                          state.encoding.begin() + offset + len);
+    offset += len;
+    auto it = atom_ids_.find(chunk_scratch_);
+    if (it == atom_ids_.end()) return false;  // unseen atom => unseen state
+    out->push_back(it->second);
+  }
+  return true;
+}
+
+bool ProofSearchCache::Lookup(const Table& table, const CanonicalState& state,
+                              size_t width, size_t max_chunk,
+                              bool entry_must_cover) {
+  ++stats_.lookups;
+  if (table.empty()) return false;  // cold cache: skip the key walk
+  Key key;
+  if (!BuildKey(state, &key)) return false;
+  auto it = table.find(key);
+  if (it == table.end()) return false;
+  const Bound& entry = it->second;
+  // A refutation transfers to a search exploring no more than the
+  // recording one (entry covers the request); a proof to one exploring no
+  // less (request covers the entry).
+  bool usable = entry_must_cover
+                    ? (entry.width >= width && entry.chunk >= max_chunk)
+                    : (entry.width <= width && entry.chunk <= max_chunk);
+  if (usable) ++stats_.hits;
+  return usable;
+}
+
+void ProofSearchCache::Record(Table* table, const CanonicalState& state,
+                              size_t width, size_t max_chunk,
+                              bool keep_larger) {
+  Bound fresh{
+      static_cast<uint32_t>(std::min<size_t>(width, UINT32_MAX)),
+      static_cast<uint32_t>(std::min<size_t>(max_chunk, UINT32_MAX))};
+  Key key = InternKey(state);
+  size_t key_len = key.size();
+  auto [it, inserted] = table->try_emplace(std::move(key), fresh);
+  if (inserted) {
+    ++stats_.insertions;
+    key_words_ += key_len;
+    return;
+  }
+  // Only replace when the new bound dominates the stored one in the
+  // direction that makes the entry more reusable; incomparable bounds keep
+  // the existing entry (both claims are true, we just keep one).
+  Bound& stored = it->second;
+  bool dominates = keep_larger ? (fresh.width >= stored.width &&
+                                  fresh.chunk >= stored.chunk)
+                               : (fresh.width <= stored.width &&
+                                  fresh.chunk <= stored.chunk);
+  if (dominates) stored = fresh;
+}
+
+bool ProofSearchCache::LinearKnownRefuted(const CanonicalState& state,
+                                          size_t width, size_t max_chunk) {
+  return Lookup(linear_refuted_, state, width, max_chunk,
+                /*entry_must_cover=*/true);
+}
+
+void ProofSearchCache::LinearRecordRefuted(const CanonicalState& state,
+                                           size_t width, size_t max_chunk) {
+  Record(&linear_refuted_, state, width, max_chunk, /*keep_larger=*/true);
+}
+
+bool ProofSearchCache::AltKnownProven(const CanonicalState& state,
+                                      size_t width, size_t max_chunk) {
+  return Lookup(alt_proven_, state, width, max_chunk,
+                /*entry_must_cover=*/false);
+}
+
+bool ProofSearchCache::AltKnownRefuted(const CanonicalState& state,
+                                       size_t width, size_t max_chunk) {
+  return Lookup(alt_refuted_, state, width, max_chunk,
+                /*entry_must_cover=*/true);
+}
+
+void ProofSearchCache::AltRecordProven(const CanonicalState& state,
+                                       size_t width, size_t max_chunk) {
+  Record(&alt_proven_, state, width, max_chunk, /*keep_larger=*/false);
+}
+
+void ProofSearchCache::AltRecordRefuted(const CanonicalState& state,
+                                        size_t width, size_t max_chunk) {
+  Record(&alt_refuted_, state, width, max_chunk, /*keep_larger=*/true);
+}
+
+size_t ProofSearchCache::ApproximateBytes() const {
+  size_t entries = linear_refuted_.size() + alt_proven_.size() +
+                   alt_refuted_.size();
+  return interned_words_ * sizeof(uint64_t) + key_words_ * sizeof(uint32_t) +
+         entries * sizeof(Bound);
+}
+
+}  // namespace vadalog

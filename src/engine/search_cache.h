@@ -1,0 +1,174 @@
+// Relevance pruning and cross-candidate memoization for the bounded proof
+// searches (Section 4.3).
+//
+// Both deterministic realizations (the linear BFS and the alternating
+// AND-OR search) repeat two kinds of work across states and across
+// candidate tuples:
+//
+//   * every state loops over all TGDs at every resolution step, although a
+//     chunk unifier through the selected atom can only exist for TGDs
+//     whose head predicate equals the selected atom's predicate — the
+//     ProgramIndex precomputes that per-predicate bucket from pg(Σ), plus
+//     a "supported" predicate fixpoint that prunes states containing atoms
+//     no derivation can ever discharge;
+//
+//   * the candidate-tuple enumeration of CertainAnswersViaSearch (and
+//     repeated decisions against one database, e.g. the OWL 2 QL example)
+//     re-explores largely identical canonical states: the frozen output
+//     constants differ but the derived sub-states recur. The
+//     ProofSearchCache memoizes, across searches over the same
+//     (program, database) pair, canonical states proven non-accepting by a
+//     completed linear BFS, and both proven and refuted states of the
+//     alternating search (refuted only when path-independent, per the
+//     tabling taint rule).
+//
+// Cache entries are tagged with the (node_width, max_chunk) exploration
+// bound they were established under: a refutation only transfers to a
+// search exploring *no more* than the recording search did, a proof to one
+// exploring *no less*. States are stored with their atoms interned (one
+// uint32 id per canonical atom encoding), so the per-state footprint across
+// thousands of overlapping states stays small.
+//
+// A cache is only meaningful for the exact (program, database) pair it was
+// constructed with; reusing it across different inputs is unsound.
+
+#ifndef VADALOG_ENGINE_SEARCH_CACHE_H_
+#define VADALOG_ENGINE_SEARCH_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/hash.h"
+#include "engine/state.h"
+#include "storage/instance.h"
+
+namespace vadalog {
+
+/// Static relevance facts about one (program, database) pair, derived from
+/// the predicate graph pg(Σ). Cheap to build (schema-sized); the searches
+/// build a local one per call when no shared cache is supplied.
+class ProgramIndex {
+ public:
+  ProgramIndex() = default;
+  ProgramIndex(const Program& program, const Instance& database);
+
+  /// Indices of the TGDs whose (single, post-normalization) head atom has
+  /// predicate `p` — the only TGDs whose head can piece-unify with an atom
+  /// of predicate `p` (Definition 4.3 chunks are predicate-homogeneous).
+  const std::vector<size_t>& TgdsWithHead(PredicateId p) const;
+
+  /// True iff some TGD derives `p`.
+  bool RuleDerivable(PredicateId p) const {
+    return !TgdsWithHead(p).empty();
+  }
+
+  /// True iff an atom with predicate `p` can possibly be discharged: `p`
+  /// has database facts, or some TGD with head `p` has an all-supported
+  /// body (least fixpoint over pg(Σ), SCCs processed in topological
+  /// order). A state containing an unsupported predicate can never reach
+  /// the empty (accepting) state.
+  bool Supported(PredicateId p) const {
+    return p < supported_.size() && supported_[p] != 0;
+  }
+
+  /// True iff some atom of the state can provably never be discharged:
+  /// its predicate is unsupported, or it is not rule-derivable and its
+  /// rigid bindings match no database row (further bindings only shrink
+  /// the match set). Such states are dead and are pruned.
+  bool StateIsDead(const std::vector<Atom>& atoms,
+                   const Instance& database) const;
+
+ private:
+  // Flat per-predicate arrays: PredicateIds are small dense interned ints,
+  // and these are probed for every atom of every explored state.
+  std::vector<std::vector<size_t>> tgds_by_head_;
+  std::vector<char> supported_;
+  std::vector<size_t> no_tgds_;
+};
+
+/// Shared memoization across proof searches over one (program, database)
+/// pair. Not thread-safe; share within one reasoning session.
+class ProofSearchCache {
+ public:
+  ProofSearchCache(const Program& program, const Instance& database);
+
+  const ProgramIndex& index() const { return index_; }
+
+  /// Linear BFS: was `state` proven unable to reach the empty state by a
+  /// completed search whose exploration bound covers (width, max_chunk)?
+  bool LinearKnownRefuted(const CanonicalState& state, size_t width,
+                          size_t max_chunk);
+  void LinearRecordRefuted(const CanonicalState& state, size_t width,
+                           size_t max_chunk);
+
+  /// Alternating search: globally valid proven / path-independent refuted
+  /// sub-states.
+  bool AltKnownProven(const CanonicalState& state, size_t width,
+                      size_t max_chunk);
+  bool AltKnownRefuted(const CanonicalState& state, size_t width,
+                       size_t max_chunk);
+  void AltRecordProven(const CanonicalState& state, size_t width,
+                       size_t max_chunk);
+  void AltRecordRefuted(const CanonicalState& state, size_t width,
+                        size_t max_chunk);
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t insertions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t linear_refuted_size() const { return linear_refuted_.size(); }
+  size_t alt_proven_size() const { return alt_proven_.size(); }
+  size_t alt_refuted_size() const { return alt_refuted_.size(); }
+  size_t interned_atoms() const { return atom_ids_.size(); }
+  size_t ApproximateBytes() const;
+
+ private:
+  /// The exploration bound a memo entry was established under.
+  struct Bound {
+    uint32_t width;
+    uint32_t chunk;
+  };
+
+  // A state key: one interned id per canonical atom, in canonical order.
+  using Key = std::vector<uint32_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashRange(k.begin(), k.end());
+    }
+  };
+  struct ChunkHash {
+    size_t operator()(const std::vector<uint64_t>& c) const {
+      return HashRange(c.begin(), c.end());
+    }
+  };
+  using Table = std::unordered_map<Key, Bound, KeyHash>;
+
+  Key InternKey(const CanonicalState& state);
+  /// Builds the interned key without interning: returns false (a sure
+  /// cache miss) when any atom of the state has never been recorded.
+  bool BuildKey(const CanonicalState& state, Key* out);
+  bool Lookup(const Table& table, const CanonicalState& state, size_t width,
+              size_t max_chunk, bool entry_must_cover);
+  void Record(Table* table, const CanonicalState& state, size_t width,
+              size_t max_chunk, bool keep_larger);
+
+  ProgramIndex index_;
+  std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_;
+  std::vector<uint64_t> chunk_scratch_;
+  size_t interned_words_ = 0;
+  size_t key_words_ = 0;
+  Table linear_refuted_;
+  Table alt_proven_;
+  Table alt_refuted_;
+  Stats stats_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_SEARCH_CACHE_H_

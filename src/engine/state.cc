@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <unordered_map>
 
 #include "base/hash.h"
@@ -26,7 +25,8 @@ uint64_t EncodeArg(Term t, RankMaps* ranks) {
   if (t.is_constant()) return t.bits();
   if (t.is_null()) {
     if (!ranks->rename_nulls) return t.bits();
-    auto [it, inserted] = ranks->null_rank.try_emplace(t, ranks->null_rank.size());
+    auto [it, inserted] =
+        ranks->null_rank.try_emplace(t, ranks->null_rank.size());
     return (uint64_t{1} << 62) | it->second;
   }
   auto [it, inserted] = ranks->var_rank.try_emplace(t, ranks->var_rank.size());
@@ -39,6 +39,9 @@ std::vector<uint64_t> EncodeOrder(const std::vector<Atom>& atoms,
                                   const std::vector<size_t>& order,
                                   bool rename_nulls) {
   std::vector<uint64_t> enc;
+  size_t words = 0;
+  for (const Atom& a : atoms) words += 1 + a.args.size();
+  enc.reserve(words);
   RankMaps ranks;
   ranks.rename_nulls = rename_nulls;
   for (size_t idx : order) {
@@ -73,11 +76,236 @@ std::vector<uint64_t> InvariantKey(
   return key;
 }
 
-}  // namespace
+constexpr uint32_t kUnranked = 0xffffffffu;
+constexpr uint64_t kFlatVarLimit = 4096;
 
-size_t CanonicalState::Hash() const {
-  return HashRange(encoding.begin(), encoding.end());
+/// Grow-only per-thread scratch for the flat canonicalization fast path:
+/// every per-term lookup is an array indexed by variable index, and no
+/// allocation survives between calls.
+struct FlatScratch {
+  std::vector<uint64_t> color;     // per variable index
+  std::vector<uint32_t> var_rank;  // per variable index; kUnranked = unseen
+  std::vector<uint32_t> touched;   // var indices to reset in var_rank
+  std::vector<std::pair<uint64_t, uint64_t>> occ;  // (var, code) pairs
+  std::vector<uint64_t> run_codes;
+  std::vector<uint64_t> keys;  // concatenated per-atom invariant keys
+  std::vector<std::pair<uint32_t, uint32_t>> key_span;  // per atom [b, e)
+
+  void Prepare(size_t num_vars) {
+    if (color.size() < num_vars) {
+      color.resize(num_vars, 0);
+      var_rank.resize(num_vars, kUnranked);
+    }
+    occ.clear();
+    keys.clear();
+    key_span.clear();
+  }
+};
+
+/// EncodeOrder for the flat path: identical output, array-backed ranks.
+void FlatEncode(const std::vector<Atom>& atoms,
+                const std::vector<size_t>& order, FlatScratch* s,
+                std::vector<uint64_t>* enc) {
+  enc->clear();
+  uint32_t next = 0;
+  for (size_t idx : order) {
+    const Atom& a = atoms[idx];
+    enc->push_back((uint64_t{2} << 62) | a.predicate);
+    for (Term t : a.args) {
+      if (!t.is_variable()) {
+        enc->push_back(t.bits());
+        continue;
+      }
+      uint32_t v = static_cast<uint32_t>(t.index());
+      if (s->var_rank[v] == kUnranked) {
+        s->var_rank[v] = next++;
+        s->touched.push_back(v);
+      }
+      enc->push_back((uint64_t{3} << 62) | s->var_rank[v]);
+    }
+  }
+  for (uint32_t v : s->touched) s->var_rank[v] = kUnranked;
+  s->touched.clear();
 }
+
+/// Sorts the (var, code) pairs in `s->occ` and folds each variable's code
+/// run into its color (combining with the previous color when refining).
+/// The hash formulas mirror the map-based general path exactly, so both
+/// paths produce identical canonical encodings.
+void FoldColorRuns(FlatScratch* s, bool combine_old) {
+  std::sort(s->occ.begin(), s->occ.end());
+  for (size_t i = 0; i < s->occ.size();) {
+    uint64_t var = s->occ[i].first;
+    s->run_codes.clear();
+    size_t j = i;
+    while (j < s->occ.size() && s->occ[j].first == var) {
+      s->run_codes.push_back(s->occ[j].second);
+      ++j;
+    }
+    size_t c = HashRange(s->run_codes.begin(), s->run_codes.end());
+    if (combine_old) HashCombine(&c, s->color[var]);
+    s->color[var] = c;
+    i = j;
+  }
+}
+
+/// The common-case canonicalization (no null renaming, no mapping out,
+/// variable indices < kFlatVarLimit): same algorithm and identical output
+/// as the general path below, with flat arrays replacing the hash maps.
+CanonicalState FlatCanonicalize(std::vector<Atom> atoms, size_t num_vars) {
+  static thread_local FlatScratch scratch;
+  FlatScratch* s = &scratch;
+  s->Prepare(num_vars);
+  CanonicalState state;
+  size_t n = atoms.size();
+
+  // Pass 1: occurrence-profile colors.
+  for (const Atom& a : atoms) {
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (a.args[i].is_variable()) {
+        s->occ.emplace_back(a.args[i].index(),
+                            (static_cast<uint64_t>(a.predicate) << 8) | i);
+      }
+    }
+  }
+  FoldColorRuns(s, /*combine_old=*/false);
+
+  // Pass 1b: one WL refinement round (see the general path).
+  if (n > 2) {
+    s->occ.clear();
+    for (const Atom& a : atoms) {
+      size_t atom_sig = a.predicate;
+      for (Term t : a.args) {
+        HashCombine(&atom_sig,
+                    t.is_variable() ? s->color[t.index()] : t.bits());
+      }
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (a.args[i].is_variable()) {
+          size_t code = atom_sig;
+          HashCombine(&code, i);
+          s->occ.emplace_back(a.args[i].index(), code);
+        }
+      }
+    }
+    FoldColorRuns(s, /*combine_old=*/true);
+  }
+
+  // Invariant keys, concatenated into one arena. A variable's local rank
+  // is its first-occurrence index among the atom's distinct variables,
+  // exactly as the general path's per-atom rank map.
+  std::vector<uint64_t> atom_seen;
+  for (const Atom& a : atoms) {
+    uint32_t begin = static_cast<uint32_t>(s->keys.size());
+    s->keys.push_back(a.predicate);
+    atom_seen.clear();
+    for (Term t : a.args) {
+      if (!t.is_variable()) {
+        s->keys.push_back(t.bits());
+        continue;
+      }
+      size_t local_rank = 0;
+      while (local_rank < atom_seen.size() &&
+             atom_seen[local_rank] != t.index()) {
+        ++local_rank;
+      }
+      if (local_rank == atom_seen.size()) atom_seen.push_back(t.index());
+      s->keys.push_back((uint64_t{3} << 62) | local_rank);
+      s->keys.push_back(s->color[t.index()]);
+    }
+    s->key_span.emplace_back(begin, static_cast<uint32_t>(s->keys.size()));
+  }
+
+  auto key_less = [s](size_t a, size_t b) {
+    auto [ab, ae] = s->key_span[a];
+    auto [bb, be] = s->key_span[b];
+    return std::lexicographical_compare(s->keys.begin() + ab,
+                                        s->keys.begin() + ae,
+                                        s->keys.begin() + bb,
+                                        s->keys.begin() + be);
+  };
+  auto key_eq = [s](size_t a, size_t b) {
+    auto [ab, ae] = s->key_span[a];
+    auto [bb, be] = s->key_span[b];
+    return ae - ab == be - bb &&
+           std::equal(s->keys.begin() + ab, s->keys.begin() + ae,
+                      s->keys.begin() + bb);
+  };
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), key_less);
+
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) in `order`
+  size_t combinations = 1;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && key_eq(order[i], order[j])) ++j;
+    if (j - i > 1) {
+      groups.emplace_back(i, j);
+      for (size_t k = 2; k <= j - i && combinations <= 720; ++k) {
+        combinations *= k;
+      }
+    }
+    i = j;
+  }
+
+  if (groups.empty() || combinations > 720) {
+    FlatEncode(atoms, order, s, &state.encoding);
+  } else {
+    std::vector<uint64_t> best;
+    std::vector<uint64_t> candidate;
+    std::vector<size_t> current = order;
+    std::function<void(size_t)> recurse = [&](size_t group_index) {
+      if (group_index == groups.size()) {
+        FlatEncode(atoms, current, s, &candidate);
+        if (best.empty() || candidate < best) {
+          std::swap(best, candidate);
+          order = current;
+        }
+        return;
+      }
+      auto [begin, end] = groups[group_index];
+      std::vector<size_t> members(current.begin() + begin,
+                                  current.begin() + end);
+      std::sort(members.begin(), members.end());
+      do {
+        std::copy(members.begin(), members.end(), current.begin() + begin);
+        recurse(group_index + 1);
+      } while (std::next_permutation(members.begin(), members.end()));
+    };
+    recurse(0);
+    state.encoding = std::move(best);
+  }
+
+  // Materialize atoms in canonical order with canonical names.
+  uint32_t next_rank = 0;
+  state.atoms.reserve(n);
+  for (size_t idx : order) {
+    Atom renamed;
+    renamed.predicate = atoms[idx].predicate;
+    renamed.args.reserve(atoms[idx].args.size());
+    for (Term t : atoms[idx].args) {
+      if (t.is_variable()) {
+        uint32_t v = static_cast<uint32_t>(t.index());
+        if (s->var_rank[v] == kUnranked) {
+          s->var_rank[v] = next_rank++;
+          s->touched.push_back(v);
+        }
+        renamed.args.push_back(Term::Variable(s->var_rank[v]));
+      } else {
+        renamed.args.push_back(t);
+      }
+    }
+    state.atoms.push_back(std::move(renamed));
+  }
+  for (uint32_t v : s->touched) s->var_rank[v] = kUnranked;
+  s->touched.clear();
+
+  state.hash = HashRange(state.encoding.begin(), state.encoding.end());
+  return state;
+}
+
+}  // namespace
 
 CanonicalState Canonicalize(std::vector<Atom> atoms) {
   return CanonicalizeEx(std::move(atoms), /*rename_nulls=*/false, nullptr);
@@ -89,8 +317,21 @@ CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
   size_t n = atoms.size();
   if (n == 0) {
     state.atoms = std::move(atoms);
+    state.hash = HashRange(state.encoding.begin(), state.encoding.end());
     return state;
   }
+  if (!rename_nulls && mapping == nullptr) {
+    uint64_t max_var = 0;
+    for (const Atom& a : atoms) {
+      for (Term t : a.args) {
+        if (t.is_variable() && t.index() > max_var) max_var = t.index();
+      }
+    }
+    if (max_var < kFlatVarLimit) {
+      return FlatCanonicalize(std::move(atoms), max_var + 1);
+    }
+  }
+
   auto renameable = [rename_nulls](Term t) {
     return t.is_variable() || (rename_nulls && t.is_null());
   };
@@ -110,6 +351,37 @@ CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
   for (auto& [term, profile] : occurrences) {
     std::sort(profile.begin(), profile.end());
     term_color[term] = HashRange(profile.begin(), profile.end());
+  }
+
+  // Pass 1b: one Weisfeiler–Leman-style refinement round — recolor each
+  // term by the multiset of its occurrences *including the colors of the
+  // co-occurring terms*. This separates most structurally distinct but
+  // profile-identical variables, collapsing the tie groups the brute-force
+  // pass below would otherwise have to permute.
+  if (n > 2) {
+    auto context_color = [&term_color](Term t) -> uint64_t {
+      if (t.is_constant() || t.is_null()) return t.bits();
+      auto it = term_color.find(t);
+      return it == term_color.end() ? 0 : it->second;
+    };
+    std::unordered_map<Term, std::vector<uint64_t>> refined;
+    for (const Atom& a : atoms) {
+      uint64_t atom_sig = a.predicate;
+      for (Term t : a.args) HashCombine(&atom_sig, context_color(t));
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (renameable(a.args[i])) {
+          uint64_t occ = atom_sig;
+          HashCombine(&occ, i);
+          refined[a.args[i]].push_back(occ);
+        }
+      }
+    }
+    for (auto& [term, profile] : refined) {
+      std::sort(profile.begin(), profile.end());
+      uint64_t color = HashRange(profile.begin(), profile.end());
+      HashCombine(&color, term_color[term]);
+      term_color[term] = color;
+    }
   }
 
   // Sort atom indices by invariant key; collect tie groups.
@@ -187,6 +459,7 @@ CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
     }
     state.atoms.push_back(std::move(renamed));
   }
+  state.hash = HashRange(state.encoding.begin(), state.encoding.end());
   return state;
 }
 
@@ -195,37 +468,58 @@ std::vector<std::vector<Atom>> SplitComponents(
   size_t n = atoms.size();
   std::vector<int> parent(n);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
-  std::function<int(int)> find = [&](int x) {
+  auto find = [&parent](int x) {
     while (parent[x] != x) {
       parent[x] = parent[parent[x]];
       x = parent[x];
     }
     return x;
   };
-  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
 
   std::unordered_map<Term, size_t> first_seen;
   for (size_t i = 0; i < n; ++i) {
     for (Term t : atoms[i].args) {
       if (!t.is_variable()) continue;
       auto [it, inserted] = first_seen.try_emplace(t, i);
-      if (!inserted) unite(static_cast<int>(i), static_cast<int>(it->second));
+      if (!inserted) {
+        parent[find(static_cast<int>(i))] = find(static_cast<int>(it->second));
+      }
     }
   }
 
-  std::map<int, std::vector<Atom>> buckets;
-  for (size_t i = 0; i < n; ++i) {
-    buckets[find(static_cast<int>(i))].push_back(atoms[i]);
-  }
+  // Group atoms by root, preserving first-occurrence order of the roots.
+  std::vector<int> component_of_root(n, -1);
   std::vector<std::vector<Atom>> components;
-  components.reserve(buckets.size());
-  for (auto& [root, component] : buckets) {
-    components.push_back(std::move(component));
+  for (size_t i = 0; i < n; ++i) {
+    int root = find(static_cast<int>(i));
+    if (component_of_root[root] < 0) {
+      component_of_root[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[component_of_root[root]].push_back(atoms[i]);
   }
   return components;
 }
 
 size_t EagerSimplify(std::vector<Atom>* atoms, const Instance& database) {
+  // A CQ state is a *set* of atoms: conjunction is idempotent, so exact
+  // duplicates (frequent in resolvents) are dropped first. This shrinks
+  // states against the width bound and merges otherwise-distinct states.
+  {
+    size_t n = atoms->size();
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool duplicate = false;
+      for (size_t j = 0; j < kept && !duplicate; ++j) {
+        duplicate = (*atoms)[i] == (*atoms)[j];
+      }
+      if (!duplicate) {
+        if (kept != i) (*atoms)[kept] = std::move((*atoms)[i]);
+        ++kept;
+      }
+    }
+    atoms->resize(kept);
+  }
   std::vector<std::vector<Atom>> components = SplitComponents(*atoms);
   std::vector<Atom> kept;
   size_t removed = 0;

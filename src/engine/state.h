@@ -25,8 +25,11 @@ namespace vadalog {
 struct CanonicalState {
   std::vector<Atom> atoms;        // canonical atom order, variables 0..k-1
   std::vector<uint64_t> encoding; // flat injective encoding of `atoms`
+  size_t hash = 0;                // hash of `encoding`, fixed at creation
 
-  size_t Hash() const;
+  /// The hash is computed once during canonicalization and stored, so
+  /// visited-set operations never re-walk the encoding.
+  size_t Hash() const { return hash; }
   bool operator==(const CanonicalState& other) const {
     return encoding == other.encoding;
   }

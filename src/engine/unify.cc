@@ -17,10 +17,12 @@ bool Unifier::Unify(Term a, Term b) {
   if (a == b) return true;
   if (a.is_variable()) {
     bindings_.emplace(a, b);
+    journal_.push_back(a);
     return true;
   }
   if (b.is_variable()) {
     bindings_.emplace(b, a);
+    journal_.push_back(b);
     return true;
   }
   return false;  // two distinct rigid terms
@@ -34,6 +36,13 @@ bool Unifier::UnifyAtoms(const Atom& a, const Atom& b) {
     if (!Unify(a.args[i], b.args[i])) return false;
   }
   return true;
+}
+
+void Unifier::Rewind(size_t mark) {
+  while (journal_.size() > mark) {
+    bindings_.erase(journal_.back());
+    journal_.pop_back();
+  }
 }
 
 Substitution Unifier::ToSubstitution() const {

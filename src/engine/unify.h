@@ -15,6 +15,10 @@ namespace vadalog {
 /// A unifier under construction: a union-find-style binding map. Rigid
 /// terms (constants/nulls) are never bound; variables may be bound to
 /// variables or rigid terms. Resolve() follows binding chains.
+///
+/// Bindings are only ever inserted, so the unifier keeps an insertion
+/// journal: Mark()/Rewind() give cheap backtracking (the chunk DFS of
+/// resolution extends one shared unifier instead of copying it per branch).
 class Unifier {
  public:
   /// Follows bindings until a rigid term or an unbound variable.
@@ -24,8 +28,15 @@ class Unifier {
   bool Unify(Term a, Term b);
 
   /// Unifies two atoms position-wise; false on predicate/arity mismatch or
-  /// clash.
+  /// clash. On failure, bindings added by the partial walk remain; use
+  /// Mark()/Rewind() to restore.
   bool UnifyAtoms(const Atom& a, const Atom& b);
+
+  /// Journal position for Rewind().
+  size_t Mark() const { return journal_.size(); }
+
+  /// Erases every binding inserted after `mark` (LIFO undo).
+  void Rewind(size_t mark);
 
   /// The substitution mapping every bound variable to its fully resolved
   /// value. Unbound variables are left out (identity).
@@ -39,6 +50,7 @@ class Unifier {
 
  private:
   std::unordered_map<Term, Term> bindings_;
+  std::vector<Term> journal_;  // keys of bindings_, in insertion order
 };
 
 /// Convenience: MGU of two atoms, or nullopt.

@@ -121,6 +121,27 @@ TEST(AlternatingSearchTest, CycleInStateGraphTerminates) {
   EXPECT_FALSE(result.accepted);
 }
 
+// Deterministic perf canaries (counter-based, CI-stable): bounds are ~2x
+// the counts observed when the pruned search landed (13 expansions for the
+// positive decision, 2628 for the refutation).
+TEST(AlternatingSearchTest, PerfCanaryNonLinearTcCounts) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d). e(d, f).
+    ?(X) :- t(a, X).
+  )");
+  AlternatingSearchResult positive =
+      AlternatingProofSearch(s.program, s.db, s.Query(), {s.Const("f")});
+  EXPECT_TRUE(positive.accepted);
+  EXPECT_LE(positive.states_expanded, 30u);
+  AlternatingSearchResult negative =
+      AlternatingProofSearch(s.program, s.db, s.Query(), {s.Const("a")});
+  EXPECT_FALSE(negative.accepted);
+  EXPECT_FALSE(negative.budget_exhausted);
+  EXPECT_LE(negative.states_expanded, 5000u);
+}
+
 TEST(AlternatingSearchTest, MatchesLinearSearchOnPwlPrograms) {
   // On WARD ∩ PWL programs both engines must agree.
   TestEnv s(R"(

@@ -205,6 +205,48 @@ TEST(LinearSearchTest, StatsArePopulated) {
   EXPECT_GT(result.peak_state_bytes, 0u);
 }
 
+// Deterministic perf canaries: the searches count expanded/visited states,
+// so exploration-size regressions (a lost pruning rule, a broken canonical
+// form) show up as counter jumps long before they show up as wall-clock.
+// Bounds are ~2x the counts observed when the pruned search landed
+// (7 states for the chain refutation, 8280 for the OWL 2 QL refutation).
+TEST(LinearSearchTest, PerfCanaryChainRefutation) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_LE(result.states_expanded, 16u);
+  EXPECT_LE(result.states_visited, 16u);
+}
+
+TEST(LinearSearchTest, PerfCanaryOwl2QlRefutation) {
+  TestEnv s(R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+    subclass(cat, mammal). subclass(mammal, animal).
+    type(tom, cat).
+    restriction(hunter, hunts).
+    type(tom, hunter).
+    ?(Y) :- type(tom, Y).
+  )");
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("hunts")});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_LE(result.states_expanded, 16000u);
+  EXPECT_LE(result.states_visited, 16000u);
+}
+
 TEST(LinearSearchTest, FreezeQueryRejectsMalformedCandidates) {
   TestEnv s(R"(
     t(X, Y) :- e(X, Y).

@@ -1,0 +1,275 @@
+// Tests for the relevance index (per-predicate TGD buckets, supported
+// fixpoint) and the cross-candidate proof-search memoization cache.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "engine/certain.h"
+#include "engine/search_cache.h"
+
+namespace vadalog {
+namespace {
+
+struct TestEnv {
+  Program program;
+  Instance db;
+
+  explicit TestEnv(const char* text) {
+    ParseResult parsed = ParseProgram(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    NormalizeToSingleHead(&program, nullptr);
+    db = DatabaseFromFacts(program.facts());
+  }
+
+  Term Const(const char* name) {
+    return program.symbols().InternConstant(name);
+  }
+  PredicateId Pred(const char* name) {
+    return program.symbols().FindPredicate(name);
+  }
+  ConjunctiveQuery Query(size_t index = 0) {
+    return program.queries()[index];
+  }
+};
+
+TEST(ProgramIndexTest, TgdsWithHeadBucketsByHeadPredicate) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).
+  )");
+  ProgramIndex index(s.program, s.db);
+  EXPECT_EQ(index.TgdsWithHead(s.Pred("t")).size(), 2u);
+  EXPECT_TRUE(index.TgdsWithHead(s.Pred("e")).empty());
+  EXPECT_TRUE(index.RuleDerivable(s.Pred("t")));
+  EXPECT_FALSE(index.RuleDerivable(s.Pred("e")));
+}
+
+TEST(ProgramIndexTest, SupportedIsALeastFixpointNotJustHeadMembership) {
+  // p is derived only from q, q only from r, and r has no facts: none of
+  // the three is supported although p and q are rule heads.
+  TestEnv s(R"(
+    p(X) :- q(X).
+    q(X) :- r(X).
+    dom(a).
+  )");
+  ProgramIndex index(s.program, s.db);
+  EXPECT_FALSE(index.Supported(s.Pred("p")));
+  EXPECT_FALSE(index.Supported(s.Pred("q")));
+  EXPECT_FALSE(index.Supported(s.Pred("r")));
+  EXPECT_TRUE(index.Supported(s.Pred("dom")));
+}
+
+TEST(ProgramIndexTest, SupportedPropagatesThroughDerivableChains) {
+  TestEnv s(R"(
+    p(X) :- q(X).
+    q(X) :- r(X).
+    r(a).
+  )");
+  ProgramIndex index(s.program, s.db);
+  EXPECT_TRUE(index.Supported(s.Pred("p")));
+  EXPECT_TRUE(index.Supported(s.Pred("q")));
+  EXPECT_TRUE(index.Supported(s.Pred("r")));
+}
+
+TEST(ProgramIndexTest, RecursiveRulesAloneDoNotSupport) {
+  // p/q feed each other but never bottom out in the database.
+  TestEnv s(R"(
+    p(X) :- q(X).
+    q(X) :- p(X).
+    dom(a).
+  )");
+  ProgramIndex index(s.program, s.db);
+  EXPECT_FALSE(index.Supported(s.Pred("p")));
+  EXPECT_FALSE(index.Supported(s.Pred("q")));
+}
+
+TEST(ProgramIndexTest, StateIsDeadPrunesUnsupportedAndUnmatchable) {
+  TestEnv s(R"(
+    p(X) :- q(X).
+    e(a, b).
+  )");
+  ProgramIndex index(s.program, s.db);
+  // q is neither in the database nor derivable: dead.
+  EXPECT_TRUE(index.StateIsDead(
+      {Atom(s.Pred("q"), {Term::Variable(0)})}, s.db));
+  // e(zz, X) has no matching row and e is not derivable: dead.
+  EXPECT_TRUE(index.StateIsDead(
+      {Atom(s.Pred("e"), {s.Const("zz"), Term::Variable(0)})}, s.db));
+  // e(a, X) matches a row: alive.
+  EXPECT_FALSE(index.StateIsDead(
+      {Atom(s.Pred("e"), {s.Const("a"), Term::Variable(0)})}, s.db));
+}
+
+TEST(SearchCacheTest, RefutationsTransferAcrossCandidates) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  // Refuting t(a, zz) walks the whole chain: its visited set contains
+  // t(b, zz), which is exactly the initial state of the next candidate —
+  // the second refutation must come back as an immediate cache hit.
+  ProofSearchResult first = LinearProofSearch(
+      s.program, s.db, s.Query(), {s.Const("a"), s.Const("zz")}, options);
+  EXPECT_FALSE(first.accepted);
+  EXPECT_GT(cache.linear_refuted_size(), 0u);
+  ProofSearchResult second = LinearProofSearch(
+      s.program, s.db, s.Query(), {s.Const("b"), s.Const("zz")}, options);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_GT(second.cache_hits, 0u);
+  EXPECT_LT(second.states_visited, first.states_visited);
+}
+
+TEST(SearchCacheTest, CachedAndUncachedLinearDecisionsAgree) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions cached;
+  cached.cache = &cache;
+  std::vector<Term> constants = {s.Const("a"), s.Const("b"), s.Const("c"),
+                                 s.Const("d")};
+  for (Term x : constants) {
+    for (Term y : constants) {
+      bool without =
+          LinearProofSearch(s.program, s.db, s.Query(), {x, y}).accepted;
+      bool with =
+          LinearProofSearch(s.program, s.db, s.Query(), {x, y}, cached)
+              .accepted;
+      EXPECT_EQ(without, with) << "candidate (" << x.index() << ", "
+                               << y.index() << ")";
+    }
+  }
+  EXPECT_GT(cache.stats().lookups, 0u);
+  EXPECT_GT(cache.linear_refuted_size(), 0u);
+}
+
+TEST(SearchCacheTest, CachedAndUncachedAlternatingDecisionsAgree) {
+  // Non-linear TC: exercises the alternating search's shared proven and
+  // refuted tables.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions cached;
+  cached.cache = &cache;
+  std::vector<Term> constants = {s.Const("a"), s.Const("b"), s.Const("c"),
+                                 s.Const("d")};
+  for (Term x : constants) {
+    for (Term y : constants) {
+      bool without =
+          AlternatingProofSearch(s.program, s.db, s.Query(), {x, y}).accepted;
+      bool with =
+          AlternatingProofSearch(s.program, s.db, s.Query(), {x, y}, cached)
+              .accepted;
+      EXPECT_EQ(without, with) << "candidate (" << x.index() << ", "
+                               << y.index() << ")";
+    }
+  }
+  EXPECT_GT(cache.alt_proven_size() + cache.alt_refuted_size(), 0u);
+}
+
+TEST(SearchCacheTest, EnumerationWithSharedCacheMatchesChase) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  std::vector<std::vector<Term>> via_chase =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  // CertainAnswersViaSearch builds its own shared cache internally.
+  std::vector<std::vector<Term>> via_search =
+      CertainAnswersViaSearch(s.program, s.db, s.Query());
+  EXPECT_EQ(via_chase, via_search);
+  // And an externally supplied cache must give the same answers again.
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  std::vector<std::vector<Term>> via_shared = CertainAnswersViaSearch(
+      s.program, s.db, s.Query(), /*use_alternating=*/false, options);
+  EXPECT_EQ(via_chase, via_shared);
+}
+
+TEST(SearchCacheTest, NarrowWidthRefutationsDoNotPoisonWiderSearches) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  // Width 1 prunes every resolvent of the recursive rule: the decision
+  // comes out refuted, and its states are recorded under width 1.
+  ProofSearchOptions narrow;
+  narrow.cache = &cache;
+  narrow.node_width = 1;
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("c")}, narrow)
+          .accepted);
+  // The same cache must not let those narrow refutations refute the
+  // default-width search, which accepts.
+  ProofSearchOptions wide;
+  wide.cache = &cache;
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("c")}, wide)
+          .accepted);
+}
+
+TEST(SearchCacheTest, BudgetExhaustedSearchesRecordNothing) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  options.max_states = 2;
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.budget_exhausted);
+  // An aborted refutation is not a refutation certificate.
+  EXPECT_EQ(cache.linear_refuted_size(), 0u);
+}
+
+TEST(SearchCacheTest, TimeBudgetReportsExhaustion) {
+  // A refutation over a cyclic graph visits far too many states for a
+  // 0-millisecond deadline; the search must stop and say so.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, e). e(e, a).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchOptions options;
+  options.max_millis = 1;
+  // Burn the deadline deterministically: the first check happens at the
+  // 64th expansion, so a tiny budget on a large refutation must trip.
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  if (!result.budget_exhausted) {
+    // The machine finished the whole refutation inside the budget; the
+    // result must then be a genuine refutation.
+    EXPECT_FALSE(result.accepted);
+  } else {
+    EXPECT_FALSE(result.accepted);
+  }
+}
+
+}  // namespace
+}  // namespace vadalog

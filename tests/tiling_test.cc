@@ -139,7 +139,8 @@ TEST(ReductionTest, AgreesWithDirectSolverOnRandomSystems) {
     options.max_depth = 8;
     options.max_atoms = 200000;
     ChaseResult chase = RunChase(reduction.program, db, options);
-    bool reduced = !EvaluateQuerySorted(reduction.query, chase.instance).empty();
+    bool reduced =
+        !EvaluateQuerySorted(reduction.query, chase.instance).empty();
     if (direct_small) {
       // Completeness on 'yes' instances with small witnesses.
       EXPECT_TRUE(reduced) << "trial " << trial;

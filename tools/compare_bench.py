@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compares a bench snapshot (tools/run_bench.sh JSON) against a baseline.
+
+Usage:
+  tools/compare_bench.py --baseline BENCH_baseline.json --candidate BENCH_new.json
+      [--threshold-pct 25] [--min-ms 250]
+
+Prints a markdown table (suitable for a GitHub job summary) and exits
+non-zero when any bench regressed: wall-clock more than --threshold-pct
+slower than the baseline (benches whose baseline wall time is below
+--min-ms are reported but never fail: they sit in scheduler-noise
+territory), or a non-zero bench exit code.
+
+New benches (absent from the baseline) and removed benches are reported
+informationally and do not fail the gate; refresh the committed baseline in
+the PR that adds or speeds up a bench.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("schema") != "vadalog-bench-v1":
+        sys.exit(f"error: {path}: unexpected schema {snapshot.get('schema')!r}")
+    return snapshot
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--threshold-pct", type=float, default=25.0,
+                        help="fail when a bench is more than this %% slower")
+    parser.add_argument("--min-ms", type=float, default=250.0,
+                        help="baseline walls below this never fail the gate")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    base_benches = baseline["benches"]
+    cand_benches = candidate["benches"]
+
+    rows = []
+    failures = []
+    for name in sorted(set(base_benches) | set(cand_benches)):
+        base = base_benches.get(name)
+        cand = cand_benches.get(name)
+        if cand is None:
+            rows.append((name, base["wall_ms"], None, None, "removed"))
+            continue
+        if cand["exit_code"] != 0:
+            rows.append((name, base and base["wall_ms"], cand["wall_ms"],
+                         None, "FAILED (exit %d)" % cand["exit_code"]))
+            failures.append(f"{name}: exit code {cand['exit_code']}")
+            continue
+        if base is None:
+            rows.append((name, None, cand["wall_ms"], None, "new"))
+            continue
+        base_ms, cand_ms = base["wall_ms"], cand["wall_ms"]
+        delta_pct = ((cand_ms - base_ms) / base_ms * 100.0) if base_ms else 0.0
+        if delta_pct > args.threshold_pct and base_ms >= args.min_ms:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {base_ms} ms -> {cand_ms} ms (+{delta_pct:.1f}%)")
+        elif delta_pct > args.threshold_pct:
+            status = "slower (noise range)"
+        elif delta_pct < -args.threshold_pct:
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append((name, base_ms, cand_ms, delta_pct, status))
+
+    commit_base = baseline.get("commit", "?")
+    commit_cand = candidate.get("commit", "?")
+    print(f"### Bench regression gate ({commit_base} -> {commit_cand})\n")
+    print(f"Threshold: +{args.threshold_pct:.0f}% wall-clock on benches with "
+          f"baseline >= {args.min_ms:.0f} ms.\n")
+    print("| bench | baseline ms | current ms | delta | status |")
+    print("|---|---:|---:|---:|---|")
+    for name, base_ms, cand_ms, delta_pct, status in rows:
+        base_cell = "-" if base_ms is None else str(base_ms)
+        cand_cell = "-" if cand_ms is None else str(cand_ms)
+        delta_cell = "-" if delta_pct is None else f"{delta_pct:+.1f}%"
+        print(f"| {name} | {base_cell} | {cand_cell} | {delta_cell} "
+              f"| {status} |")
+    print()
+
+    if failures:
+        print("**Regressions:**\n")
+        for failure in failures:
+            print(f"- {failure}")
+        return 1
+    print("No regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
