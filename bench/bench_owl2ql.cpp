@@ -24,8 +24,9 @@ int main() {
          "OWL 2 QL TGDs (warded, piece-wise linear): chase materialization "
          "vs per-query linear proof search");
 
-  Row("%8s %8s | %9s %8s | %9s %6s | %9s %10s", "classes", "indivs",
-      "chase-ms", "atoms", "pos-ms", "agree", "neg-ms", "neg-result");
+  Row("%8s %8s | %9s %8s | %9s %6s | %9s %10s %8s", "classes", "indivs",
+      "chase-ms", "atoms", "pos-ms", "agree", "neg-ms", "neg-result",
+      "discards");
   for (uint32_t scale : {1u, 2u, 4u, 8u}) {
     uint32_t classes = 25 * scale;
     uint32_t individuals = 100 * scale;
@@ -82,10 +83,15 @@ int main() {
         neg.accepted ? "entailed"
                      : (neg.budget_exhausted ? "budget" : "refuted");
 
-    Row("%8u %8u | %9.2f %8zu | %9.3f %6s | %9.2f %10s", classes,
+    Row("%8u %8u | %9.2f %8zu | %9.3f %6s | %9.2f %10s %8llu", classes,
         individuals, chase_ms, chase.instance.size(),
         positives > 0 ? positive_ms / positives : 0.0,
-        agree ? "yes" : "NO", neg_ms, neg_result);
+        agree ? "yes" : "NO", neg_ms, neg_result,
+        static_cast<unsigned long long>(neg.subsumed_discarded));
+    Row("      retired %llu  subsumption-checks %llu  visited %llu",
+        static_cast<unsigned long long>(neg.states_retired),
+        static_cast<unsigned long long>(neg.subsumption_checks),
+        static_cast<unsigned long long>(neg.states_visited));
   }
   return 0;
 }

@@ -11,12 +11,23 @@
 #include "engine/resolution.h"
 #include "engine/search_cache.h"
 #include "engine/state.h"
+#include "engine/subsumption.h"
 #include "storage/homomorphism.h"
 
 namespace vadalog {
 namespace {
 
 constexpr size_t kNoTouch = std::numeric_limits<size_t>::max();
+
+// Recursion guard: the DFS descends one stack frame per proof-tree level,
+// and pathological warded instances can chain tens of thousands of levels
+// before cycle pruning bites. Past this depth the search gives up on the
+// branch and reports budget exhaustion (a "gave up", never a refutation)
+// instead of overflowing the stack. Sized for the worst build: a level
+// costs ~1.5-2 KiB in debug/sanitizer builds (Prove + ProveExpanded +
+// the homomorphism callback frames), so 2000 levels stay comfortably
+// inside the 8 MiB default thread stack everywhere.
+constexpr size_t kMaxProveDepth = 2000;
 
 class Searcher {
  public:
@@ -28,21 +39,32 @@ class Searcher {
         database_(database),
         index_(index),
         cache_(cache),
+        subsumption_(options.subsumption),
         width_(width),
         max_chunk_(max_chunk),
         max_states_(options.max_states),
         timed_(options.max_millis != 0),
-        deadline_(std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(options.max_millis)),
-        result_(result) {}
+        result_(result) {
+    if (timed_) {
+      // The deadline (and the clock read behind it) exists only for timed
+      // searches; untimed ones never touch the clock.
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options.max_millis);
+    }
+  }
 
   struct Outcome {
     bool proven;
     size_t min_touch;  // shallowest on-path ancestor hit by cycle pruning
   };
 
-  Outcome Prove(std::vector<Atom> atoms, size_t depth) {
-    EagerSimplify(&atoms, database_);
+  /// Proves or refutes one state. `dirty` marks, per atom, whether the
+  /// producing step could have re-enabled a database embedding; clean
+  /// components inherit the parent's simplification certificate (see
+  /// EagerSimplifyIncremental). Consumed as scratch.
+  Outcome Prove(std::vector<Atom> atoms, std::vector<char> dirty,
+                size_t depth) {
+    EagerSimplifyIncremental(&atoms, database_, &dirty);
     if (atoms.empty()) return {true, kNoTouch};
     if (atoms.size() > width_) return {false, kNoTouch};  // Theorem 4.9
     if (index_.StateIsDead(atoms, database_)) return {false, kNoTouch};
@@ -63,12 +85,31 @@ class Searcher {
         return {false, kNoTouch};
       }
     }
+    if (subsumption_) {
+      // A path-independently refuted state that maps into this one refutes
+      // it outright (every proof of this state restricts to one of the
+      // subsumer), so the failure is itself path-independent.
+      if (refuted_subsumers_.FindSubsumer(state, width_, max_chunk_) >= 0) {
+        ++result_->subsumed_discarded;
+        return {false, kNoTouch};
+      }
+      if (cache_ != nullptr &&
+          cache_->AltRefutedBySubsumption(state, width_, max_chunk_)) {
+        ++result_->cache_hits;
+        ++result_->subsumed_discarded;
+        return {false, kNoTouch};
+      }
+    }
     auto path_it = on_path_.find(state);
     if (path_it != on_path_.end()) {
       // Cycle: a minimal proof never repeats a state along a branch.
       return {false, path_it->second};
     }
     if (result_->budget_exhausted) return {false, 0};  // hard stop
+    if (depth >= kMaxProveDepth) {
+      result_->budget_exhausted = true;
+      return {false, 0};  // uncacheable: the branch was not explored
+    }
     if (max_states_ != 0 && result_->states_expanded >= max_states_) {
       result_->budget_exhausted = true;
       return {false, 0};  // uncacheable
@@ -93,7 +134,10 @@ class Searcher {
       }
     } else if (min_touch >= depth && !result_->budget_exhausted) {
       // Refutation independent of any proper ancestor: cacheable.
-      refuted_.insert(state);
+      auto [it, inserted] = refuted_.insert(state);
+      if (inserted && subsumption_) {
+        refuted_subsumers_.Add(*it, width_, max_chunk_);
+      }
       ++result_->refuted_cached;
       if (cache_ != nullptr) {
         cache_->AltRecordRefuted(state, width_, max_chunk_);
@@ -109,11 +153,14 @@ class Searcher {
   bool ProveExpanded(const CanonicalState& state, size_t depth,
                      size_t* min_touch) {
     // AND node: decomposition into variable-disjoint components
-    // (Definition 4.4; frozen outputs never connect).
+    // (Definition 4.4; frozen outputs never connect). Each component is a
+    // whole component of an already-simplified state: clean.
     std::vector<std::vector<Atom>> components = SplitComponents(state.atoms);
     if (components.size() > 1) {
       for (std::vector<Atom>& component : components) {
-        Outcome out = Prove(std::move(component), depth + 1);
+        std::vector<char> clean(component.size(), 0);
+        Outcome out = Prove(std::move(component), std::move(clean),
+                            depth + 1);
         *min_touch = std::min(*min_touch, out.min_touch);
         if (!out.proven) return false;
       }
@@ -123,15 +170,22 @@ class Searcher {
     // OR node: operations through the selected atom.
     size_t selected = SelectAtom(state.atoms, database_);
     const Atom& pivot = state.atoms[selected];
+    std::vector<int> component_ids = ComponentIds(state.atoms);
+    int pivot_component = component_ids[selected];
     std::vector<Atom> rest;
+    std::vector<char> rest_dirty;
     rest.reserve(state.atoms.size() - 1);
+    rest_dirty.reserve(state.atoms.size() - 1);
     for (size_t i = 0; i < state.atoms.size(); ++i) {
-      if (i != selected) rest.push_back(state.atoms[i]);
+      if (i == selected) continue;
+      rest.push_back(state.atoms[i]);
+      rest_dirty.push_back(component_ids[i] == pivot_component ? 1 : 0);
     }
 
     bool proven = false;
     ForEachHomomorphism({pivot}, database_, {}, [&](const Substitution& h) {
-      Outcome out = Prove(ApplySubstitution(h, rest), depth + 1);
+      Outcome out =
+          Prove(ApplySubstitution(h, rest), rest_dirty, depth + 1);
       *min_touch = std::min(*min_touch, out.min_touch);
       if (out.proven) {
         proven = true;
@@ -149,12 +203,14 @@ class Searcher {
     }
     // Chunks through the pivot exist only for TGDs whose head predicate
     // matches it: resolve against the relevance bucket, anchored.
+    std::vector<char> dirty;
     for (size_t tgd_index : index_.TgdsWithHead(pivot.predicate)) {
       std::vector<Resolvent> resolvents =
           ResolveWithTgd(state.atoms, program_, tgd_index, fresh_base,
                          max_chunk_, /*anchor=*/selected);
       for (Resolvent& r : resolvents) {
-        Outcome out = Prove(std::move(r.atoms), depth + 1);
+        ResolventDirtyFlags(component_ids, r.chunk, r.atoms.size(), &dirty);
+        Outcome out = Prove(std::move(r.atoms), dirty, depth + 1);
         *min_touch = std::min(*min_touch, out.min_touch);
         if (out.proven) return true;
       }
@@ -166,15 +222,17 @@ class Searcher {
   const Instance& database_;
   const ProgramIndex& index_;
   ProofSearchCache* cache_;
+  const bool subsumption_;
   size_t width_;
   size_t max_chunk_;
   uint64_t max_states_;
   bool timed_;
-  std::chrono::steady_clock::time_point deadline_;
+  std::chrono::steady_clock::time_point deadline_{};
   AlternatingSearchResult* result_;
 
   std::unordered_set<CanonicalState, CanonicalStateHash> proven_;
   std::unordered_set<CanonicalState, CanonicalStateHash> refuted_;
+  SubsumptionIndex refuted_subsumers_;
   std::unordered_map<CanonicalState, size_t, CanonicalStateHash> on_path_;
 };
 
@@ -203,7 +261,9 @@ AlternatingSearchResult AlternatingProofSearch(
 
   Searcher searcher(program, database, index, cache, width, max_chunk,
                     options, &result);
-  result.accepted = searcher.Prove(std::move(*frozen), 0).proven;
+  std::vector<char> dirty(frozen->size(), 1);
+  result.accepted =
+      searcher.Prove(std::move(*frozen), std::move(dirty), 0).proven;
   return result;
 }
 

@@ -36,6 +36,7 @@ struct AlternatingSearchResult {
   uint64_t proven_cached = 0;
   uint64_t refuted_cached = 0;
   uint64_t cache_hits = 0;  // sub-searches skipped via the shared cache
+  uint64_t subsumed_discarded = 0;  // refuted via subsumption, unexpanded
   size_t peak_state_bytes = 0;
   size_t node_width_used = 0;
 };

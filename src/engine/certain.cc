@@ -32,11 +32,11 @@ bool IsCertainViaAlternatingSearch(const Program& program,
       .accepted;
 }
 
-std::vector<std::vector<Term>> CertainAnswersViaSearch(
+CertainAnswerSet CertainAnswersViaSearchChecked(
     const Program& program, const Instance& database,
     const ConjunctiveQuery& query, bool use_alternating,
     const ProofSearchOptions& options) {
-  std::vector<std::vector<Term>> answers;
+  CertainAnswerSet result;
 
   // Collect distinct output variables (a repeated variable must take the
   // same constant in every candidate); set-backed so repeated outputs cost
@@ -97,15 +97,39 @@ std::vector<std::vector<Term>> CertainAnswersViaSearch(
     effective.cache = &*local_cache;
   }
   for (const std::vector<Term>& candidate : candidates) {
-    bool certain = use_alternating
-                       ? IsCertainViaAlternatingSearch(program, database,
-                                                       query, candidate,
-                                                       effective)
-                       : IsCertainViaLinearSearch(program, database, query,
-                                                  candidate, effective);
-    if (certain) answers.push_back(candidate);
+    bool certain = false;
+    bool gave_up = false;
+    if (use_alternating) {
+      AlternatingSearchResult r = AlternatingProofSearch(
+          program, database, query, candidate, effective);
+      certain = r.accepted;
+      gave_up = r.budget_exhausted;
+    } else {
+      ProofSearchResult r =
+          LinearProofSearch(program, database, query, candidate, effective);
+      certain = r.accepted;
+      gave_up = r.budget_exhausted;
+    }
+    if (certain) {
+      // A proof found within the budget is a proof — always sound.
+      result.answers.push_back(candidate);
+    } else if (gave_up) {
+      // The search ran out of budget before refuting this candidate: the
+      // rejection is NOT a refutation, and the answer set is incomplete.
+      result.complete = false;
+      ++result.budget_exhausted_candidates;
+    }
   }
-  return answers;
+  return result;
+}
+
+std::vector<std::vector<Term>> CertainAnswersViaSearch(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, bool use_alternating,
+    const ProofSearchOptions& options) {
+  return CertainAnswersViaSearchChecked(program, database, query,
+                                        use_alternating, options)
+      .answers;
 }
 
 }  // namespace vadalog

@@ -38,12 +38,34 @@ bool IsCertainViaAlternatingSearch(const Program& program,
                                    const std::vector<Term>& answer,
                                    const ProofSearchOptions& options = {});
 
+/// The result of a search-based certain-answer enumeration. `complete`
+/// distinguishes a genuine refutation sweep from one that gave up: a
+/// candidate rejected by a budget-exhausted (max_states / max_millis)
+/// search may still be a certain answer, so the answer set is only a
+/// definitive cert(q, D, Σ) when `complete` is true. Accepted candidates
+/// are always sound — an interrupted search never fabricates a proof.
+struct CertainAnswerSet {
+  std::vector<std::vector<Term>> answers;  // sorted, deduplicated
+  bool complete = true;
+  uint64_t budget_exhausted_candidates = 0;  // rejections that gave up
+};
+
 /// Enumerates cert(q, D, Σ) purely via proof search: every distinct tuple
 /// over the constants of dom(D) (respecting repeated output variables) is
 /// verified once, all candidates sharing one memoization cache (the one in
 /// `options`, or an internal one when unset) so refutation work transfers
 /// across the sweep. Exponential in the output arity — intended for tests
-/// and small inputs.
+/// and small inputs. Callers running with budgets must consult
+/// `complete` before treating the answers as definitive.
+CertainAnswerSet CertainAnswersViaSearchChecked(
+    const Program& program, const Instance& database,
+    const ConjunctiveQuery& query, bool use_alternating = false,
+    const ProofSearchOptions& options = {});
+
+/// Answers-only convenience wrapper over CertainAnswersViaSearchChecked.
+/// Safe when the options carry no budget (the sweep cannot give up);
+/// with budgets, prefer the Checked variant — this one cannot report that
+/// the search gave up on some refutation.
 std::vector<std::vector<Term>> CertainAnswersViaSearch(
     const Program& program, const Instance& database,
     const ConjunctiveQuery& query, bool use_alternating = false,

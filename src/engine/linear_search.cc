@@ -1,11 +1,13 @@
 #include "engine/linear_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <deque>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "analysis/fragments.h"
 #include "analysis/predicate_graph.h"
@@ -13,6 +15,7 @@
 #include "engine/resolution.h"
 #include "engine/search_cache.h"
 #include "engine/state.h"
+#include "engine/subsumption.h"
 #include "storage/homomorphism.h"
 
 namespace vadalog {
@@ -29,6 +32,457 @@ struct EncodingHash {
 struct ParentEdge {
   std::vector<uint64_t> parent;  // parent canonical encoding
   ProofStep step;                // op that produced the child
+};
+
+/// A successor that survived the worker-side filters (simplify, width,
+/// dead-state, visited snapshot, exact cache) and awaits the merge phase.
+struct Candidate {
+  CanonicalState state;
+  ProofStep step;  // provenance; only populated with explanations on
+  const CanonicalState* visited = nullptr;  // node in the visited table
+  bool fresh = false;  // true iff this candidate inserted that node
+};
+
+/// Everything one frontier expansion produces. Workers fill these
+/// independently (one slot per frontier index), so the merge can process
+/// them in deterministic frontier order regardless of scheduling.
+struct ExpandOutput {
+  std::vector<Candidate> candidates;
+  bool accepted = false;
+  ProofStep accept_step;
+  uint64_t drop_edges = 0;
+  uint64_t resolution_edges = 0;
+  uint64_t cache_hits = 0;
+  size_t peak_state_bytes = 0;
+};
+
+constexpr size_t kVisitedShards = 64;  // power of two
+
+// Upper bound on worker threads regardless of what the caller asks for:
+// oversubscription beyond this buys nothing, and an absurd request must
+// degrade instead of making std::thread's constructor throw.
+constexpr uint32_t kMaxSearchThreads = 64;
+
+/// One queued frontier state plus its subsumption-index registration id
+/// (the deterministic tie-break for same-size subsumption).
+struct LevelEntry {
+  const CanonicalState* state;
+  int64_t ordinal;
+};
+
+/// The level-synchronous BFS driver. One code path serves the
+/// single-threaded and the parallel search: each level is (1) expanded —
+/// by a worker pool when wide enough — against a read-only snapshot of
+/// the sharded visited table, (2) deduplicated into the shards (workers
+/// own disjoint shards, processing candidates in frontier order), and
+/// (3) merged sequentially in frontier order (acceptance, subsumption
+/// discard and retirement, provenance, next frontier). Only phase 3
+/// touches the subsumption indexes, so they stay single-threaded by
+/// construction, and the decision — and on completed refutations every
+/// counter — is independent of the thread count.
+class LinearSearcher {
+ public:
+  LinearSearcher(const Program& program, const Instance& database,
+                 const ProgramIndex& index, const ProofSearchOptions& options,
+                 size_t width, size_t max_chunk, ProofSearchResult* result,
+                 ProofExplanation* explanation)
+      : program_(program),
+        database_(database),
+        index_(index),
+        cache_(options.cache),
+        subsumption_(options.subsumption),
+        width_(width),
+        max_chunk_(max_chunk),
+        max_states_(options.max_states),
+        timed_(options.max_millis != 0),
+        num_threads_(std::min(kMaxSearchThreads,
+                              std::max<uint32_t>(1, options.num_threads))),
+        result_(result),
+        explanation_(explanation),
+        shards_(kVisitedShards) {
+    if (timed_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options.max_millis);
+    }
+  }
+
+  void Run(std::vector<Atom> frozen) {
+    std::vector<LevelEntry> level;
+    {
+      // The initial state goes through the same pipeline with a synthetic
+      // kStart edge and an all-dirty certificate.
+      ExpandOutput seed;
+      std::vector<char> dirty(frozen.size(), 1);
+      ProofStep start;
+      start.kind = ProofStep::Kind::kStart;
+      MakeCandidate(std::move(frozen), &dirty, std::move(start), &seed);
+      std::vector<const CanonicalState*> no_parent = {nullptr};
+      std::vector<ExpandOutput*> seed_outputs = {&seed};
+      MergeOutputs(no_parent, seed_outputs, &level);
+      AccumulateCounters(seed);
+      if (result_->accepted) return Finish();
+    }
+
+    while (!level.empty() && !result_->accepted &&
+           !result_->budget_exhausted) {
+      // Subsumption pruning happens here, per level, just before the
+      // workers launch: one sequential pass while the index is quiescent,
+      // against everything registered so far — including this level's own
+      // siblings (discard + retirement unified). States a budget cut
+      // strands unexpanded never pay for a query.
+      if (subsumption_) FilterLevel(&level);
+      if (level.empty()) break;
+
+      size_t allowed = level.size();
+      if (max_states_ != 0) {
+        uint64_t remaining = max_states_ > result_->states_expanded
+                                 ? max_states_ - result_->states_expanded
+                                 : 0;
+        if (remaining < allowed) {
+          allowed = static_cast<size_t>(remaining);
+          result_->budget_exhausted = true;  // part of the level is cut
+        }
+      }
+
+      std::vector<ExpandOutput> outputs(allowed);
+      result_->states_expanded += ExpandLevel(level, allowed, &outputs);
+      for (const ExpandOutput& out : outputs) AccumulateCounters(out);
+
+      std::vector<const CanonicalState*> parent_states(allowed);
+      std::vector<ExpandOutput*> output_ptrs(allowed);
+      for (size_t i = 0; i < allowed; ++i) {
+        parent_states[i] = level[i].state;
+        output_ptrs[i] = &outputs[i];
+      }
+      std::vector<LevelEntry> next;
+      MergeOutputs(parent_states, output_ptrs, &next);
+      level = std::move(next);
+    }
+    Finish();
+  }
+
+ private:
+  std::unordered_set<CanonicalState, CanonicalStateHash>& ShardFor(
+      size_t hash) {
+    return shards_[hash & (kVisitedShards - 1)];
+  }
+
+  /// The unified subsumption pass: drops every queued state some other
+  /// registered state maps into — visited states of earlier levels
+  /// (classic discard), same-level siblings registered earlier or
+  /// strictly smaller (retirement), and the shared cache's refuted
+  /// states. Dropped states stay visited and stay registered: their
+  /// claims remain valid, and the (size, registration-id) measure keeps
+  /// the pruning chains well-founded.
+  void FilterLevel(std::vector<LevelEntry>* level) {
+    int64_t level_base = level->front().ordinal;
+    size_t kept = 0;
+    for (LevelEntry& entry : *level) {
+      int64_t subsumer = visited_subsumers_.FindSubsumer(
+          *entry.state, width_, max_chunk_, entry.ordinal);
+      if (subsumer >= 0) {
+        if (subsumer >= level_base) {
+          ++result_->states_retired;  // a same-level, newer-general sibling
+        } else {
+          ++result_->subsumed_discarded;
+        }
+        visited_subsumers_.Suppress(entry.ordinal);
+        continue;
+      }
+      if (cache_ != nullptr &&
+          cache_->LinearRefutedBySubsumption(*entry.state, width_,
+                                             max_chunk_)) {
+        ++result_->cache_hits;
+        ++result_->subsumed_discarded;
+        visited_subsumers_.Suppress(entry.ordinal);
+        continue;
+      }
+      (*level)[kept++] = entry;
+    }
+    level->resize(kept);
+  }
+
+  /// Expands `level[0..allowed)` into `outputs`, in parallel when the
+  /// level is wide enough. Returns the number of completed expansions
+  /// (less than `allowed` only on early accept / deadline stop).
+  size_t ExpandLevel(const std::vector<LevelEntry>& level, size_t allowed,
+                     std::vector<ExpandOutput>* outputs) {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> expanded{0};
+    std::atomic<uint64_t> clock_ticks{0};
+    std::atomic<bool> deadline_hit{false};
+    // Early accept-abort trades which proof is found for wall-clock; with
+    // explanations requested every claimed state is finished so the merge
+    // deterministically picks the first accepting edge in frontier order.
+    const bool abort_on_accept = explanation_ == nullptr;
+
+    auto worker = [&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= allowed) break;
+        if (timed_ &&
+            (clock_ticks.fetch_add(1, std::memory_order_relaxed) & 63) ==
+                0 &&
+            std::chrono::steady_clock::now() >= deadline_) {
+          deadline_hit.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        ExpandState(*level[i].state, &(*outputs)[i]);
+        expanded.fetch_add(1, std::memory_order_relaxed);
+        if ((*outputs)[i].accepted && abort_on_accept) {
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    size_t threads = std::min<size_t>(num_threads_, allowed);
+    if (threads <= 1 || allowed < 2 * static_cast<size_t>(num_threads_)) {
+      worker();
+    } else {
+      // The calling thread takes a worker's share instead of idling.
+      std::vector<std::thread> pool;
+      pool.reserve(threads - 1);
+      for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+      worker();
+      for (std::thread& t : pool) t.join();
+    }
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      result_->budget_exhausted = true;
+    }
+    return expanded.load(std::memory_order_relaxed);
+  }
+
+  /// Expands one canonical state: match-and-drop plus anchored chunk
+  /// resolutions through the selected atom. Reads shared state only
+  /// through thread-safe paths (visited snapshot, exact cache lookups).
+  void ExpandState(const CanonicalState& state, ExpandOutput* out) {
+    size_t selected = SelectAtom(state.atoms, database_);
+    const Atom& pivot = state.atoms[selected];
+    std::vector<int> components = ComponentIds(state.atoms);
+    int pivot_component = components[selected];
+
+    // Match-and-drop: each homomorphism of the selected atom into the
+    // database is one specialization guess; the atom becomes a leaf. Only
+    // the pivot's component loses an atom, so only its remnants need
+    // re-simplification (the bindings touch no other component).
+    std::vector<Atom> rest;
+    std::vector<char> rest_dirty;
+    rest.reserve(state.atoms.size() - 1);
+    rest_dirty.reserve(state.atoms.size() - 1);
+    for (size_t i = 0; i < state.atoms.size(); ++i) {
+      if (i == selected) continue;
+      rest.push_back(state.atoms[i]);
+      rest_dirty.push_back(components[i] == pivot_component ? 1 : 0);
+    }
+    std::vector<char> dirty;
+    ForEachHomomorphism({pivot}, database_, {}, [&](const Substitution& h) {
+      ++out->drop_edges;
+      ProofStep step;
+      step.kind = ProofStep::Kind::kMatchDrop;
+      step.matched_fact = ApplySubstitution(h, pivot);
+      dirty = rest_dirty;
+      return !MakeCandidate(ApplySubstitution(h, rest), &dirty,
+                            std::move(step), out);
+    });
+    if (out->accepted) return;
+
+    // Resolution: every chunk unifier whose chunk contains the selected
+    // atom (Definition 4.3), over the per-predicate relevance bucket.
+    uint64_t fresh_base = 0;
+    for (const Atom& a : state.atoms) {
+      for (Term t : a.args) {
+        if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
+      }
+    }
+    for (size_t tgd_index : index_.TgdsWithHead(pivot.predicate)) {
+      std::vector<Resolvent> resolvents =
+          ResolveWithTgd(state.atoms, program_, tgd_index, fresh_base,
+                         max_chunk_, /*anchor=*/selected);
+      for (Resolvent& r : resolvents) {
+        ++out->resolution_edges;
+        ProofStep step;
+        step.kind = ProofStep::Kind::kResolution;
+        step.tgd_index = tgd_index;
+        ResolventDirtyFlags(components, r.chunk, r.atoms.size(), &dirty);
+        if (MakeCandidate(std::move(r.atoms), &dirty, std::move(step),
+                          out)) {
+          return;
+        }
+      }
+    }
+  }
+
+  /// Simplifies, filters and canonicalizes one successor. Returns true on
+  /// acceptance (empty state), which stops the surrounding expansion.
+  bool MakeCandidate(std::vector<Atom> atoms, std::vector<char>* dirty,
+                     ProofStep step, ExpandOutput* out) {
+    EagerSimplifyIncremental(&atoms, database_, dirty);
+    if (atoms.size() > width_) return false;  // pruned by Theorem 4.8
+    if (index_.StateIsDead(atoms, database_)) return false;
+    CanonicalState canonical = Canonicalize(std::move(atoms));
+    if (canonical.atoms.empty()) {
+      out->accepted = true;
+      if (explanation_ != nullptr) {
+        step.state = canonical.atoms;
+        out->accept_step = std::move(step);
+      }
+      return true;
+    }
+    out->peak_state_bytes =
+        std::max(out->peak_state_bytes, canonical.ApproximateBytes());
+    // Snapshot dedupe: reads the shards as of the level start (the merge
+    // re-checks authoritatively, so intra-level duplicates are fine).
+    if (ShardFor(canonical.hash).count(canonical) > 0) return false;
+    if (cache_ != nullptr &&
+        cache_->LinearKnownRefuted(canonical, width_, max_chunk_)) {
+      ++out->cache_hits;  // a previous search refuted this whole subtree
+      return false;
+    }
+    if (explanation_ != nullptr) step.state = canonical.atoms;
+    Candidate candidate;
+    candidate.state = std::move(canonical);
+    candidate.step = std::move(step);
+    out->candidates.push_back(std::move(candidate));
+    return false;
+  }
+
+  /// Phase 2: sharded dedupe into the visited table. Worker w owns shards
+  /// s with s % W == w and processes all candidates in frontier order, so
+  /// each candidate has exactly one writer and per-shard insertion order
+  /// is deterministic.
+  void DedupeCandidates(const std::vector<ExpandOutput*>& outputs) {
+    auto dedupe = [this, &outputs](size_t worker, size_t workers) {
+      for (ExpandOutput* out : outputs) {
+        for (Candidate& candidate : out->candidates) {
+          size_t shard = candidate.state.hash & (kVisitedShards - 1);
+          if (shard % workers != worker) continue;
+          // The candidate state is dead after this (visited/fresh carry
+          // everything the merge needs), so move it into the table.
+          auto [it, inserted] =
+              shards_[shard].insert(std::move(candidate.state));
+          candidate.visited = &*it;
+          candidate.fresh = inserted;
+        }
+      }
+    };
+    size_t total = 0;
+    for (const ExpandOutput* out : outputs) total += out->candidates.size();
+    size_t workers = std::min<size_t>(num_threads_, kVisitedShards);
+    // Hash inserts are ~100 ns while a thread spawn+join costs tens of
+    // microseconds and every worker scans all candidates for shard
+    // ownership, so parallel dedupe only pays for itself on levels with
+    // thousands of candidates.
+    if (workers <= 1 || total < 4096) {
+      dedupe(0, 1);
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w) pool.emplace_back(dedupe, w, workers);
+    dedupe(0, workers);  // the calling thread owns shard class 0
+    for (std::thread& t : pool) t.join();
+  }
+
+  /// Phase 3: sequential merge in frontier order — acceptance, provenance,
+  /// subsumption registration, and the next frontier. The subsumption
+  /// *queries* happen later, in FilterLevel, so unexpanded states never
+  /// pay for them. `parents[i]` may be null (the synthetic root).
+  void MergeOutputs(const std::vector<const CanonicalState*>& parents,
+                    const std::vector<ExpandOutput*>& outputs,
+                    std::vector<LevelEntry>* next_level) {
+    DedupeCandidates(outputs);
+
+    static const std::vector<uint64_t> kRootEncoding;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      const ExpandOutput& out = *outputs[i];
+      const std::vector<uint64_t>& parent_encoding =
+          parents[i] == nullptr ? kRootEncoding : parents[i]->encoding;
+      if (out.accepted) {
+        result_->accepted = true;
+        if (explanation_ != nullptr) {
+          parents_.try_emplace(std::vector<uint64_t>{},
+                               ParentEdge{parent_encoding, out.accept_step});
+        }
+        return;  // deterministic: first accepting edge in frontier order
+      }
+      for (const Candidate& candidate : out.candidates) {
+        if (explanation_ != nullptr) {
+          parents_.try_emplace(candidate.visited->encoding,
+                               ParentEdge{parent_encoding, candidate.step});
+        }
+        if (!candidate.fresh) continue;  // duplicate of an earlier state
+        const CanonicalState* state = candidate.visited;
+        result_->visited_bytes += state->ApproximateBytes();
+        int64_t ordinal =
+            subsumption_
+                ? visited_subsumers_.Add(*state, width_, max_chunk_)
+                : 0;
+        next_level->push_back(LevelEntry{state, ordinal});
+      }
+    }
+  }
+
+  void AccumulateCounters(const ExpandOutput& out) {
+    result_->drop_edges += out.drop_edges;
+    result_->resolution_edges += out.resolution_edges;
+    result_->cache_hits += out.cache_hits;
+    result_->peak_state_bytes =
+        std::max(result_->peak_state_bytes, out.peak_state_bytes);
+  }
+
+  void Finish() {
+    size_t visited = 0;
+    for (const auto& shard : shards_) visited += shard.size();
+    result_->states_visited = visited;
+    result_->subsumption_checks = visited_subsumers_.stats().hom_checks;
+    if (!result_->accepted && !result_->budget_exhausted &&
+        cache_ != nullptr) {
+      // A completed BFS is a refutation certificate for every state it
+      // visited: everything reachable from a visited state was explored,
+      // already known refuted, or subsumed by another visited state. A
+      // budget-exhausted (or accepted) run records nothing — an aborted
+      // refutation is not a refutation certificate.
+      for (const auto& shard : shards_) {
+        for (const CanonicalState& state : shard) {
+          cache_->LinearRecordRefuted(state, width_, max_chunk_);
+        }
+      }
+    }
+    if (result_->accepted && explanation_ != nullptr) {
+      // Fold the parent chain back into the linear proof.
+      explanation_->steps.clear();
+      std::vector<uint64_t> cursor;  // empty = accepting state
+      while (true) {
+        auto it = parents_.find(cursor);
+        if (it == parents_.end()) break;
+        explanation_->steps.push_back(it->second.step);
+        cursor = it->second.parent;
+        if (it->second.step.kind == ProofStep::Kind::kStart) break;
+      }
+      std::reverse(explanation_->steps.begin(), explanation_->steps.end());
+    }
+  }
+
+  const Program& program_;
+  const Instance& database_;
+  const ProgramIndex& index_;
+  ProofSearchCache* cache_;
+  const bool subsumption_;
+  const size_t width_;
+  const size_t max_chunk_;
+  const uint64_t max_states_;
+  const bool timed_;
+  const uint32_t num_threads_;
+  std::chrono::steady_clock::time_point deadline_{};
+  ProofSearchResult* result_;
+  ProofExplanation* explanation_;
+
+  std::vector<std::unordered_set<CanonicalState, CanonicalStateHash>> shards_;
+  SubsumptionIndex visited_subsumers_;
+  std::unordered_map<std::vector<uint64_t>, ParentEdge, EncodingHash>
+      parents_;
 };
 
 }  // namespace
@@ -73,154 +527,15 @@ ProofSearchResult LinearProofSearch(const Program& program,
   // The relevance index comes from the shared cache when one is supplied
   // (it must have been built for this same program + database); otherwise
   // a local one is built for this call.
-  ProofSearchCache* cache = options.cache;
   std::optional<ProgramIndex> local_index;
-  if (cache == nullptr) local_index.emplace(program, database);
+  if (options.cache == nullptr) local_index.emplace(program, database);
   const ProgramIndex& index =
-      cache != nullptr ? cache->index() : *local_index;
+      options.cache != nullptr ? options.cache->index() : *local_index;
 
-  const bool timed = options.max_millis != 0;
-  const std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(options.max_millis);
-
-  std::unordered_set<CanonicalState, CanonicalStateHash> visited;
-  std::deque<CanonicalState> frontier;
-  std::unordered_map<std::vector<uint64_t>, ParentEdge, EncodingHash> parents;
-
-  // Enqueues a successor state; returns true on acceptance (empty state).
-  // `step` carries the provenance when explanations are requested.
-  auto enqueue = [&](std::vector<Atom> atoms,
-                     const std::vector<uint64_t>& parent_encoding,
-                     ProofStep step) {
-    EagerSimplify(&atoms, database);
-    if (atoms.size() > width) return false;  // pruned by Theorem 4.8
-    if (index.StateIsDead(atoms, database)) return false;
-    CanonicalState canonical = Canonicalize(std::move(atoms));
-    if (explanation != nullptr) {
-      step.state = canonical.atoms;
-      parents.try_emplace(canonical.encoding,
-                          ParentEdge{parent_encoding, std::move(step)});
-    }
-    if (canonical.atoms.empty()) {
-      result.accepted = true;
-      return true;
-    }
-    if (cache != nullptr &&
-        cache->LinearKnownRefuted(canonical, width, max_chunk)) {
-      ++result.cache_hits;  // a previous search refuted this whole subtree
-      return false;
-    }
-    result.peak_state_bytes =
-        std::max(result.peak_state_bytes, canonical.ApproximateBytes());
-    auto [it, inserted] = visited.insert(std::move(canonical));
-    if (inserted) {
-      result.visited_bytes += it->ApproximateBytes();
-      frontier.push_back(*it);
-    }
-    return false;
-  };
-
-  auto finish = [&]() {
-    result.states_visited = visited.size();
-    if (!result.accepted && !result.budget_exhausted && cache != nullptr) {
-      // A completed BFS is a refutation certificate for every state it
-      // visited: everything reachable from a visited state was explored
-      // (or already known refuted) and no empty state appeared.
-      for (const CanonicalState& state : visited) {
-        cache->LinearRecordRefuted(state, width, max_chunk);
-      }
-    }
-    if (result.accepted && explanation != nullptr) {
-      // Fold the parent chain back into the linear proof.
-      explanation->steps.clear();
-      std::vector<uint64_t> cursor;  // empty = accepting state
-      while (true) {
-        auto it = parents.find(cursor);
-        if (it == parents.end()) break;
-        explanation->steps.push_back(it->second.step);
-        cursor = it->second.parent;
-        if (it->second.step.kind == ProofStep::Kind::kStart) break;
-      }
-      std::reverse(explanation->steps.begin(), explanation->steps.end());
-    }
-    return result;
-  };
-
-  {
-    ProofStep start;
-    start.kind = ProofStep::Kind::kStart;
-    if (enqueue(std::move(*frozen), {}, std::move(start))) return finish();
-  }
-
-  while (!frontier.empty()) {
-    if (options.max_states != 0 &&
-        result.states_expanded >= options.max_states) {
-      result.budget_exhausted = true;
-      break;
-    }
-    if (timed && (result.states_expanded & 63) == 0 &&
-        std::chrono::steady_clock::now() >= deadline) {
-      result.budget_exhausted = true;
-      break;
-    }
-    CanonicalState state = std::move(frontier.front());
-    frontier.pop_front();
-    ++result.states_expanded;
-
-    // SLD selection: all work on this state goes through one atom.
-    size_t selected = SelectAtom(state.atoms, database);
-    const Atom& pivot = state.atoms[selected];
-
-    // Match-and-drop: each homomorphism of the selected atom into the
-    // database is one specialization guess; the atom becomes a leaf.
-    std::vector<Atom> rest;
-    rest.reserve(state.atoms.size() - 1);
-    for (size_t i = 0; i < state.atoms.size(); ++i) {
-      if (i != selected) rest.push_back(state.atoms[i]);
-    }
-    bool done = false;
-    ForEachHomomorphism({pivot}, database, {}, [&](const Substitution& h) {
-      ++result.drop_edges;
-      ProofStep step;
-      step.kind = ProofStep::Kind::kMatchDrop;
-      step.matched_fact = ApplySubstitution(h, pivot);
-      if (enqueue(ApplySubstitution(h, rest), state.encoding,
-                  std::move(step))) {
-        done = true;
-        return false;
-      }
-      return true;
-    });
-    if (done) return finish();
-
-    // Resolution: every chunk unifier whose chunk contains the selected
-    // atom (Definition 4.3). Only TGDs whose head predicate matches the
-    // pivot can contribute such a chunk, so the per-predicate bucket of
-    // the relevance index replaces the loop over program.tgds().
-    uint64_t fresh_base = 0;
-    for (const Atom& a : state.atoms) {
-      for (Term t : a.args) {
-        if (t.is_variable()) fresh_base = std::max(fresh_base, t.index() + 1);
-      }
-    }
-    for (size_t tgd_index : index.TgdsWithHead(pivot.predicate)) {
-      std::vector<Resolvent> resolvents =
-          ResolveWithTgd(state.atoms, program, tgd_index, fresh_base,
-                         max_chunk, /*anchor=*/selected);
-      for (Resolvent& r : resolvents) {
-        ++result.resolution_edges;
-        ProofStep step;
-        step.kind = ProofStep::Kind::kResolution;
-        step.tgd_index = tgd_index;
-        if (enqueue(std::move(r.atoms), state.encoding, std::move(step))) {
-          return finish();
-        }
-      }
-    }
-  }
-
-  return finish();
+  LinearSearcher searcher(program, database, index, options, width,
+                          max_chunk, &result, explanation);
+  searcher.Run(std::move(*frozen));
+  return result;
 }
 
 }  // namespace vadalog

@@ -58,6 +58,21 @@ struct ProofSearchOptions {
   /// exhaustion reports not-accepted with `budget_exhausted` set.
   uint64_t max_millis = 0;
 
+  /// Worker threads for the linear BFS frontier expansion; 0 or 1 =
+  /// single-threaded. Each level is expanded by a worker pool against a
+  /// read-only snapshot of the visited table, then merged deterministically
+  /// in frontier order, so the decision (and, on refutations, every
+  /// counter) is independent of the thread count. Ignored by the
+  /// alternating search (a depth-first proof, not a frontier).
+  uint32_t num_threads = 1;
+
+  /// Subsumption-based state pruning: discard a frontier state some
+  /// already-visited (linear) or path-independently refuted (alternating)
+  /// state maps homomorphically into, and retire queued states a newer,
+  /// more general state subsumes. On by default; exposed so the
+  /// differential sweeps can compare pruned vs unpruned searches.
+  bool subsumption = true;
+
   /// Optional memoization shared across searches. Must have been built
   /// for the exact same (program, database) pair, or results are unsound.
   /// The cache also supplies the precomputed relevance index; without it a
@@ -73,6 +88,12 @@ struct ProofSearchResult {
   uint64_t resolution_edges = 0;
   uint64_t drop_edges = 0;
   uint64_t cache_hits = 0;        // successors skipped via the shared cache
+  uint64_t subsumed_discarded = 0;  // successors pruned by subsumption
+  uint64_t states_retired = 0;      // queued states retired unexpanded
+  /// Hom checks paid by this search's own visited-state subsumption index
+  /// (checks inside a shared cache's index are accounted there, across
+  /// all searches using it — not here).
+  uint64_t subsumption_checks = 0;
   /// Size of the largest single CQ state — the analog of the
   /// nondeterministic machine's work tape (O(width · log |dom(D)|) bits).
   size_t peak_state_bytes = 0;

@@ -93,16 +93,19 @@ ProofSearchCache::Key ProofSearchCache::InternKey(const CanonicalState& state) {
   return key;
 }
 
-bool ProofSearchCache::BuildKey(const CanonicalState& state, Key* out) {
+bool ProofSearchCache::BuildKey(const CanonicalState& state, Key* out) const {
+  // Thread-local scratch: concurrent lookups (from the parallel frontier
+  // workers) must not share a member buffer.
+  static thread_local std::vector<uint64_t> chunk_scratch;
   out->clear();
   out->reserve(state.atoms.size());
   size_t offset = 0;
   for (const Atom& atom : state.atoms) {
     size_t len = 1 + atom.args.size();
-    chunk_scratch_.assign(state.encoding.begin() + offset,
-                          state.encoding.begin() + offset + len);
+    chunk_scratch.assign(state.encoding.begin() + offset,
+                         state.encoding.begin() + offset + len);
     offset += len;
-    auto it = atom_ids_.find(chunk_scratch_);
+    auto it = atom_ids_.find(chunk_scratch);
     if (it == atom_ids_.end()) return false;  // unseen atom => unseen state
     out->push_back(it->second);
   }
@@ -112,7 +115,7 @@ bool ProofSearchCache::BuildKey(const CanonicalState& state, Key* out) {
 bool ProofSearchCache::Lookup(const Table& table, const CanonicalState& state,
                               size_t width, size_t max_chunk,
                               bool entry_must_cover) {
-  ++stats_.lookups;
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
   if (table.empty()) return false;  // cold cache: skip the key walk
   Key key;
   if (!BuildKey(state, &key)) return false;
@@ -125,11 +128,11 @@ bool ProofSearchCache::Lookup(const Table& table, const CanonicalState& state,
   bool usable = entry_must_cover
                     ? (entry.width >= width && entry.chunk >= max_chunk)
                     : (entry.width <= width && entry.chunk <= max_chunk);
-  if (usable) ++stats_.hits;
+  if (usable) stats_.hits.fetch_add(1, std::memory_order_relaxed);
   return usable;
 }
 
-void ProofSearchCache::Record(Table* table, const CanonicalState& state,
+bool ProofSearchCache::Record(Table* table, const CanonicalState& state,
                               size_t width, size_t max_chunk,
                               bool keep_larger) {
   Bound fresh{
@@ -139,9 +142,9 @@ void ProofSearchCache::Record(Table* table, const CanonicalState& state,
   size_t key_len = key.size();
   auto [it, inserted] = table->try_emplace(std::move(key), fresh);
   if (inserted) {
-    ++stats_.insertions;
+    stats_.insertions.fetch_add(1, std::memory_order_relaxed);
     key_words_ += key_len;
-    return;
+    return true;
   }
   // Only replace when the new bound dominates the stored one in the
   // direction that makes the entry more reusable; incomparable bounds keep
@@ -152,6 +155,7 @@ void ProofSearchCache::Record(Table* table, const CanonicalState& state,
                                : (fresh.width <= stored.width &&
                                   fresh.chunk <= stored.chunk);
   if (dominates) stored = fresh;
+  return false;
 }
 
 bool ProofSearchCache::LinearKnownRefuted(const CanonicalState& state,
@@ -162,7 +166,13 @@ bool ProofSearchCache::LinearKnownRefuted(const CanonicalState& state,
 
 void ProofSearchCache::LinearRecordRefuted(const CanonicalState& state,
                                            size_t width, size_t max_chunk) {
-  Record(&linear_refuted_, state, width, max_chunk, /*keep_larger=*/true);
+  if (Record(&linear_refuted_, state, width, max_chunk,
+             /*keep_larger=*/true)) {
+    // Fresh refutations also enter the subsumption index (with their
+    // insert-time bound; later bound upgrades are not mirrored — a stale
+    // narrower entry is still sound, just less reusable).
+    linear_refuted_states_.Add(state, width, max_chunk);
+  }
 }
 
 bool ProofSearchCache::AltKnownProven(const CanonicalState& state,
@@ -184,14 +194,17 @@ void ProofSearchCache::AltRecordProven(const CanonicalState& state,
 
 void ProofSearchCache::AltRecordRefuted(const CanonicalState& state,
                                         size_t width, size_t max_chunk) {
-  Record(&alt_refuted_, state, width, max_chunk, /*keep_larger=*/true);
+  if (Record(&alt_refuted_, state, width, max_chunk, /*keep_larger=*/true)) {
+    alt_refuted_states_.Add(state, width, max_chunk);
+  }
 }
 
 size_t ProofSearchCache::ApproximateBytes() const {
   size_t entries = linear_refuted_.size() + alt_proven_.size() +
                    alt_refuted_.size();
   return interned_words_ * sizeof(uint64_t) + key_words_ * sizeof(uint32_t) +
-         entries * sizeof(Bound);
+         entries * sizeof(Bound) + linear_refuted_states_.ApproximateBytes() +
+         alt_refuted_states_.ApproximateBytes();
 }
 
 }  // namespace vadalog

@@ -35,6 +35,7 @@
 #ifndef VADALOG_ENGINE_SEARCH_CACHE_H_
 #define VADALOG_ENGINE_SEARCH_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +44,7 @@
 #include "ast/program.h"
 #include "base/hash.h"
 #include "engine/state.h"
+#include "engine/subsumption.h"
 #include "storage/instance.h"
 
 namespace vadalog {
@@ -90,7 +92,11 @@ class ProgramIndex {
 };
 
 /// Shared memoization across proof searches over one (program, database)
-/// pair. Not thread-safe; share within one reasoning session.
+/// pair. Share within one reasoning session. The exact-match lookups
+/// (LinearKnownRefuted, AltKnown*) are safe to call concurrently as long
+/// as no Record runs at the same time — the parallel linear BFS probes
+/// them from its workers and records only after they have joined. The
+/// subsumption lookups and all Record methods are single-threaded.
 class ProofSearchCache {
  public:
   ProofSearchCache(const Program& program, const Instance& database);
@@ -115,10 +121,24 @@ class ProofSearchCache {
   void AltRecordRefuted(const CanonicalState& state, size_t width,
                         size_t max_chunk);
 
+  /// Subsumption transfer over the recorded refutations: true iff some
+  /// recorded refuted state with a covering bound maps homomorphically
+  /// into `state` (and has no more atoms). NOT thread-safe — the parallel
+  /// search consults these only from its sequential merge phase.
+  bool LinearRefutedBySubsumption(const CanonicalState& state, size_t width,
+                                  size_t max_chunk) const {
+    return linear_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
+  }
+  bool AltRefutedBySubsumption(const CanonicalState& state, size_t width,
+                               size_t max_chunk) const {
+    return alt_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
+  }
+
+  /// Counters are atomic so concurrent exact-match lookups stay race-free.
   struct Stats {
-    uint64_t lookups = 0;
-    uint64_t hits = 0;
-    uint64_t insertions = 0;
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> insertions{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -152,20 +172,25 @@ class ProofSearchCache {
   Key InternKey(const CanonicalState& state);
   /// Builds the interned key without interning: returns false (a sure
   /// cache miss) when any atom of the state has never been recorded.
-  bool BuildKey(const CanonicalState& state, Key* out);
+  /// Concurrency-safe: reads the intern map only, scratch is thread-local.
+  bool BuildKey(const CanonicalState& state, Key* out) const;
   bool Lookup(const Table& table, const CanonicalState& state, size_t width,
               size_t max_chunk, bool entry_must_cover);
-  void Record(Table* table, const CanonicalState& state, size_t width,
+  /// Returns true when the entry was freshly inserted (not an update).
+  bool Record(Table* table, const CanonicalState& state, size_t width,
               size_t max_chunk, bool keep_larger);
 
   ProgramIndex index_;
   std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_;
-  std::vector<uint64_t> chunk_scratch_;
   size_t interned_words_ = 0;
   size_t key_words_ = 0;
   Table linear_refuted_;
   Table alt_proven_;
   Table alt_refuted_;
+  // Full-state copies of the refuted entries for subsumption transfer,
+  // bound-tagged like the exact tables.
+  SubsumptionIndex linear_refuted_states_;
+  SubsumptionIndex alt_refuted_states_;
   Stats stats_;
 };
 

@@ -463,8 +463,7 @@ CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
   return state;
 }
 
-std::vector<std::vector<Atom>> SplitComponents(
-    const std::vector<Atom>& atoms) {
+std::vector<int> ComponentIds(const std::vector<Atom>& atoms) {
   size_t n = atoms.size();
   std::vector<int> parent(n);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
@@ -487,51 +486,125 @@ std::vector<std::vector<Atom>> SplitComponents(
     }
   }
 
-  // Group atoms by root, preserving first-occurrence order of the roots.
-  std::vector<int> component_of_root(n, -1);
-  std::vector<std::vector<Atom>> components;
+  // Dense component ids in first-occurrence order of the roots.
+  std::vector<int> id_of_root(n, -1);
+  std::vector<int> ids(n);
+  int next = 0;
   for (size_t i = 0; i < n; ++i) {
     int root = find(static_cast<int>(i));
-    if (component_of_root[root] < 0) {
-      component_of_root[root] = static_cast<int>(components.size());
-      components.emplace_back();
+    if (id_of_root[root] < 0) id_of_root[root] = next++;
+    ids[i] = id_of_root[root];
+  }
+  return ids;
+}
+
+std::vector<std::vector<Atom>> SplitComponents(
+    const std::vector<Atom>& atoms) {
+  std::vector<int> ids = ComponentIds(atoms);
+  std::vector<std::vector<Atom>> components;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (static_cast<size_t>(ids[i]) >= components.size()) {
+      components.resize(ids[i] + 1);
     }
-    components[component_of_root[root]].push_back(atoms[i]);
+    components[ids[i]].push_back(atoms[i]);
   }
   return components;
 }
 
 size_t EagerSimplify(std::vector<Atom>* atoms, const Instance& database) {
+  std::vector<char> dirty(atoms->size(), 1);
+  return EagerSimplifyIncremental(atoms, database, &dirty);
+}
+
+size_t EagerSimplifyIncremental(std::vector<Atom>* atoms,
+                                const Instance& database,
+                                std::vector<char>* dirty) {
   // A CQ state is a *set* of atoms: conjunction is idempotent, so exact
   // duplicates (frequent in resolvents) are dropped first. This shrinks
   // states against the width bound and merges otherwise-distinct states.
+  // A surviving copy inherits the dirtiness of every duplicate it absorbs.
   {
     size_t n = atoms->size();
     size_t kept = 0;
     for (size_t i = 0; i < n; ++i) {
       bool duplicate = false;
       for (size_t j = 0; j < kept && !duplicate; ++j) {
-        duplicate = (*atoms)[i] == (*atoms)[j];
+        if ((*atoms)[i] == (*atoms)[j]) {
+          (*dirty)[j] = static_cast<char>((*dirty)[j] | (*dirty)[i]);
+          duplicate = true;
+        }
       }
       if (!duplicate) {
-        if (kept != i) (*atoms)[kept] = std::move((*atoms)[i]);
+        if (kept != i) {
+          (*atoms)[kept] = std::move((*atoms)[i]);
+          (*dirty)[kept] = (*dirty)[i];
+        }
         ++kept;
       }
     }
     atoms->resize(kept);
+    dirty->resize(kept);
   }
-  std::vector<std::vector<Atom>> components = SplitComponents(*atoms);
+
+  std::vector<int> ids = ComponentIds(*atoms);
+  int num_components = 0;
+  for (int id : ids) num_components = std::max(num_components, id + 1);
+
+  // 0 = keep unchecked (clean, parent certificate), 1 = check, 2 = drop.
+  std::vector<char> component_state(num_components, 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if ((*dirty)[i] != 0) component_state[ids[i]] = 1;
+  }
+  std::vector<Atom> scratch;
+  for (int c = 0; c < num_components; ++c) {
+    if (component_state[c] != 1) continue;
+    scratch.clear();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == c) scratch.push_back((*atoms)[i]);
+    }
+    if (HasHomomorphism(scratch, database)) component_state[c] = 2;
+  }
+
+  // Emit survivors grouped by component, in first-occurrence order —
+  // byte-identical to the SplitComponents-based full simplification.
   std::vector<Atom> kept;
+  kept.reserve(atoms->size());
   size_t removed = 0;
-  for (std::vector<Atom>& component : components) {
-    if (HasHomomorphism(component, database)) {
-      removed += component.size();
-    } else {
-      for (Atom& a : component) kept.push_back(std::move(a));
+  for (int c = 0; c < num_components; ++c) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] != c) continue;
+      if (component_state[c] == 2) {
+        ++removed;
+      } else {
+        kept.push_back(std::move((*atoms)[i]));
+      }
     }
   }
   *atoms = std::move(kept);
   return removed;
+}
+
+void ResolventDirtyFlags(const std::vector<int>& components,
+                         const std::vector<size_t>& chunk,
+                         size_t resolvent_size, std::vector<char>* dirty) {
+  // Components disjoint from the chunk pass through the resolution
+  // untouched (the unifier binds none of their variables — a shared
+  // variable would put them in a chunk atom's component), so only
+  // components that lost a member need re-checking, plus the new body
+  // atoms appended after the kept parent atoms.
+  static thread_local std::vector<char> component_hit;
+  component_hit.assign(components.size(), 0);
+  for (size_t idx : chunk) component_hit[components[idx]] = 1;
+  dirty->clear();
+  size_t chunk_cursor = 0;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (chunk_cursor < chunk.size() && chunk[chunk_cursor] == i) {
+      ++chunk_cursor;
+      continue;
+    }
+    dirty->push_back(component_hit[components[i]]);
+  }
+  dirty->resize(resolvent_size, 1);  // the body atoms are new
 }
 
 bool HasDeadAtom(const std::vector<Atom>& atoms, const Instance& database,

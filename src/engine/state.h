@@ -59,11 +59,40 @@ CanonicalState CanonicalizeEx(std::vector<Atom> atoms, bool rename_nulls,
 /// This is exactly the finest decomposition of Definition 4.4.
 std::vector<std::vector<Atom>> SplitComponents(const std::vector<Atom>& atoms);
 
+/// Per-atom connected-component ids (same connectivity as SplitComponents;
+/// ids are dense, in first-occurrence order). No database work.
+std::vector<int> ComponentIds(const std::vector<Atom>& atoms);
+
 /// Removes every connected component that maps homomorphically into the
 /// database (such components are proof-tree leaves: they can be specialized
 /// to database facts and decomposed away without constraining the rest).
 /// Returns the number of atoms removed.
 size_t EagerSimplify(std::vector<Atom>* atoms, const Instance& database);
+
+/// EagerSimplify for a successor of an already-simplified parent state.
+/// `dirty` marks, per atom, whether the resolution/match step could have
+/// re-enabled a database embedding: new body atoms, and atoms whose parent
+/// component lost a member to the step. Components made of clean atoms
+/// only inherit the parent's certificate — no component of a simplified
+/// state maps into the database, the step's substitution binds no variable
+/// of an untouched component (it would share a variable with the chunk and
+/// hence be in a touched component), and a union of γ-instances of
+/// non-embeddable components cannot embed — so only dirty components are
+/// re-checked. Exact duplicates are still dropped globally. `dirty` is
+/// consumed as scratch; its size must equal atoms->size().
+size_t EagerSimplifyIncremental(std::vector<Atom>* atoms,
+                                const Instance& database,
+                                std::vector<char>* dirty);
+
+/// Computes the dirty flags for a resolvent built by ResolveWithTgd from a
+/// simplified parent state: kept parent atoms (parent order minus the
+/// sorted `chunk`) are dirty iff their component lost a chunk member; the
+/// trailing body atoms (up to `resolvent_size`) are new and always dirty.
+/// `components` are the parent's ComponentIds. Both searches use this —
+/// the certificate logic must never diverge between them.
+void ResolventDirtyFlags(const std::vector<int>& components,
+                         const std::vector<size_t>& chunk,
+                         size_t resolvent_size, std::vector<char>* dirty);
 
 /// Selects the atom the search works on next (the SLD selection
 /// function): the database-matchable atom with the fewest candidate rows

@@ -1,0 +1,110 @@
+// Subsumption-based state pruning for the bounded proof searches.
+//
+// A proof state is accepted iff it maps homomorphically into chase(D, Σ),
+// so if a state A maps homomorphically into a state S (Chandra–Merlin:
+// S's CQ is contained in A's), every proof of S restricts to a proof of
+// A — refuting A refutes S, and exploring A covers every acceptance S
+// could contribute. The searches exploit this two ways:
+//
+//   * a new frontier state subsumed by an already-visited/refuted state is
+//     discarded (its whole subtree is covered by the subsumer's), and
+//   * a queued frontier state that a newer, more general state maps into
+//     is retired without expansion.
+//
+// Both prunings are restricted to subsumers with no more atoms than the
+// subsumed state. That keeps the simulation argument within the node-width
+// bound (a larger subsumer's simulated proof could exceed the bound where
+// the original did not) and makes the index cheap: candidate subsumers are
+// prefiltered by atom count and a predicate bitmask before any
+// homomorphism is attempted. Exactness of the pruned searches against the
+// chase engine is fuzzed by the cross-engine property sweeps.
+//
+// Entries carry the (node_width, max_chunk) exploration bound they were
+// established under, mirroring ProofSearchCache: a refutation-backed
+// subsumer only prunes a search exploring no more than the recording one.
+
+#ifndef VADALOG_ENGINE_SUBSUMPTION_H_
+#define VADALOG_ENGINE_SUBSUMPTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/state.h"
+
+namespace vadalog {
+
+class SubsumptionIndex {
+ public:
+  /// Registers `state` as a subsumer established under exploration bound
+  /// (width, chunk) and returns its entry id (sequential from 0). Entries
+  /// are never removed: a pruned state's refutation claim stays valid, so
+  /// it keeps subsuming.
+  int64_t Add(const CanonicalState& state, size_t width, size_t chunk);
+
+  /// Finds a registered state with a bound covering (width, chunk) and no
+  /// more atoms than `state` that maps homomorphically into it. Returns
+  /// its entry id, or -1. Same-size subsumers only count when their entry
+  /// id is below `same_size_before`: a search pruning its own registered
+  /// frontier passes the state's own id, which (a) excludes the state
+  /// itself and (b) makes same-size pruning acyclic — otherwise two
+  /// mutually subsuming equal-size states could each prune the other and
+  /// drop an accepting subtree on the floor. Strictly smaller subsumers
+  /// always count (the (size, id) measure strictly decreases along any
+  /// pruning chain, so chains end at a state that is genuinely expanded).
+  int64_t FindSubsumer(const CanonicalState& state, size_t width,
+                       size_t chunk,
+                       int64_t same_size_before = INT64_MAX) const;
+
+  /// Marks an entry as covered by another subsumer, excluding it from
+  /// further matching. Lossless: anything it subsumes, its own subsumer
+  /// subsumes too (homomorphisms compose) — suppression just keeps the
+  /// capped scans focused on non-redundant entries.
+  void Suppress(int64_t id) {
+    entries_[static_cast<size_t>(id)].suppressed = 1;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hom_checks = 0;
+    uint64_t hits = 0;
+    uint64_t capped = 0;  // queries that hit the per-query hom-check cap
+    uint64_t disabled_skips = 0;  // queries skipped by the adaptive gate
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t ApproximateBytes() const;
+
+ private:
+  struct Entry {
+    std::vector<Atom> atoms;  // canonical atoms of the subsumer
+    uint64_t mask;            // predicate bloom mask
+    uint64_t rigid_mask;      // bloom mask over constants and nulls
+    uint32_t width;
+    uint32_t chunk;
+    char suppressed = 0;      // covered by another entry; skip in scans
+  };
+
+  static uint64_t MaskOf(const std::vector<Atom>& atoms);
+  /// Bloom mask over the rigid terms (a homomorphism is the identity on
+  /// constants and nulls, so a subsumer's rigid terms must all occur in
+  /// the subsumed state).
+  static uint64_t RigidMaskOf(const std::vector<Atom>& atoms);
+
+  // Entries bucketed by their smallest predicate id (a subsumer's
+  // predicates are a subset of the subsumed state's, so its smallest
+  // predicate occurs in the state and the relevant buckets are exactly
+  // those of the state's predicates), then layered by atom count so the
+  // smallest — most general, hence strongest — subsumers are tried first
+  // under the per-query hom-check cap.
+  std::vector<Entry> entries_;
+  // buckets_[p][size-1] -> entry ids with min predicate p and that size.
+  std::vector<std::vector<std::vector<uint32_t>>> buckets_;
+  size_t atom_bytes_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ENGINE_SUBSUMPTION_H_

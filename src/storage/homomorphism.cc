@@ -169,5 +169,115 @@ std::vector<std::vector<Term>> EvaluateQuerySorted(
   return results;
 }
 
+namespace {
+
+/// Grow-only scratch for HasStateHomomorphism: the subsumption pruning of
+/// the proof searches calls it millions of times on tiny states, so the
+/// matcher must not allocate. Variable bindings live in a flat array
+/// indexed by variable index (states are canonically renamed, so indices
+/// are small and dense); candidate lists are one flat arena.
+struct StateHomScratch {
+  static constexpr uint64_t kMaxVar = 4096;
+  std::vector<Term> binding;        // per from-variable index
+  std::vector<char> bound;          // per from-variable index
+  std::vector<uint32_t> touched;    // bound indices to reset
+  std::vector<const Atom*> arena;   // concatenated candidate lists
+  std::vector<std::pair<uint32_t, uint32_t>> span;  // per from-atom [b, e)
+  std::vector<size_t> order;
+};
+
+bool MatchStateFrom(const std::vector<Atom>& from, StateHomScratch* s,
+                    size_t depth) {
+  if (depth == s->order.size()) return true;
+  const Atom& atom = from[s->order[depth]];
+  auto [begin, end] = s->span[s->order[depth]];
+  for (uint32_t c = begin; c < end; ++c) {
+    const Atom* target = s->arena[c];
+    size_t touched_mark = s->touched.size();
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+      Term arg = atom.args[i];
+      Term t = target->args[i];
+      if (!arg.is_variable()) {
+        ok = arg == t;  // constants and nulls map to themselves
+        continue;
+      }
+      uint32_t v = static_cast<uint32_t>(arg.index());
+      if (s->bound[v] != 0) {
+        ok = s->binding[v] == t;
+      } else {
+        s->bound[v] = 1;
+        s->binding[v] = t;
+        s->touched.push_back(v);
+      }
+    }
+    if (ok && MatchStateFrom(from, s, depth + 1)) return true;
+    while (s->touched.size() > touched_mark) {
+      s->bound[s->touched.back()] = 0;
+      s->touched.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasStateHomomorphism(const std::vector<Atom>& from,
+                          const std::vector<Atom>& onto) {
+  if (from.empty()) return true;
+  uint64_t max_var = 0;
+  for (const Atom& a : from) {
+    for (Term t : a.args) {
+      if (t.is_variable()) max_var = std::max(max_var, t.index());
+    }
+  }
+  // Proof states are canonically renamed, so this never triggers there;
+  // it guards arbitrary callers against unbounded scratch growth.
+  if (max_var >= StateHomScratch::kMaxVar) return false;
+
+  static thread_local StateHomScratch scratch;
+  StateHomScratch* s = &scratch;
+  if (s->binding.size() <= max_var) {
+    s->binding.resize(max_var + 1);
+    s->bound.resize(max_var + 1, 0);
+  }
+  s->arena.clear();
+  s->span.clear();
+
+  // Per-atom candidate targets (same predicate and arity, rigid positions
+  // compatible up front). An atom with no candidate kills the match.
+  for (const Atom& a : from) {
+    uint32_t begin = static_cast<uint32_t>(s->arena.size());
+    for (const Atom& target : onto) {
+      if (target.predicate != a.predicate ||
+          target.args.size() != a.args.size()) {
+        continue;
+      }
+      bool compatible = true;
+      for (size_t k = 0; k < a.args.size() && compatible; ++k) {
+        if (!a.args[k].is_variable()) {
+          compatible = a.args[k] == target.args[k];
+        }
+      }
+      if (compatible) s->arena.push_back(&target);
+    }
+    if (s->arena.size() == begin) return false;
+    s->span.emplace_back(begin, static_cast<uint32_t>(s->arena.size()));
+  }
+  // Most-constrained-first: fewer candidates earlier prunes harder.
+  s->order.resize(from.size());
+  for (size_t i = 0; i < from.size(); ++i) s->order[i] = i;
+  std::sort(s->order.begin(), s->order.end(), [s](size_t a, size_t b) {
+    return s->span[a].second - s->span[a].first <
+           s->span[b].second - s->span[b].first;
+  });
+  bool found = MatchStateFrom(from, s, 0);
+  // A successful match leaves its bindings in place — reset them so the
+  // flat arrays are clean for the next call.
+  for (uint32_t v : s->touched) s->bound[v] = 0;
+  s->touched.clear();
+  return found;
+}
+
 }  // namespace vadalog
 

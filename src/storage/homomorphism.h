@@ -46,6 +46,17 @@ std::vector<std::vector<Term>> EvaluateQuerySorted(
     const ConjunctiveQuery& query, const Instance& instance,
     bool certain_only = true);
 
+/// True iff `from` maps homomorphically into `onto` as CQ states: a map h
+/// on the variables of `from` (identity on constants and nulls) such that
+/// h(a) is an atom of `onto` for every atom a of `from`. The variables of
+/// `onto` are frozen — they act as distinct rigid names, never renamed —
+/// which is CQ containment of `onto` in `from` (Chandra–Merlin). This is
+/// the primitive behind subsumption-based state pruning: when it holds,
+/// any proof of `onto` restricts to a proof of `from`, so a refutation of
+/// `from` refutes `onto`.
+bool HasStateHomomorphism(const std::vector<Atom>& from,
+                          const std::vector<Atom>& onto);
+
 }  // namespace vadalog
 
 #endif  // VADALOG_STORAGE_HOMOMORPHISM_H_

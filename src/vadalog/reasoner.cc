@@ -79,12 +79,19 @@ EngineChoice Reasoner::ResolveEngine(EngineChoice requested) const {
 
 std::vector<std::vector<Term>> Reasoner::Answer(
     const ConjunctiveQuery& query, const ReasonerOptions& options) {
+  return AnswerChecked(query, options).answers;
+}
+
+CertainAnswerSet Reasoner::AnswerChecked(const ConjunctiveQuery& query,
+                                         const ReasonerOptions& options) {
+  CertainAnswerSet result;
   if (classification_.uses_negation) {
     // Stratified negation: well-defined for Datalog programs only, via
     // the stratified bottom-up evaluator.
-    if (!classification_.datalog) return {};
+    if (!classification_.datalog) return result;
     DatalogResult evaluated = EvaluateDatalog(program_, database_);
-    return EvaluateQuerySorted(query, evaluated.instance);
+    result.answers = EvaluateQuerySorted(query, evaluated.instance);
+    return result;
   }
   // Enumeration in kAuto mode always materializes via the chase — the
   // proof searches are *decision* procedures; enumerating through them
@@ -94,17 +101,19 @@ std::vector<std::vector<Term>> Reasoner::Answer(
   switch (engine) {
     case EngineChoice::kAuto:
     case EngineChoice::kChase:
-      return CertainAnswersViaChase(program_, database_, query,
-                                    options.chase);
+      result.answers =
+          CertainAnswersViaChase(program_, database_, query, options.chase);
+      return result;
     case EngineChoice::kLinearProof:
-      return CertainAnswersViaSearch(program_, database_, query,
-                                     /*use_alternating=*/false,
-                                     options.proof);
+      return CertainAnswersViaSearchChecked(program_, database_, query,
+                                            /*use_alternating=*/false,
+                                            options.proof);
     case EngineChoice::kAlternatingProof:
-      return CertainAnswersViaSearch(program_, database_, query,
-                                     /*use_alternating=*/true, options.proof);
+      return CertainAnswersViaSearchChecked(program_, database_, query,
+                                            /*use_alternating=*/true,
+                                            options.proof);
   }
-  return {};
+  return result;
 }
 
 std::vector<std::vector<Term>> Reasoner::Answer(

@@ -70,8 +70,18 @@ class Reasoner {
   std::string AnalysisReport() const;
 
   /// Certain answers to a query (sorted, deduplicated tuples of constants).
+  /// With proof-search budgets set (options.proof.max_states/max_millis)
+  /// the answer set can be silently incomplete — use AnswerChecked to see
+  /// whether any search gave up.
   std::vector<std::vector<Term>> Answer(
       const ConjunctiveQuery& query, const ReasonerOptions& options = {});
+
+  /// Like Answer for the proof-search engines, but keeps the completeness
+  /// signal: `complete` is false when a budget-exhausted search rejected a
+  /// candidate without refuting it. Chase-based enumeration (kAuto/kChase,
+  /// or stratified-negation programs) is always complete.
+  CertainAnswerSet AnswerChecked(const ConjunctiveQuery& query,
+                                 const ReasonerOptions& options = {});
 
   /// Certain answers to the program's `index`-th parsed query.
   std::vector<std::vector<Term>> Answer(size_t query_index,

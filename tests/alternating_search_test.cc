@@ -142,6 +142,32 @@ TEST(AlternatingSearchTest, PerfCanaryNonLinearTcCounts) {
   EXPECT_LE(negative.states_expanded, 5000u);
 }
 
+TEST(AlternatingSearchTest, SubsumptionPruningPreservesDecisions) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, f).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchOptions unpruned;
+  unpruned.subsumption = false;
+  std::vector<Term> constants = {s.Const("a"), s.Const("b"), s.Const("c"),
+                                 s.Const("d"), s.Const("f"), s.Const("zz")};
+  uint64_t total_discarded = 0;
+  for (Term x : constants) {
+    for (Term y : constants) {
+      AlternatingSearchResult pruned =
+          AlternatingProofSearch(s.program, s.db, s.Query(), {x, y});
+      AlternatingSearchResult plain = AlternatingProofSearch(
+          s.program, s.db, s.Query(), {x, y}, unpruned);
+      EXPECT_EQ(pruned.accepted, plain.accepted)
+          << x.index() << ", " << y.index();
+      total_discarded += pruned.subsumed_discarded;
+    }
+  }
+  EXPECT_GT(total_discarded, 0u);  // the pruning must actually fire
+}
+
 TEST(AlternatingSearchTest, MatchesLinearSearchOnPwlPrograms) {
   // On WARD ∩ PWL programs both engines must agree.
   TestEnv s(R"(

@@ -1,0 +1,109 @@
+// Tests for the certain-answer facade's budget soundness: a search that
+// gave up (max_states / max_millis) must never pass its rejections off as
+// refutations, so CertainAnswersViaSearchChecked reports completeness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "engine/certain.h"
+#include "engine/search_cache.h"
+
+namespace vadalog {
+namespace {
+
+struct TestEnv {
+  Program program;
+  Instance db;
+
+  explicit TestEnv(const char* text) {
+    ParseResult parsed = ParseProgram(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    NormalizeToSingleHead(&program, nullptr);
+    db = DatabaseFromFacts(program.facts());
+  }
+  ConjunctiveQuery Query(size_t index = 0) {
+    return program.queries()[index];
+  }
+};
+
+constexpr const char* kChain = R"(
+  t(X, Y) :- e(X, Y).
+  t(X, Z) :- e(X, Y), t(Y, Z).
+  e(a, b). e(b, c). e(c, d).
+  ?(X, Y) :- t(X, Y).
+)";
+
+TEST(CertainCheckedTest, UnbudgetedSweepIsCompleteAndMatchesChase) {
+  TestEnv s(kChain);
+  std::vector<std::vector<Term>> via_chase =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  for (bool alternating : {false, true}) {
+    CertainAnswerSet checked = CertainAnswersViaSearchChecked(
+        s.program, s.db, s.Query(), alternating);
+    EXPECT_TRUE(checked.complete);
+    EXPECT_EQ(checked.budget_exhausted_candidates, 0u);
+    EXPECT_EQ(checked.answers, via_chase);
+  }
+}
+
+TEST(CertainCheckedTest, StateBudgetExhaustionIsNeverReportedAsDefinitive) {
+  TestEnv s(kChain);
+  std::vector<std::vector<Term>> full =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  ASSERT_FALSE(full.empty());
+  // One expanded state per candidate: every refutation gives up, so the
+  // sweep must flag itself incomplete instead of presenting the shrunken
+  // answer set as cert(q, D, Σ).
+  ProofSearchOptions starved;
+  starved.max_states = 1;
+  for (bool alternating : {false, true}) {
+    CertainAnswerSet checked = CertainAnswersViaSearchChecked(
+        s.program, s.db, s.Query(), alternating, starved);
+    if (checked.answers != full) {
+      EXPECT_FALSE(checked.complete)
+          << "a smaller answer set was reported as definitive";
+      EXPECT_GT(checked.budget_exhausted_candidates, 0u);
+    }
+    // Whatever was accepted under the budget must be a real answer.
+    for (const std::vector<Term>& row : checked.answers) {
+      EXPECT_TRUE(std::find(full.begin(), full.end(), row) != full.end());
+    }
+  }
+}
+
+TEST(CertainCheckedTest, TimeBudgetExhaustionIsNeverReportedAsDefinitive) {
+  // The satellite regression: a max_millis=1 run never reports a smaller
+  // certain-answer set as definitive. A fast machine may well finish the
+  // whole sweep inside the budget — then it must equal the chase exactly;
+  // otherwise the incompleteness must be flagged.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, e). e(e, a).
+    ?(X, Y) :- t(X, Y).
+  )");
+  std::vector<std::vector<Term>> full =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  ProofSearchOptions timed;
+  timed.max_millis = 1;
+  CertainAnswerSet checked =
+      CertainAnswersViaSearchChecked(s.program, s.db, s.Query(), false,
+                                     timed);
+  if (checked.answers != full) {
+    EXPECT_FALSE(checked.complete);
+    EXPECT_GT(checked.budget_exhausted_candidates, 0u);
+  }
+}
+
+TEST(CertainCheckedTest, WrapperKeepsAnswersOnly) {
+  TestEnv s(kChain);
+  EXPECT_EQ(CertainAnswersViaSearch(s.program, s.db, s.Query()),
+            CertainAnswersViaSearchChecked(s.program, s.db, s.Query())
+                .answers);
+}
+
+}  // namespace
+}  // namespace vadalog

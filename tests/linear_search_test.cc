@@ -247,6 +247,139 @@ TEST(LinearSearchTest, PerfCanaryOwl2QlRefutation) {
   EXPECT_LE(result.states_visited, 16000u);
 }
 
+TEST(LinearSearchTest, SubsumptionPruningPreservesDecisions) {
+  TestEnv s(R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+    subclass(cat, mammal). subclass(mammal, animal).
+    type(tom, cat).
+    restriction(hunter, hunts).
+    type(tom, hunter).
+    ?(Y) :- type(tom, Y).
+  )");
+  ProofSearchOptions unpruned;
+  unpruned.subsumption = false;
+  for (const char* name : {"animal", "hunter", "hunts", "cat", "tom"}) {
+    ProofSearchResult with_pruning =
+        LinearProofSearch(s.program, s.db, s.Query(), {s.Const(name)});
+    ProofSearchResult without =
+        LinearProofSearch(s.program, s.db, s.Query(), {s.Const(name)},
+                          unpruned);
+    EXPECT_EQ(with_pruning.accepted, without.accepted) << name;
+    EXPECT_LE(with_pruning.states_expanded, without.states_expanded)
+        << name;
+  }
+  // On this workload the pruning must actually fire.
+  ProofSearchResult refutation =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("hunts")});
+  EXPECT_GT(refutation.subsumed_discarded, 0u);
+}
+
+TEST(LinearSearchTest, ParallelFrontierIsDeterministicAndAgrees) {
+  TestEnv s(R"(
+    subclassStar(X, Y) :- subclass(X, Y).
+    subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+    type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+    triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+    triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+    type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+    subclass(cat, mammal). subclass(mammal, animal).
+    type(tom, cat).
+    restriction(hunter, hunts).
+    type(tom, hunter).
+    ?(Y) :- type(tom, Y).
+  )");
+  // A refutation explores the full space, so every counter must be
+  // bit-identical across thread counts (deterministic sharded merge).
+  ProofSearchResult single =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("hunts")});
+  for (uint32_t threads : {2u, 4u}) {
+    ProofSearchOptions options;
+    options.num_threads = threads;
+    ProofSearchResult parallel = LinearProofSearch(
+        s.program, s.db, s.Query(), {s.Const("hunts")}, options);
+    EXPECT_FALSE(parallel.accepted);
+    EXPECT_EQ(parallel.states_visited, single.states_visited) << threads;
+    EXPECT_EQ(parallel.states_expanded, single.states_expanded) << threads;
+    EXPECT_EQ(parallel.subsumed_discarded, single.subsumed_discarded)
+        << threads;
+    EXPECT_EQ(parallel.resolution_edges, single.resolution_edges)
+        << threads;
+    EXPECT_EQ(parallel.drop_edges, single.drop_edges) << threads;
+  }
+  // Accepting decisions agree on the verdict (counters may differ — the
+  // accept short-circuit is allowed to stop workers early).
+  for (const char* name : {"animal", "hunter", "cat"}) {
+    ProofSearchOptions options;
+    options.num_threads = 4;
+    EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(),
+                                  {s.Const(name)}, options)
+                    .accepted)
+        << name;
+  }
+}
+
+TEST(LinearSearchTest, ParallelSearchHonorsBudgets) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, e). e(e, a).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchOptions options;
+  options.num_threads = 4;
+  options.max_states = 3;
+  ProofSearchResult result =
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LE(result.states_expanded, 3u);
+}
+
+TEST(LinearSearchTest, ParallelEnumerationMatchesChase) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  std::vector<std::vector<Term>> via_chase =
+      CertainAnswersViaChase(s.program, s.db, s.Query());
+  ProofSearchOptions options;
+  options.num_threads = 4;
+  EXPECT_EQ(via_chase, CertainAnswersViaSearch(s.program, s.db, s.Query(),
+                                               /*use_alternating=*/false,
+                                               options));
+  options.subsumption = false;
+  EXPECT_EQ(via_chase, CertainAnswersViaSearch(s.program, s.db, s.Query(),
+                                               /*use_alternating=*/false,
+                                               options));
+}
+
+TEST(LinearSearchTest, ExplanationSurvivesPruningAndThreads) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  for (uint32_t threads : {1u, 4u}) {
+    ProofSearchOptions options;
+    options.num_threads = threads;
+    ProofExplanation explanation;
+    ProofSearchResult result = LinearProofSearch(
+        s.program, s.db, s.Query(), {s.Const("d")}, options, &explanation);
+    ASSERT_TRUE(result.accepted) << threads;
+    ASSERT_FALSE(explanation.empty()) << threads;
+    EXPECT_EQ(explanation.steps.front().kind, ProofStep::Kind::kStart);
+    EXPECT_TRUE(explanation.steps.back().state.empty());
+  }
+}
+
 TEST(LinearSearchTest, FreezeQueryRejectsMalformedCandidates) {
   TestEnv s(R"(
     t(X, Y) :- e(X, Y).

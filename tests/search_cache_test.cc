@@ -247,6 +247,58 @@ TEST(SearchCacheTest, BudgetExhaustedSearchesRecordNothing) {
   EXPECT_EQ(cache.linear_refuted_size(), 0u);
 }
 
+TEST(SearchCacheTest, BudgetExhaustedAlternatingRecordsNoRefutations) {
+  // The alternating analog of the linear no-poison guarantee: a search
+  // that gave up must not leave refutation certificates behind. Proofs
+  // found before the budget tripped remain sound and may be recorded.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, e). e(e, a).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  options.max_states = 3;
+  AlternatingSearchResult result = AlternatingProofSearch(
+      s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(cache.alt_refuted_size(), 0u);
+  // And the poisoned-free cache must not corrupt a later full search.
+  ProofSearchOptions full;
+  full.cache = &cache;
+  EXPECT_TRUE(AlternatingProofSearch(s.program, s.db, s.Query(),
+                                     {s.Const("d")}, full)
+                  .accepted);
+}
+
+TEST(SearchCacheTest, SubsumptionTransfersRefutationsAcrossCandidates) {
+  // Candidate t(b, zz)'s whole search is subsumed by states recorded while
+  // refuting t(a, zz): with the chain database, every state of the second
+  // search contains an instance of an already-refuted one, so the warm
+  // search should discard states via cache subsumption even where exact
+  // keys differ.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d). e(d, f).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  ProofSearchResult cold = LinearProofSearch(
+      s.program, s.db, s.Query(), {s.Const("a"), s.Const("zz")}, options);
+  EXPECT_FALSE(cold.accepted);
+  ProofSearchResult warm = LinearProofSearch(
+      s.program, s.db, s.Query(), {s.Const("b"), s.Const("zz")}, options);
+  EXPECT_FALSE(warm.accepted);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_LT(warm.states_expanded, cold.states_expanded);
+}
+
 TEST(SearchCacheTest, TimeBudgetReportsExhaustion) {
   // A refutation over a cyclic graph visits far too many states for a
   // 0-millisecond deadline; the search must stop and say so.

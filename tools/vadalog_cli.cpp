@@ -3,6 +3,10 @@
 // Usage:
 //   vadalog_cli [options] <program-file>
 //     --engine=auto|chase|linear|alternating   decision/enumeration engine
+//     --search-threads=N                       parallel frontier workers
+//                                              for the linear search
+//     --no-subsumption                         disable subsumption-based
+//                                              state pruning
 //     --analyze                                print the fragment analysis
 //     --explain                                print a linear proof tree
 //                                              for each certain answer
@@ -15,6 +19,7 @@
 // '?(..) :- ..' queries). Every query in the file is answered.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -35,6 +40,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=auto|chase|linear|alternating] "
+               "[--search-threads=N] [--no-subsumption] "
                "[--analyze] [--explain] [--dot-chase] <program-file>\n",
                argv0);
   return 2;
@@ -49,6 +55,8 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool dot_chase = false;
   EngineChoice engine = EngineChoice::kAuto;
+  uint32_t search_threads = 1;
+  bool subsumption = true;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -63,6 +71,12 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(arg, "--dot-chase") == 0) {
       dot_chase = true;
+    } else if (std::strncmp(arg, "--search-threads=", 17) == 0) {
+      int parsed_threads = std::atoi(arg + 17);
+      if (parsed_threads < 1) return Usage(argv[0]);
+      search_threads = static_cast<uint32_t>(parsed_threads);
+    } else if (std::strcmp(arg, "--no-subsumption") == 0) {
+      subsumption = false;
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
       const char* value = arg + 9;
       if (std::strcmp(value, "auto") == 0) {
@@ -122,6 +136,8 @@ int main(int argc, char** argv) {
 
   ReasonerOptions options;
   options.engine = engine;
+  options.proof.num_threads = search_threads;
+  options.proof.subsumption = subsumption;
   const auto& queries = reasoner->program().queries();
   if (queries.empty()) {
     std::printf("(no queries in %s)\n", path.c_str());
