@@ -39,6 +39,7 @@ class Searcher {
         database_(database),
         index_(index),
         cache_(cache),
+        shared_refuted_(options.shared_refuted),
         subsumption_(options.subsumption),
         width_(width),
         max_chunk_(max_chunk),
@@ -88,8 +89,14 @@ class Searcher {
     if (subsumption_) {
       // A path-independently refuted state that maps into this one refutes
       // it outright (every proof of this state restricts to one of the
-      // subsumer), so the failure is itself path-independent.
-      if (refuted_subsumers_.FindSubsumer(state, width_, max_chunk_) >= 0) {
+      // subsumer), so the failure is itself path-independent. With a
+      // sweep-shared bank the search registers and probes that one index
+      // instead of a private per-candidate copy, so refutation subtrees
+      // carry across the candidates of one sweep.
+      SubsumptionIndex& refuted_index =
+          shared_refuted_ != nullptr ? *shared_refuted_ : refuted_subsumers_;
+      if (refuted_index.FindSubsumer(state, width_, max_chunk_) >= 0) {
+        if (shared_refuted_ != nullptr) ++result_->sweep_refuted_hits;
         ++result_->subsumed_discarded;
         return {false, kNoTouch};
       }
@@ -136,7 +143,8 @@ class Searcher {
       // Refutation independent of any proper ancestor: cacheable.
       auto [it, inserted] = refuted_.insert(state);
       if (inserted && subsumption_) {
-        refuted_subsumers_.Add(*it, width_, max_chunk_);
+        (shared_refuted_ != nullptr ? *shared_refuted_ : refuted_subsumers_)
+            .Add(*it, width_, max_chunk_);
       }
       ++result_->refuted_cached;
       if (cache_ != nullptr) {
@@ -222,6 +230,7 @@ class Searcher {
   const Instance& database_;
   const ProgramIndex& index_;
   ProofSearchCache* cache_;
+  SubsumptionIndex* shared_refuted_;
   const bool subsumption_;
   size_t width_;
   size_t max_chunk_;

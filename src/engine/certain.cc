@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "engine/search_cache.h"
+#include "engine/subsumption.h"
+#include "server/worker_pool.h"
 #include "storage/homomorphism.h"
 
 namespace vadalog {
@@ -89,12 +91,29 @@ CertainAnswerSet CertainAnswersViaSearchChecked(
 
   // All candidates run against one shared memoization cache: the frozen
   // constants differ per candidate but the derived canonical states
-  // largely recur, so refutation work is paid once across the sweep.
+  // largely recur, so refutation work is paid once across the sweep. One
+  // sweep-shared SubsumptionIndex rides along: completed refutations bank
+  // their visited subtrees there, and every later candidate's search
+  // discards frontier states a banked state maps into — subsumption-based
+  // transfer on top of the cache's exact-match tables. A parallel sweep
+  // additionally gets one persistent worker pool for all candidates.
   std::optional<ProofSearchCache> local_cache;
+  SubsumptionIndex sweep_refuted;
+  std::optional<WorkerPool> sweep_pool;
   ProofSearchOptions effective = options;
   if (effective.cache == nullptr) {
     local_cache.emplace(program, database);
     effective.cache = &*local_cache;
+  }
+  if (effective.shared_refuted == nullptr && effective.subsumption) {
+    effective.shared_refuted = &sweep_refuted;
+  }
+  if (!use_alternating && effective.pool == nullptr &&
+      effective.num_threads > 1) {
+    // Helpers only — the sweep's calling thread takes a share per level.
+    // 64 mirrors the search's own worker cap.
+    sweep_pool.emplace(std::min<uint32_t>(effective.num_threads, 64) - 1);
+    effective.pool = &*sweep_pool;
   }
   for (const std::vector<Term>& candidate : candidates) {
     bool certain = false;

@@ -48,6 +48,11 @@ struct CertainAnswerSet {
   std::vector<std::vector<Term>> answers;  // sorted, deduplicated
   bool complete = true;
   uint64_t budget_exhausted_candidates = 0;  // rejections that gave up
+  /// Non-empty when the request could not be served at all (e.g. a
+  /// program whose fragment no engine supports); `answers` is then empty
+  /// and meaningless rather than a (possibly incomplete) answer set.
+  /// Scripted callers must distinguish this from "no certain answers".
+  std::string error;
 };
 
 /// Enumerates cert(q, D, Σ) purely via proof search: every distinct tuple

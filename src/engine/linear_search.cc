@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "engine/search_cache.h"
 #include "engine/state.h"
 #include "engine/subsumption.h"
+#include "server/worker_pool.h"
 #include "storage/homomorphism.h"
 
 namespace vadalog {
@@ -60,7 +60,7 @@ constexpr size_t kVisitedShards = 64;  // power of two
 
 // Upper bound on worker threads regardless of what the caller asks for:
 // oversubscription beyond this buys nothing, and an absurd request must
-// degrade instead of making std::thread's constructor throw.
+// degrade instead of making the fallback pool's thread spawns throw.
 constexpr uint32_t kMaxSearchThreads = 64;
 
 /// One queued frontier state plus its subsumption-index registration id
@@ -84,12 +84,13 @@ class LinearSearcher {
  public:
   LinearSearcher(const Program& program, const Instance& database,
                  const ProgramIndex& index, const ProofSearchOptions& options,
-                 size_t width, size_t max_chunk, ProofSearchResult* result,
-                 ProofExplanation* explanation)
+                 size_t width, size_t max_chunk, WorkerPool* pool,
+                 ProofSearchResult* result, ProofExplanation* explanation)
       : program_(program),
         database_(database),
         index_(index),
         cache_(options.cache),
+        shared_refuted_(options.shared_refuted),
         subsumption_(options.subsumption),
         width_(width),
         max_chunk_(max_chunk),
@@ -97,6 +98,7 @@ class LinearSearcher {
         timed_(options.max_millis != 0),
         num_threads_(std::min(kMaxSearchThreads,
                               std::max<uint32_t>(1, options.num_threads))),
+        pool_(pool),
         result_(result),
         explanation_(explanation),
         shards_(kVisitedShards) {
@@ -189,6 +191,17 @@ class LinearSearcher {
         visited_subsumers_.Suppress(entry.ordinal);
         continue;
       }
+      // The sweep-shared bank first: in a warm session it is the small,
+      // hot index (this sweep's refutations) in front of the session
+      // cache's larger, older one.
+      if (shared_refuted_ != nullptr &&
+          shared_refuted_->FindSubsumer(*entry.state, width_, max_chunk_) >=
+              0) {
+        ++result_->sweep_refuted_hits;
+        ++result_->subsumed_discarded;
+        visited_subsumers_.Suppress(entry.ordinal);
+        continue;
+      }
       if (cache_ != nullptr &&
           cache_->LinearRefutedBySubsumption(*entry.state, width_,
                                              max_chunk_)) {
@@ -238,15 +251,15 @@ class LinearSearcher {
     };
 
     size_t threads = std::min<size_t>(num_threads_, allowed);
-    if (threads <= 1 || allowed < 2 * static_cast<size_t>(num_threads_)) {
+    if (threads <= 1 || allowed < 2 * static_cast<size_t>(num_threads_) ||
+        pool_ == nullptr) {
       worker();
     } else {
-      // The calling thread takes a worker's share instead of idling.
-      std::vector<std::thread> pool;
-      pool.reserve(threads - 1);
-      for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
-      worker();
-      for (std::thread& t : pool) t.join();
+      // Fork onto the persistent pool; the calling thread takes a
+      // worker's share instead of idling, and helpers the pool never got
+      // to are revoked (the atomic `next` counter makes any participant
+      // count complete the level).
+      pool_->ParallelInvoke(threads - 1, worker);
     }
     if (deadline_hit.load(std::memory_order_relaxed)) {
       result_->budget_exhausted = true;
@@ -370,19 +383,26 @@ class LinearSearcher {
     size_t total = 0;
     for (const ExpandOutput* out : outputs) total += out->candidates.size();
     size_t workers = std::min<size_t>(num_threads_, kVisitedShards);
-    // Hash inserts are ~100 ns while a thread spawn+join costs tens of
-    // microseconds and every worker scans all candidates for shard
-    // ownership, so parallel dedupe only pays for itself on levels with
-    // thousands of candidates.
-    if (workers <= 1 || total < 4096) {
+    // Hash inserts are ~100 ns and every worker scans all candidates for
+    // shard ownership, so parallel dedupe only pays for itself on levels
+    // with thousands of candidates.
+    if (workers <= 1 || total < 4096 || pool_ == nullptr) {
       dedupe(0, 1);
       return;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (size_t w = 1; w < workers; ++w) pool.emplace_back(dedupe, w, workers);
-    dedupe(0, workers);  // the calling thread owns shard class 0
-    for (std::thread& t : pool) t.join();
+    // Shard classes are claimed dynamically: ParallelInvoke may deliver
+    // fewer participants than requested (revoked helpers), and every
+    // class must be processed exactly once. Which thread handles a class
+    // does not matter — per-shard insertion order is frontier order
+    // either way.
+    std::atomic<size_t> next_class{0};
+    pool_->ParallelInvoke(workers - 1, [&] {
+      size_t w;
+      while ((w = next_class.fetch_add(1, std::memory_order_relaxed)) <
+             workers) {
+        dedupe(w, workers);
+      }
+    });
   }
 
   /// Phase 3: sequential merge in frontier order — acceptance, provenance,
@@ -437,16 +457,22 @@ class LinearSearcher {
     for (const auto& shard : shards_) visited += shard.size();
     result_->states_visited = visited;
     result_->subsumption_checks = visited_subsumers_.stats().hom_checks;
-    if (!result_->accepted && !result_->budget_exhausted &&
-        cache_ != nullptr) {
+    if (!result_->accepted && !result_->budget_exhausted) {
       // A completed BFS is a refutation certificate for every state it
       // visited: everything reachable from a visited state was explored,
       // already known refuted, or subsumed by another visited state. A
       // budget-exhausted (or accepted) run records nothing — an aborted
-      // refutation is not a refutation certificate.
+      // refutation is not a refutation certificate. Certificates go to
+      // the session cache (exact, interned, long-lived) and to the
+      // sweep-shared subsumption bank (full states, sweep-lived).
       for (const auto& shard : shards_) {
         for (const CanonicalState& state : shard) {
-          cache_->LinearRecordRefuted(state, width_, max_chunk_);
+          if (cache_ != nullptr) {
+            cache_->LinearRecordRefuted(state, width_, max_chunk_);
+          }
+          if (shared_refuted_ != nullptr) {
+            shared_refuted_->Add(state, width_, max_chunk_);
+          }
         }
       }
     }
@@ -469,12 +495,14 @@ class LinearSearcher {
   const Instance& database_;
   const ProgramIndex& index_;
   ProofSearchCache* cache_;
+  SubsumptionIndex* shared_refuted_;
   const bool subsumption_;
   const size_t width_;
   const size_t max_chunk_;
   const uint64_t max_states_;
   const bool timed_;
   const uint32_t num_threads_;
+  WorkerPool* pool_;
   std::chrono::steady_clock::time_point deadline_{};
   ProofSearchResult* result_;
   ProofExplanation* explanation_;
@@ -532,8 +560,19 @@ ProofSearchResult LinearProofSearch(const Program& program,
   const ProgramIndex& index =
       options.cache != nullptr ? options.cache->index() : *local_index;
 
+  // A parallel search without a caller-supplied pool gets a private one
+  // for its own lifetime: one spawn per search, not one per level.
+  uint32_t threads = std::min(kMaxSearchThreads,
+                              std::max<uint32_t>(1, options.num_threads));
+  std::optional<WorkerPool> own_pool;
+  WorkerPool* pool = options.pool;
+  if (pool == nullptr && threads > 1) {
+    own_pool.emplace(threads - 1);
+    pool = &*own_pool;
+  }
+
   LinearSearcher searcher(program, database, index, options, width,
-                          max_chunk, &result, explanation);
+                          max_chunk, pool, &result, explanation);
   searcher.Run(std::move(*frozen));
   return result;
 }

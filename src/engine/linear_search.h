@@ -40,6 +40,8 @@
 namespace vadalog {
 
 class ProofSearchCache;
+class SubsumptionIndex;
+class WorkerPool;
 
 struct ProofSearchOptions {
   /// Maximum atoms per CQ state. 0 = derive f_WARD∩PWL(q, Σ) from the
@@ -78,6 +80,23 @@ struct ProofSearchOptions {
   /// The cache also supplies the precomputed relevance index; without it a
   /// local index is built per call.
   ProofSearchCache* cache = nullptr;
+
+  /// Optional refutation bank shared across the candidate searches of one
+  /// CertainAnswersViaSearch sweep (or one daemon session): completed
+  /// refutations deposit their visited states here, and later searches
+  /// discard any frontier state a banked state maps homomorphically into.
+  /// Like `cache`, it is only sound for the exact (program, database)
+  /// pair it was filled against. The linear BFS deposits on completed
+  /// refutations only; the alternating search uses it in place of its
+  /// per-search refuted-state index (path-independent entries are valid
+  /// sweep-wide).
+  SubsumptionIndex* shared_refuted = nullptr;
+
+  /// Persistent worker pool for the parallel frontier, shared with the
+  /// daemon's request handling. When null and num_threads > 1, the search
+  /// creates a private pool for its own lifetime — one thread spawn per
+  /// search instead of the former one per frontier level.
+  WorkerPool* pool = nullptr;
 };
 
 struct ProofSearchResult {
@@ -90,6 +109,7 @@ struct ProofSearchResult {
   uint64_t cache_hits = 0;        // successors skipped via the shared cache
   uint64_t subsumed_discarded = 0;  // successors pruned by subsumption
   uint64_t states_retired = 0;      // queued states retired unexpanded
+  uint64_t sweep_refuted_hits = 0;  // pruned via options.shared_refuted
   /// Hom checks paid by this search's own visited-state subsumption index
   /// (checks inside a shared cache's index are accounted there, across
   /// all searches using it — not here).

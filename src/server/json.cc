@@ -1,0 +1,467 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vadalog {
+namespace {
+
+// Nesting cap: the protocol never nests past ~4 levels; 64 keeps hostile
+// "[[[[..." lines from recursing the parser off the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    SkipSpace();
+    std::optional<JsonValue> value = ParseValue(0);
+    if (!value.has_value()) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return std::nullopt;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s.has_value()) return std::nullopt;
+        return JsonValue::String(std::move(*s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return JsonValue::Bool(true);
+        }
+        break;
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return JsonValue::Bool(false);
+        }
+        break;
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return JsonValue();
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        break;
+    }
+    Fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected string key");
+        return std::nullopt;
+      }
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      SkipSpace();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return std::nullopt;
+      }
+      SkipSpace();
+      std::optional<JsonValue> value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      object.Set(std::move(*key), std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      Fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return array;
+    while (true) {
+      SkipSpace();
+      std::optional<JsonValue> value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      array.Append(std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      Fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty() ||
+        !std::isfinite(value)) {
+      Fail("malformed number");
+      return std::nullopt;
+    }
+    return JsonValue::Number(value);
+  }
+
+  /// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::optional<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("malformed \\u escape");
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) {
+        Fail("truncated escape");
+        return std::nullopt;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::optional<uint32_t> unit = ParseHex4();
+          if (!unit.has_value()) return std::nullopt;
+          uint32_t code = *unit;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              Fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            pos_ += 2;
+            std::optional<uint32_t> low = ParseHex4();
+            if (!low.has_value()) return std::nullopt;
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              Fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            Fail("unpaired surrogate");
+            return std::nullopt;
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpValue(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      double n = value.AsNumber();
+      // Integral doubles print without a fraction (budgets, counters —
+      // the protocol's common case); others with enough digits to round-
+      // trip.
+      if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 9e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", n);
+        *out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", n);
+        *out += buf;
+      }
+      return;
+    }
+    case JsonValue::Type::kString:
+      DumpString(value.AsString(), out);
+      return;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.Items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpValue(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.Members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpString(key, out);
+        out->push_back(':');
+        DumpValue(member, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_string()) return fallback;
+  return value->AsString();
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_number()) return fallback;
+  double n = value->AsNumber();
+  if (!(n >= 0) || n != std::floor(n) || n > 9e15) return fallback;
+  return static_cast<uint64_t>(n);
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_bool()) return fallback;
+  return value->AsBool();
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(text, error);
+  std::optional<JsonValue> value = parser.Run();
+  if (!value.has_value() && error != nullptr && error->empty()) {
+    *error = "malformed JSON";
+  }
+  return value;
+}
+
+}  // namespace vadalog

@@ -1,0 +1,90 @@
+// A minimal JSON value: parse, build, serialize. Enough for the daemon's
+// newline-delimited protocol — objects, arrays, strings (with escape and
+// \uXXXX handling, surrogate pairs included), numbers (stored as double;
+// integers are exact up to 2^53, far beyond any budget or counter the
+// protocol carries), booleans, null. No external dependency by design:
+// the container bakes in the C++ toolchain only.
+//
+// Parsing is strict where it matters for a wire protocol (no trailing
+// garbage, no unescaped control characters, depth-capped against hostile
+// nesting) and the serializer emits valid UTF-8-transparent JSON (bytes
+// >= 0x20 pass through; the protocol treats strings as opaque byte
+// sequences, matching the reasoner's symbol table).
+
+#ifndef VADALOG_SERVER_JSON_H_
+#define VADALOG_SERVER_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vadalog {
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue Number(uint64_t n) { return Number(static_cast<double>(n)); }
+  static JsonValue Number(int n) { return Number(static_cast<double>(n)); }
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; the caller must have checked the type.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  /// Object lookup (first match); nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Builders.
+  void Append(JsonValue v);                       // array
+  void Set(std::string key, JsonValue v);         // object (no dedupe)
+
+  /// Convenience typed getters over Find, with defaults.
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+  /// Numbers are validated to be non-negative integrals representable in
+  /// uint64 (budgets, counts); anything else returns the fallback.
+  uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  /// Serializes on one line (no newline appended, none embedded — the
+  /// protocol's framing invariant).
+  std::string Dump() const;
+
+  /// Strict parse of exactly one JSON value spanning the whole input.
+  /// Returns nullopt and sets `error` (position-annotated) on failure.
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_SERVER_JSON_H_

@@ -1,0 +1,175 @@
+#include "server/protocol.h"
+
+namespace vadalog {
+namespace protocol {
+namespace {
+
+std::optional<Command> CommandFromName(std::string_view name) {
+  if (name == "LOAD_PROGRAM") return Command::kLoadProgram;
+  if (name == "ADD_FACTS") return Command::kAddFacts;
+  if (name == "QUERY") return Command::kQuery;
+  if (name == "EXPLAIN") return Command::kExplain;
+  if (name == "STATS") return Command::kStats;
+  if (name == "UNLOAD") return Command::kUnload;
+  if (name == "PING") return Command::kPing;
+  return std::nullopt;
+}
+
+bool Fail(Error* error, std::string code, std::string message) {
+  error->code = std::move(code);
+  error->message = std::move(message);
+  return false;
+}
+
+/// Commands whose requests must name a session.
+bool NeedsSession(Command cmd) {
+  return cmd != Command::kStats && cmd != Command::kPing;
+}
+
+bool ParseFields(const JsonValue& object, Request* request, Error* error) {
+  const JsonValue* version = object.Find("v");
+  if (version != nullptr) {
+    if (!version->is_number() ||
+        version->AsNumber() != static_cast<double>(kVersion)) {
+      return Fail(error, "EVERSION",
+                  "unsupported protocol version (expected " +
+                      std::to_string(kVersion) + ")");
+    }
+  }
+
+  const JsonValue* cmd = object.Find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) {
+    return Fail(error, "EPROTO", "missing string field \"cmd\"");
+  }
+  std::optional<Command> command = CommandFromName(cmd->AsString());
+  if (!command.has_value()) {
+    return Fail(error, "ECMD", "unknown command \"" + cmd->AsString() + "\"");
+  }
+  request->cmd = *command;
+
+  request->session = object.GetString("session");
+  if (NeedsSession(request->cmd) && request->session.empty()) {
+    return Fail(error, "EBADREQ", "missing string field \"session\"");
+  }
+
+  switch (request->cmd) {
+    case Command::kLoadProgram: {
+      const JsonValue* program = object.Find("program");
+      if (program == nullptr || !program->is_string()) {
+        return Fail(error, "EBADREQ", "missing string field \"program\"");
+      }
+      request->program = program->AsString();
+      request->replace = object.GetBool("replace", false);
+      break;
+    }
+    case Command::kAddFacts: {
+      const JsonValue* facts = object.Find("facts");
+      if (facts == nullptr || !facts->is_string()) {
+        return Fail(error, "EBADREQ", "missing string field \"facts\"");
+      }
+      request->facts = facts->AsString();
+      break;
+    }
+    case Command::kQuery:
+    case Command::kExplain: {
+      const JsonValue* query = object.Find("query");
+      const JsonValue* index = object.Find("query_index");
+      if (query != nullptr && query->is_string()) {
+        request->query_text = query->AsString();
+      } else if (index != nullptr && index->is_number() &&
+                 index->AsNumber() >= 0) {
+        request->query_index = static_cast<int64_t>(index->AsNumber());
+      } else {
+        return Fail(error, "EBADREQ",
+                    "need string \"query\" or non-negative \"query_index\"");
+      }
+      if (request->cmd == Command::kExplain) {
+        const JsonValue* answer = object.Find("answer");
+        if (answer == nullptr || !answer->is_array()) {
+          return Fail(error, "EBADREQ", "missing array field \"answer\"");
+        }
+        for (const JsonValue& item : answer->Items()) {
+          if (!item.is_string()) {
+            return Fail(error, "EBADREQ",
+                        "\"answer\" items must be constant-name strings");
+          }
+          request->answer.push_back(item.AsString());
+        }
+      }
+      request->engine = object.GetString("engine", "auto");
+      if (request->engine != "auto" && request->engine != "chase" &&
+          request->engine != "linear" && request->engine != "alternating") {
+        return Fail(error, "EBADREQ",
+                    "\"engine\" must be auto|chase|linear|alternating");
+      }
+      request->max_states = object.GetUint("max_states", 0);
+      request->max_millis = object.GetUint("max_millis", 0);
+      request->threads =
+          static_cast<uint32_t>(object.GetUint("threads", 0));
+      break;
+    }
+    case Command::kStats:
+    case Command::kUnload:
+    case Command::kPing:
+      break;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* CommandName(Command cmd) {
+  switch (cmd) {
+    case Command::kLoadProgram: return "LOAD_PROGRAM";
+    case Command::kAddFacts: return "ADD_FACTS";
+    case Command::kQuery: return "QUERY";
+    case Command::kExplain: return "EXPLAIN";
+    case Command::kStats: return "STATS";
+    case Command::kUnload: return "UNLOAD";
+    case Command::kPing: return "PING";
+  }
+  return "?";
+}
+
+std::optional<Request> ParseRequest(std::string_view line, Error* error,
+                                    JsonValue* id) {
+  *id = JsonValue();
+  std::string json_error;
+  std::optional<JsonValue> parsed = JsonValue::Parse(line, &json_error);
+  if (!parsed.has_value()) {
+    Fail(error, "EPROTO", "malformed JSON: " + json_error);
+    return std::nullopt;
+  }
+  if (!parsed->is_object()) {
+    Fail(error, "EPROTO", "request must be a JSON object");
+    return std::nullopt;
+  }
+  const JsonValue* id_field = parsed->Find("id");
+  if (id_field != nullptr) *id = *id_field;
+
+  Request request;
+  request.id = *id;
+  if (!ParseFields(*parsed, &request, error)) return std::nullopt;
+  return request;
+}
+
+JsonValue ErrorResponse(const Error& error, const JsonValue& id) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  if (!id.is_null()) response.Set("id", id);
+  JsonValue detail = JsonValue::Object();
+  detail.Set("code", JsonValue::String(error.code));
+  detail.Set("message", JsonValue::String(error.message));
+  response.Set("error", std::move(detail));
+  return response;
+}
+
+JsonValue OkResponse(const JsonValue& id) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  if (!id.is_null()) response.Set("id", id);
+  return response;
+}
+
+}  // namespace protocol
+}  // namespace vadalog

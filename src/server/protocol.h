@@ -1,0 +1,118 @@
+// vadalogd wire protocol, version 1: newline-delimited JSON, one request
+// object in, one response object out, over a TCP or Unix-domain stream.
+//
+// Request shape (field presence per command):
+//
+//   {"v":1, "id":<any>, "cmd":"<COMMAND>", ...}
+//
+//   LOAD_PROGRAM  session, program (surface syntax), [replace=false]
+//   ADD_FACTS     session, facts (surface-syntax fact clauses)
+//   QUERY         session, query | query_index, [engine=auto],
+//                 [max_states=0], [max_millis=0], [threads=0]
+//   EXPLAIN       session, query | query_index, answer (constant strings)
+//   STATS         [session]
+//   UNLOAD        session
+//   PING          -
+//
+// `v` defaults to 1 and must be 1; `id` is echoed verbatim so clients can
+// pipeline. Responses are {"ok":true, ...} or
+// {"ok":false, "error":{"code":"E...", "message":"..."}}. Budgets surface
+// the engine's completeness signal: a QUERY answered by a proof-search
+// engine carries "complete" (false when some refutation gave up on a
+// budget — the answers are then a sound subset, not definitive) and
+// "budget_exhausted_candidates".
+//
+// This module is the pure wire layer: request parsing and response
+// shaping only. Session lookup and execution live in server/session.h.
+
+#ifndef VADALOG_SERVER_PROTOCOL_H_
+#define VADALOG_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/json.h"
+
+namespace vadalog {
+namespace protocol {
+
+inline constexpr int kVersion = 1;
+
+enum class Command : uint8_t {
+  kLoadProgram,
+  kAddFacts,
+  kQuery,
+  kExplain,
+  kStats,
+  kUnload,
+  kPing,
+};
+
+const char* CommandName(Command cmd);
+
+/// A structured protocol error: a stable machine-readable code plus a
+/// human-readable message.
+///
+///   EPROTO    malformed JSON / not an object / bad field type
+///   EVERSION  unsupported protocol version
+///   ECMD      unknown command
+///   EBADREQ   missing or invalid field for the command
+///   EPARSE    program / facts / query text failed to parse
+///   ENOSESSION  no session with that name
+///   EEXISTS   LOAD_PROGRAM onto an existing session without replace
+///   EUNSUPPORTED  the program's fragment cannot be served (e.g.
+///                 negation outside Datalog)
+///   EBUSY     admission control rejected the request; retry later
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+struct Request {
+  int version = kVersion;
+  JsonValue id;  // null when the client sent none; echoed verbatim
+  Command cmd = Command::kPing;
+  std::string session;
+
+  // LOAD_PROGRAM
+  std::string program;
+  bool replace = false;
+
+  // ADD_FACTS
+  std::string facts;
+
+  // QUERY / EXPLAIN: either inline surface-syntax text or an index into
+  // the loaded program's parsed queries.
+  std::string query_text;
+  int64_t query_index = -1;
+
+  // EXPLAIN
+  std::vector<std::string> answer;
+
+  // QUERY execution knobs.
+  std::string engine = "auto";
+  uint64_t max_states = 0;
+  uint64_t max_millis = 0;
+  uint32_t threads = 0;  // 0 = server default
+};
+
+/// Parses one request line (strict JSON, known command, per-command
+/// required fields). On failure returns nullopt with `error` filled; when
+/// the line was at least a JSON object, `*id` receives its "id" member so
+/// the error response can still be correlated.
+std::optional<Request> ParseRequest(std::string_view line, Error* error,
+                                    JsonValue* id);
+
+/// {"ok":false,"id":...,"error":{"code":...,"message":...}}
+JsonValue ErrorResponse(const Error& error, const JsonValue& id);
+
+/// {"ok":true,"id":...} — callers Set() additional members.
+JsonValue OkResponse(const JsonValue& id);
+
+}  // namespace protocol
+}  // namespace vadalog
+
+#endif  // VADALOG_SERVER_PROTOCOL_H_

@@ -1,0 +1,338 @@
+#include "server/server.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+namespace vadalog {
+
+#ifdef _WIN32
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<WorkerPool>(options_.workers)),
+      registry_([this] {
+        SessionOptions session = options_.session;
+        return session;
+      }()) {}
+Server::~Server() = default;
+bool Server::Start(std::string* error) {
+  if (error != nullptr) *error = "vadalogd requires POSIX sockets";
+  return false;
+}
+void Server::Stop() {}
+Server::Stats Server::stats() const { return {}; }
+void Server::AcceptLoop(int) {}
+void Server::ServeConnection(Connection*) {}
+void Server::ReapConnections() {}
+std::string Server::ExecuteLine(const std::string&) { return ""; }
+
+#else  // POSIX
+
+namespace {
+
+/// Sends the whole buffer; MSG_NOSIGNAL so a vanished client is an error
+/// return, not a process-wide SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+JsonValue BusyResponse(const JsonValue& id, const char* scope) {
+  JsonValue response = protocol::ErrorResponse(
+      protocol::Error{"EBUSY",
+                      std::string("admission control: too many in-flight "
+                                  "requests (") +
+                          scope + "); retry"},
+      id);
+  response.Set("retry", JsonValue::Bool(true));
+  return response;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<WorkerPool>(
+          options_.workers == 0 ? 1 : options_.workers)),
+      registry_([this] {
+        SessionOptions session = options_.session;
+        if (session.pool == nullptr) session.pool = pool_.get();
+        return session;
+      }()) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    for (int fd : listen_fds_) ::close(fd);
+    listen_fds_.clear();
+    return false;
+  };
+
+  if (options_.tcp) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(tcp)");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return fail("bind/listen(tcp)");
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_tcp_port_ = ntohs(addr.sin_port);
+    listen_fds_.push_back(fd);
+  }
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      if (error != nullptr) *error = "unix socket path too long";
+      for (int fd : listen_fds_) ::close(fd);
+      listen_fds_.clear();
+      return false;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(unix)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a crash
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return fail("bind/listen(unix)");
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (listen_fds_.empty()) {
+    if (error != nullptr) *error = "no listening endpoint configured";
+    return false;
+  }
+  running_.store(true);
+  for (int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  return true;
+}
+
+void Server::ReapConnections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& connection = **it;
+    if (!connection.done.load()) {
+      ++it;
+      continue;
+    }
+    if (connection.thread.joinable()) connection.thread.join();
+    ::close(connection.fd);
+    it = connections_.erase(it);
+  }
+}
+
+void Server::AcceptLoop(int listen_fd) {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      // Transient (EINTR, aborted handshake) or persistent (EMFILE
+      // under fd exhaustion): either way, back off instead of hot-
+      // spinning a core, and reap — finished connections may be exactly
+      // what frees the descriptors accept needs.
+      ReapConnections();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    ReapConnections();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->fd = fd;
+    connection->thread =
+        std::thread([this, connection] { ServeConnection(connection); });
+  }
+}
+
+void Server::ServeConnection(Connection* connection) {
+  int fd = connection->fd;
+  std::string buffer;
+  char chunk[65536];
+  bool closing = false;
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF, shutdown, or error: connection is done
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = ExecuteLine(line);
+      if (!SendAll(fd, response + "\n")) {
+        closing = true;  // peer is gone; stop reading too
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (closing) break;
+    if (buffer.size() > options_.max_line_bytes) {
+      // Framing can't be trusted past an overrun: answer and hang up.
+      SendAll(fd, protocol::ErrorResponse(
+                      protocol::Error{"EPROTO", "request line too long"},
+                      JsonValue())
+                          .Dump() +
+                      "\n");
+      break;
+    }
+  }
+  // The fd is closed by the reaper (ReapConnections / Stop), which
+  // joins this thread first — a single owner for the descriptor, so a
+  // racing shutdown() cannot hit a recycled fd.
+  connection->done.store(true);
+}
+
+std::string Server::ExecuteLine(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  protocol::Error parse_error;
+  JsonValue id;
+  std::optional<protocol::Request> request =
+      protocol::ParseRequest(line, &parse_error, &id);
+  if (!request.has_value()) {
+    return protocol::ErrorResponse(parse_error, id).Dump();
+  }
+
+  // PING and STATS are the monitoring path: they run inline on the
+  // connection thread — no admission, no pool queue — so they stay
+  // responsive even when the pool is saturated with a request backlog
+  // (both only touch counters and briefly-held registry/session locks).
+  if (request->cmd == protocol::Command::kPing ||
+      request->cmd == protocol::Command::kStats) {
+    return registry_.Handle(*request).Dump();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (inflight_ >= options_.max_inflight) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_global;
+      return BusyResponse(id, "server").Dump();
+    }
+    size_t& session_inflight = inflight_by_session_[request->session];
+    if (session_inflight >= options_.max_inflight_per_session) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_session;
+      return BusyResponse(id, "session").Dump();
+    }
+    ++inflight_;
+    ++session_inflight;
+  }
+
+  // Execute on the pool: at most pool-size requests compute at once, the
+  // rest queue FIFO behind the admission caps.
+  JsonValue response;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  pool_->Submit([&] {
+    JsonValue result = registry_.Handle(*request);
+    std::lock_guard<std::mutex> lock(done_mutex);
+    response = std::move(result);
+    done = true;
+    done_cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done; });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --inflight_;
+    auto it = inflight_by_session_.find(request->session);
+    if (it != inflight_by_session_.end() && --it->second == 0) {
+      inflight_by_session_.erase(it);
+    }
+  }
+  return response.Dump();
+}
+
+void Server::Stop() {
+  bool was_running = running_.exchange(false);
+  if (!was_running && listen_fds_.empty()) return;
+  for (int fd : listen_fds_) {
+    ::shutdown(fd, SHUT_RDWR);  // wakes the blocking accept on Linux
+    ::close(fd);
+  }
+  listen_fds_.clear();
+  for (std::thread& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);  // readers see EOF
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();  // in-flight requests finish first
+    }
+    ::close(connection->fd);
+  }
+  pool_->Shutdown();
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+#endif  // _WIN32
+
+}  // namespace vadalog

@@ -1,0 +1,133 @@
+// vadalogd's socket front end: a TCP (loopback) and/or Unix-domain
+// accept loop feeding the newline-delimited JSON protocol into a
+// SessionRegistry, with the request execution forked onto the shared
+// WorkerPool — the same pool the parallel proof searches fork their
+// frontier levels onto.
+//
+// Threading model: one accept thread per listening socket; one
+// lightweight thread per connection doing blocking line I/O (connections
+// are cheap to park in a read); request *execution* happens on the pool,
+// so at most pool-size requests compute at once and everything else
+// queues fairly FIFO. Admission control sits in front of the queue:
+//
+//   * a global cap on in-flight (queued + executing) requests, and
+//   * a per-session cap so one chatty session cannot monopolize the
+//     pool while other sessions starve;
+//
+// both reject with a structured EBUSY error (clients retry) instead of
+// queueing unboundedly. Graceful shutdown: stop accepting, shut down the
+// connection sockets (readers see EOF), finish in-flight requests, join
+// everything.
+
+#ifndef VADALOG_SERVER_SERVER_H_
+#define VADALOG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session.h"
+#include "server/worker_pool.h"
+
+namespace vadalog {
+
+struct ServerOptions {
+  /// Listen on 127.0.0.1:tcp_port when `tcp` is set; port 0 binds an
+  /// ephemeral port (read it back from tcp_port() after Start).
+  bool tcp = true;
+  uint16_t tcp_port = 0;
+
+  /// Additionally listen on this Unix-domain socket path when non-empty.
+  /// A stale socket file at the path is unlinked first.
+  std::string unix_path;
+
+  /// Worker pool size (request execution + parallel search frontiers).
+  size_t workers = 4;
+
+  /// Admission control (see header comment).
+  size_t max_inflight = 64;
+  size_t max_inflight_per_session = 16;
+
+  /// A request line longer than this kills its connection (the framing
+  /// cannot be trusted past an overrun).
+  size_t max_line_bytes = 8ull << 20;
+
+  /// Per-session knobs (cache cap, default search threads).
+  SessionOptions session;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // Stop()
+
+  /// Binds and launches the accept loops. False + `error` on failure.
+  bool Start(std::string* error);
+
+  /// Graceful shutdown; idempotent.
+  void Stop();
+
+  /// The bound TCP port (after Start) or 0 when TCP is disabled.
+  uint16_t tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  SessionRegistry& registry() { return registry_; }
+  WorkerPool& pool() { return *pool_; }
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t requests = 0;
+    uint64_t rejected_global = 0;
+    uint64_t rejected_session = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One live client connection. The fd has a single owner — the reaper
+  /// (ReapConnections / Stop) — which joins the thread before closing,
+  /// so a racing shutdown() can never hit a recycled descriptor.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(Connection* connection);
+  /// Joins and closes connections whose threads have finished; called
+  /// from the accept loops so a long-lived daemon does not accumulate
+  /// one fd + one zombie thread per past connection.
+  void ReapConnections();
+  /// Executes one request line (admission-controlled, forked onto the
+  /// pool; PING/STATS run inline) and returns the serialized response.
+  std::string ExecuteLine(const std::string& line);
+
+  ServerOptions options_;
+  std::unique_ptr<WorkerPool> pool_;
+  SessionRegistry registry_;
+
+  std::atomic<bool> running_{false};
+  uint16_t bound_tcp_port_ = 0;
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::mutex admission_mutex_;
+  size_t inflight_ = 0;
+  std::map<std::string, size_t> inflight_by_session_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_SERVER_SERVER_H_

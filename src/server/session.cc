@@ -1,0 +1,440 @@
+#include "server/session.h"
+
+#include <chrono>
+#include <utility>
+
+namespace vadalog {
+
+using protocol::Error;
+using protocol::ErrorResponse;
+using protocol::OkResponse;
+using protocol::Request;
+
+namespace {
+
+EngineChoice EngineFromName(const std::string& name) {
+  if (name == "chase") return EngineChoice::kChase;
+  if (name == "linear") return EngineChoice::kLinearProof;
+  if (name == "alternating") return EngineChoice::kAlternatingProof;
+  return EngineChoice::kAuto;
+}
+
+JsonValue RenderAnswers(const Reasoner& reasoner,
+                        const std::vector<std::vector<Term>>& answers) {
+  JsonValue rows = JsonValue::Array();
+  for (const std::vector<Term>& tuple : answers) {
+    JsonValue row = JsonValue::Array();
+    for (Term t : tuple) {
+      const SymbolTable& symbols = reasoner.program().symbols();
+      row.Append(JsonValue::String(symbols.TermToString(t)));
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Session::Session(std::string name, std::unique_ptr<Reasoner> reasoner,
+                 const SessionOptions& options)
+    : name_(std::move(name)),
+      options_(options),
+      reasoner_(std::move(reasoner)) {
+  cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
+                                              reasoner_->database());
+  cache_bytes_.store(cache_->ApproximateBytes(), std::memory_order_relaxed);
+}
+
+ReasonerOptions Session::BuildOptions(const Request& request) const {
+  ReasonerOptions options;
+  options.engine = EngineFromName(request.engine);
+  options.proof.max_states = request.max_states;
+  options.proof.max_millis = request.max_millis;
+  options.proof.num_threads =
+      request.threads != 0 ? request.threads : options_.search_threads;
+  options.proof.pool = options_.pool;
+  return options;
+}
+
+bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
+                           JsonValue* response) {
+  if (!request.query_text.empty()) {
+    // Inline query text interns symbols: writer lock, briefly.
+    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    std::string error;
+    std::optional<ConjunctiveQuery> parsed =
+        reasoner_->ParseQuery(request.query_text, &error);
+    if (!parsed.has_value()) {
+      *response = ErrorResponse(Error{"EPARSE", error}, request.id);
+      return false;
+    }
+    *query = std::move(*parsed);
+    return true;
+  }
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  const auto& queries = reasoner_->program().queries();
+  if (request.query_index < 0 ||
+      static_cast<size_t>(request.query_index) >= queries.size()) {
+    *response = ErrorResponse(
+        Error{"EBADREQ", "query_index out of range (program has " +
+                             std::to_string(queries.size()) + " queries)"},
+        request.id);
+    return false;
+  }
+  *query = queries[static_cast<size_t>(request.query_index)];
+  return true;
+}
+
+JsonValue Session::Query(const Request& request) {
+  ConjunctiveQuery query;
+  JsonValue response;
+  if (!ResolveQuery(request, &query, &response)) return response;
+  ReasonerOptions options = BuildOptions(request);
+
+  // Only the explicitly-selected proof-search engines read or write the
+  // session cache; chase enumeration (auto/chase) and the stratified
+  // Datalog evaluator never touch it, so those queries skip the cache
+  // lock entirely and run fully concurrently.
+  bool uses_proof_cache =
+      request.engine == "linear" || request.engine == "alternating";
+
+  auto start = std::chrono::steady_clock::now();
+  CertainAnswerSet set;
+  JsonValue rows;
+  bool waited = false;
+  {
+    std::shared_lock<std::shared_mutex> data(data_mutex_);
+    // The cache is single-user, so proof-search queries on one session
+    // serialize on it: waiting for the warm cache (~ms) beats re-running
+    // the cold search (~hundreds of ms) every time. Lock order
+    // data -> cache everywhere, so this cannot deadlock with AddFacts.
+    std::unique_lock<std::mutex> cache_lock(cache_mutex_, std::defer_lock);
+    if (uses_proof_cache) {
+      if (!cache_lock.try_lock()) {
+        waited = true;
+        cache_lock.lock();
+      }
+      options.proof.cache = cache_.get();
+    }
+    set = reasoner_->AnswerChecked(query, options);
+    if (set.error.empty()) {
+      rows = RenderAnswers(*reasoner_, set.answers);
+      if (cache_lock.owns_lock()) {
+        size_t bytes = cache_->ApproximateBytes();
+        if (bytes > options_.cache_byte_limit) {
+          // Generational eviction: drop the whole generation, start warm
+          // again from empty (entries cannot be evicted individually).
+          cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
+                                                      reasoner_->database());
+          cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+          bytes = cache_->ApproximateBytes();
+        }
+        cache_bytes_.store(bytes, std::memory_order_relaxed);
+      }
+    }
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) queries_waited_.fetch_add(1, std::memory_order_relaxed);
+  if (!set.error.empty()) {
+    return ErrorResponse(Error{"EUNSUPPORTED", set.error}, request.id);
+  }
+  uint64_t millis = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  response = OkResponse(request.id);
+  response.Set("session", JsonValue::String(name_));
+  response.Set("answers", std::move(rows));
+  response.Set("complete", JsonValue::Bool(set.complete));
+  response.Set("budget_exhausted_candidates",
+               JsonValue::Number(set.budget_exhausted_candidates));
+  response.Set("engine", JsonValue::String(request.engine));
+  response.Set("cache",
+               JsonValue::String(!uses_proof_cache ? "unused"
+                                 : waited          ? "shared-waited"
+                                                   : "shared"));
+  response.Set("millis", JsonValue::Number(millis));
+  return response;
+}
+
+JsonValue Session::Explain(const Request& request) {
+  if (reasoner_->classification().uses_negation) {
+    // The linear proof search behind EXPLAIN ignores negative bodies;
+    // refuse rather than produce a proof the evaluator contradicts.
+    return ErrorResponse(
+        Error{"EUNSUPPORTED",
+              "EXPLAIN runs the linear proof search, which does not "
+              "support programs with negation"},
+        request.id);
+  }
+  ConjunctiveQuery query;
+  JsonValue response;
+  if (!ResolveQuery(request, &query, &response)) return response;
+  if (request.answer.size() != query.output.size()) {
+    return ErrorResponse(
+        Error{"EBADREQ",
+              "answer arity " + std::to_string(request.answer.size()) +
+                  " does not match query output arity " +
+                  std::to_string(query.output.size())},
+        request.id);
+  }
+  std::vector<Term> answer;
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mutex_);  // interning
+    answer.reserve(request.answer.size());
+    for (const std::string& name : request.answer) {
+      answer.push_back(reasoner_->InternConstant(name));
+    }
+  }
+  ReasonerOptions options = BuildOptions(request);
+  std::string proof;
+  {
+    std::shared_lock<std::shared_mutex> data(data_mutex_);
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    options.proof.cache = cache_.get();
+    proof = reasoner_->Explain(query, answer, options);
+  }
+  response = OkResponse(request.id);
+  response.Set("session", JsonValue::String(name_));
+  response.Set("certain", JsonValue::Bool(!proof.empty()));
+  response.Set("proof", JsonValue::String(std::move(proof)));
+  return response;
+}
+
+JsonValue Session::AddFacts(const Request& request) {
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  size_t before = reasoner_->database().size();
+  std::string error = reasoner_->AddFactsText(request.facts);
+  if (!error.empty()) {
+    return ErrorResponse(Error{"EPARSE", error}, request.id);
+  }
+  size_t added = reasoner_->database().size() - before;
+  facts_added_.fetch_add(added, std::memory_order_relaxed);
+  {
+    // No query can hold the cache here (queries hold the data lock
+    // shared while they do): rebuild against the new database — stale
+    // entries would be unsound.
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
+                                                reasoner_->database());
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    cache_bytes_.store(cache_->ApproximateBytes(), std::memory_order_relaxed);
+  }
+  JsonValue response = OkResponse(request.id);
+  response.Set("session", JsonValue::String(name_));
+  response.Set("added", JsonValue::Number(static_cast<uint64_t>(added)));
+  response.Set("facts",
+               JsonValue::Number(
+                   static_cast<uint64_t>(reasoner_->database().size())));
+  return response;
+}
+
+JsonValue Session::StatsObject() {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", JsonValue::String(name_));
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    object.Set("rules", JsonValue::Number(static_cast<uint64_t>(
+                            reasoner_->program().tgds().size())));
+    object.Set("facts",
+               JsonValue::Number(
+                   static_cast<uint64_t>(reasoner_->database().size())));
+    object.Set("queries_loaded",
+               JsonValue::Number(static_cast<uint64_t>(
+                   reasoner_->program().queries().size())));
+    // Inline query text and EXPLAIN answers intern symbols permanently
+    // (rolling them back would dangle ids held by the cache), so growth
+    // is surfaced here for operators to watch; UNLOAD is the reset.
+    object.Set("symbols",
+               JsonValue::Number(static_cast<uint64_t>(
+                   reasoner_->program().symbols().num_constants() +
+                   reasoner_->program().symbols().num_predicates())));
+  }
+  object.Set("queries_served",
+             JsonValue::Number(queries_.load(std::memory_order_relaxed)));
+  object.Set("queries_waited",
+             JsonValue::Number(
+                 queries_waited_.load(std::memory_order_relaxed)));
+  object.Set("cache_bytes",
+             JsonValue::Number(static_cast<uint64_t>(
+                 cache_bytes_.load(std::memory_order_relaxed))));
+  object.Set("cache_evictions",
+             JsonValue::Number(
+                 cache_evictions_.load(std::memory_order_relaxed)));
+  object.Set("facts_added",
+             JsonValue::Number(facts_added_.load(std::memory_order_relaxed)));
+  return object;
+}
+
+JsonValue Session::DescribeLoaded(const JsonValue& id) {
+  JsonValue response = OkResponse(id);
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  const ProgramClassification& c = reasoner_->classification();
+  response.Set("session", JsonValue::String(name_));
+  response.Set("rules", JsonValue::Number(static_cast<uint64_t>(
+                            reasoner_->program().tgds().size())));
+  response.Set("facts",
+               JsonValue::Number(
+                   static_cast<uint64_t>(reasoner_->database().size())));
+  response.Set("queries", JsonValue::Number(static_cast<uint64_t>(
+                              reasoner_->program().queries().size())));
+  JsonValue classification = JsonValue::Object();
+  classification.Set("warded", JsonValue::Bool(c.warded));
+  classification.Set("piecewise_linear", JsonValue::Bool(c.piecewise_linear));
+  classification.Set("datalog", JsonValue::Bool(c.datalog));
+  classification.Set("uses_negation", JsonValue::Bool(c.uses_negation));
+  response.Set("classification", std::move(classification));
+  return response;
+}
+
+SessionRegistry::SessionRegistry(const SessionOptions& defaults)
+    : defaults_(defaults) {}
+
+size_t SessionRegistry::session_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::shared_ptr<Session> SessionRegistry::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+JsonValue SessionRegistry::LoadProgram(const Request& request) {
+  std::string error;
+  std::unique_ptr<Reasoner> reasoner =
+      Reasoner::FromText(request.program, &error);
+  if (reasoner == nullptr) {
+    return ErrorResponse(Error{"EPARSE", error}, request.id);
+  }
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(request.session);
+    if (it != sessions_.end() && !request.replace) {
+      return ErrorResponse(
+          Error{"EEXISTS", "session \"" + request.session +
+                               "\" already loaded (set replace:true)"},
+          request.id);
+    }
+    session = std::make_shared<Session>(request.session, std::move(reasoner),
+                                        defaults_);
+    sessions_[request.session] = session;
+  }
+  return session->DescribeLoaded(request.id);
+}
+
+JsonValue SessionRegistry::Unload(const Request& request) {
+  std::shared_ptr<Session> removed;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(request.session);
+    if (it == sessions_.end()) {
+      return ErrorResponse(
+          Error{"ENOSESSION", "no session \"" + request.session + "\""},
+          request.id);
+    }
+    removed = std::move(it->second);
+    sessions_.erase(it);
+  }
+  JsonValue response = OkResponse(request.id);
+  response.Set("session", JsonValue::String(request.session));
+  return response;
+}
+
+JsonValue SessionRegistry::Stats(const Request& request) {
+  if (!request.session.empty()) {
+    std::shared_ptr<Session> session = Find(request.session);
+    if (session == nullptr) {
+      return ErrorResponse(
+          Error{"ENOSESSION", "no session \"" + request.session + "\""},
+          request.id);
+    }
+    JsonValue response = OkResponse(request.id);
+    response.Set("session", session->StatsObject());
+    return response;
+  }
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, session] : sessions_) sessions.push_back(session);
+  }
+  JsonValue response = OkResponse(request.id);
+  JsonValue server = JsonValue::Object();
+  server.Set("protocol_version", JsonValue::Number(protocol::kVersion));
+  server.Set("sessions",
+             JsonValue::Number(static_cast<uint64_t>(sessions.size())));
+  server.Set("requests",
+             JsonValue::Number(requests_.load(std::memory_order_relaxed)));
+  server.Set("errors",
+             JsonValue::Number(errors_.load(std::memory_order_relaxed)));
+  response.Set("server", std::move(server));
+  JsonValue list = JsonValue::Array();
+  for (const std::shared_ptr<Session>& session : sessions) {
+    list.Append(session->StatsObject());
+  }
+  response.Set("sessions", std::move(list));
+  return response;
+}
+
+JsonValue SessionRegistry::Handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  JsonValue response;
+  switch (request.cmd) {
+    case protocol::Command::kPing: {
+      response = OkResponse(request.id);
+      response.Set("pong", JsonValue::Bool(true));
+      response.Set("v", JsonValue::Number(protocol::kVersion));
+      break;
+    }
+    case protocol::Command::kLoadProgram:
+      response = LoadProgram(request);
+      break;
+    case protocol::Command::kUnload:
+      response = Unload(request);
+      break;
+    case protocol::Command::kStats:
+      response = Stats(request);
+      break;
+    case protocol::Command::kAddFacts:
+    case protocol::Command::kQuery:
+    case protocol::Command::kExplain: {
+      std::shared_ptr<Session> session = Find(request.session);
+      if (session == nullptr) {
+        response = ErrorResponse(
+            Error{"ENOSESSION", "no session \"" + request.session + "\""},
+            request.id);
+        break;
+      }
+      if (request.cmd == protocol::Command::kAddFacts) {
+        response = session->AddFacts(request);
+      } else if (request.cmd == protocol::Command::kQuery) {
+        response = session->Query(request);
+      } else {
+        response = session->Explain(request);
+      }
+      break;
+    }
+  }
+  const JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+JsonValue SessionRegistry::HandleLine(std::string_view line) {
+  protocol::Error error;
+  JsonValue id;
+  std::optional<Request> request = protocol::ParseRequest(line, &error, &id);
+  if (!request.has_value()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(error, id);
+  }
+  return Handle(*request);
+}
+
+}  // namespace vadalog

@@ -1,0 +1,140 @@
+// Named reasoning sessions and the registry behind vadalogd.
+//
+// A session owns one parsed, classified program (a Reasoner) and one
+// long-lived ProofSearchCache, so the cross-query memoization that makes
+// repeated proof searches fast survives across requests and across
+// clients — the whole point of running a daemon instead of the one-shot
+// CLI. Concurrency contract:
+//
+//   * program + database are guarded by a reader-writer lock: queries
+//     take it shared (the Reasoner's query entry points are const and
+//     re-entrant), ADD_FACTS and inline-query parsing (which interns
+//     symbols) take it exclusive;
+//   * the cache is single-user (its subsumption lookups and Record paths
+//     are not thread-safe), so queries serialize on the cache lock. A
+//     blocking wait beats the try-and-bypass alternative decisively:
+//     a bypassing query re-runs the whole cold search (hundreds of ms on
+//     the OWL 2 QL example) where the waiter pays warm-query latency
+//     (~1 ms) once the holder finishes. The cost is that one session's
+//     queries serialize; different sessions still run fully parallel,
+//     which is the scaling axis a multi-tenant daemon actually has;
+//   * ADD_FACTS invalidates the cache (its entries are sound only for
+//     the exact database they were recorded against) by rebuilding it;
+//   * the cache has a byte cap: when a query leaves it oversized it is
+//     generationally evicted (dropped and rebuilt empty), counted in
+//     `cache_evictions`. Entries cannot be evicted individually — a
+//     SubsumptionIndex never forgets — so wholesale generations keep the
+//     accounting simple and the worst case bounded at roughly one warm
+//     generation.
+//
+// SessionRegistry::Handle() is the full command dispatcher mapping
+// protocol::Request to a response JsonValue; the socket server and the
+// in-process tests drive the same code path.
+
+#ifndef VADALOG_SERVER_SESSION_H_
+#define VADALOG_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "engine/search_cache.h"
+#include "server/protocol.h"
+#include "server/worker_pool.h"
+#include "vadalog/reasoner.h"
+
+namespace vadalog {
+
+struct SessionOptions {
+  /// Generational eviction threshold for the per-session cache.
+  size_t cache_byte_limit = 64ull << 20;
+  /// Default worker threads per linear proof search; a QUERY's "threads"
+  /// field overrides it (the engine caps both at 64).
+  uint32_t search_threads = 1;
+  /// Pool the parallel searches fork onto (shared with request serving);
+  /// may be null (searches then spawn private pools when parallel).
+  WorkerPool* pool = nullptr;
+};
+
+class Session {
+ public:
+  Session(std::string name, std::unique_ptr<Reasoner> reasoner,
+          const SessionOptions& options);
+
+  const std::string& name() const { return name_; }
+
+  /// Command implementations; each returns a complete response (ok or
+  /// error) correlated to `request.id`.
+  JsonValue AddFacts(const protocol::Request& request);
+  JsonValue Query(const protocol::Request& request);
+  JsonValue Explain(const protocol::Request& request);
+
+  /// One {"name":...,"rules":...,...} stats object; lock-free counters
+  /// plus a shared-lock peek at the program sizes.
+  JsonValue StatsObject();
+
+  /// LOAD_PROGRAM's response payload (classification, sizes).
+  JsonValue DescribeLoaded(const JsonValue& id);
+
+ private:
+  /// Resolves the request's query (inline text — parsed under the write
+  /// lock — or index into the loaded program). Returns false with
+  /// `response` set to the error.
+  bool ResolveQuery(const protocol::Request& request, ConjunctiveQuery* query,
+                    JsonValue* response);
+
+  ReasonerOptions BuildOptions(const protocol::Request& request) const;
+
+  const std::string name_;
+  const SessionOptions options_;
+  std::unique_ptr<Reasoner> reasoner_;
+
+  /// Guards program + database (see header comment).
+  std::shared_mutex data_mutex_;
+
+  /// Guards the cache; taken with try_to_lock by queries.
+  std::mutex cache_mutex_;
+  std::unique_ptr<ProofSearchCache> cache_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> queries_waited_{0};  // had to wait for the cache
+  std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> facts_added_{0};
+  std::atomic<size_t> cache_bytes_{0};  // last observed ApproximateBytes
+};
+
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(const SessionOptions& defaults);
+
+  /// Dispatches one parsed request (any command) to a response.
+  JsonValue Handle(const protocol::Request& request);
+
+  /// Parses one line and dispatches it; protocol errors become error
+  /// responses. The single entry point for the socket server, the
+  /// in-process client mode, and the tests.
+  JsonValue HandleLine(std::string_view line);
+
+  size_t session_count();
+  std::shared_ptr<Session> Find(const std::string& name);
+
+ private:
+  JsonValue LoadProgram(const protocol::Request& request);
+  JsonValue Unload(const protocol::Request& request);
+  JsonValue Stats(const protocol::Request& request);
+
+  const SessionOptions defaults_;
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_SERVER_SESSION_H_

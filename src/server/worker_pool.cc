@@ -1,0 +1,127 @@
+#include "server/worker_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace vadalog {
+namespace {
+
+/// Shared state of one ParallelInvoke fork. Helpers and the caller race
+/// for tickets; only ticket winners run `fn`. `done`/`cv` let the caller
+/// wait for exactly the helpers that won a ticket.
+struct ForkState {
+  const std::function<void()>* fn = nullptr;
+  size_t total = 0;                 // helper tasks enqueued
+  std::atomic<size_t> tickets{0};   // claim counter (helpers + revocations)
+  std::atomic<size_t> done{0};      // helpers that finished running fn
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::ParallelInvoke(size_t extra_workers,
+                                const std::function<void()>& fn) {
+  if (extra_workers == 0) {
+    fn();
+    return;
+  }
+  auto state = std::make_shared<ForkState>();
+  state->fn = &fn;
+  state->total = extra_workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.forks;
+    for (size_t i = 0; i < extra_workers; ++i) {
+      // The task keeps the ForkState alive; `fn` itself is only borrowed,
+      // which is safe because a helper can hold a ticket only if it
+      // claimed one before the caller revoked the rest — and the caller
+      // does not return until every ticket holder is done.
+      queue_.push_back([state] {
+        if (state->tickets.fetch_add(1) < state->total) {
+          (*state->fn)();
+          {
+            // Empty critical section: pairs the done increment with the
+            // caller's predicate check so the notify cannot be lost.
+            std::lock_guard<std::mutex> fork_lock(state->mutex);
+            state->done.fetch_add(1);
+          }
+          state->cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  fn();  // the calling thread takes a share instead of idling
+
+  // Revoke every ticket not yet claimed: helpers still sitting in the
+  // queue (possibly behind long-running daemon requests) become no-ops,
+  // so the wait below only covers helpers that actually started.
+  size_t revoked = 0;
+  while (state->tickets.fetch_add(1) < state->total) ++revoked;
+  size_t started = state->total - revoked;
+  {
+    std::unique_lock<std::mutex> fork_lock(state->mutex);
+    state->cv.wait(fork_lock,
+                   [&] { return state->done.load() >= started; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.fork_helpers += started;
+    stats_.fork_revoked += revoked;
+  }
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && threads_.empty()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vadalog

@@ -27,6 +27,68 @@ Reasoner::Reasoner(Program program) : program_(std::move(program)) {
   wardedness_ = CheckWardedness(program_);
 }
 
+std::string Reasoner::AddFactsText(std::string_view text) {
+  size_t old_tgds = program_.tgds().size();
+  size_t old_facts = program_.facts().size();
+  size_t old_queries = program_.queries().size();
+  std::string error = ParseInto(text, &program_);
+  auto rollback = [&] {
+    program_.tgds().resize(old_tgds);
+    program_.facts().resize(old_facts);
+    program_.queries().resize(old_queries);
+  };
+  if (!error.empty()) {
+    rollback();
+    return error;
+  }
+  if (program_.tgds().size() != old_tgds ||
+      program_.queries().size() != old_queries) {
+    rollback();
+    return "only ground facts may be added to a loaded program "
+           "(found rules or queries)";
+  }
+  for (size_t i = old_facts; i < program_.facts().size(); ++i) {
+    if (!program_.facts()[i].IsGround()) {
+      rollback();
+      return "facts must be ground (no variables)";
+    }
+  }
+  for (size_t i = old_facts; i < program_.facts().size(); ++i) {
+    database_.Insert(program_.facts()[i]);
+  }
+  return "";
+}
+
+std::optional<ConjunctiveQuery> Reasoner::ParseQuery(std::string_view text,
+                                                     std::string* error) {
+  size_t old_tgds = program_.tgds().size();
+  size_t old_facts = program_.facts().size();
+  size_t old_queries = program_.queries().size();
+  std::string parse_error = ParseInto(text, &program_);
+  auto rollback = [&] {
+    program_.tgds().resize(old_tgds);
+    program_.facts().resize(old_facts);
+    program_.queries().resize(old_queries);
+  };
+  if (!parse_error.empty()) {
+    rollback();
+    if (error != nullptr) *error = parse_error;
+    return std::nullopt;
+  }
+  if (program_.queries().size() != old_queries + 1 ||
+      program_.tgds().size() != old_tgds ||
+      program_.facts().size() != old_facts) {
+    rollback();
+    if (error != nullptr) {
+      *error = "expected exactly one query clause (\"?(X) :- ...\")";
+    }
+    return std::nullopt;
+  }
+  ConjunctiveQuery query = std::move(program_.queries().back());
+  rollback();  // the query is answered, not retained
+  return query;
+}
+
 std::string Reasoner::AnalysisReport() const {
   PredicateGraph graph(program_);
   std::string report;
@@ -78,17 +140,23 @@ EngineChoice Reasoner::ResolveEngine(EngineChoice requested) const {
 }
 
 std::vector<std::vector<Term>> Reasoner::Answer(
-    const ConjunctiveQuery& query, const ReasonerOptions& options) {
+    const ConjunctiveQuery& query, const ReasonerOptions& options) const {
   return AnswerChecked(query, options).answers;
 }
 
-CertainAnswerSet Reasoner::AnswerChecked(const ConjunctiveQuery& query,
-                                         const ReasonerOptions& options) {
+CertainAnswerSet Reasoner::AnswerChecked(
+    const ConjunctiveQuery& query, const ReasonerOptions& options) const {
   CertainAnswerSet result;
   if (classification_.uses_negation) {
     // Stratified negation: well-defined for Datalog programs only, via
     // the stratified bottom-up evaluator.
-    if (!classification_.datalog) return result;
+    if (!classification_.datalog) {
+      result.error =
+          "stratified negation is only supported for Datalog (FULL1) "
+          "programs; this program mixes negation with existential or "
+          "multi-atom-head rules";
+      return result;
+    }
     DatalogResult evaluated = EvaluateDatalog(program_, database_);
     result.answers = EvaluateQuerySorted(query, evaluated.instance);
     return result;
@@ -117,13 +185,13 @@ CertainAnswerSet Reasoner::AnswerChecked(const ConjunctiveQuery& query,
 }
 
 std::vector<std::vector<Term>> Reasoner::Answer(
-    size_t query_index, const ReasonerOptions& options) {
+    size_t query_index, const ReasonerOptions& options) const {
   if (query_index >= program_.queries().size()) return {};
   return Answer(program_.queries()[query_index], options);
 }
 
 std::vector<std::string> Reasoner::AnswerStrings(
-    size_t query_index, const ReasonerOptions& options) {
+    size_t query_index, const ReasonerOptions& options) const {
   std::vector<std::string> rendered;
   for (const std::vector<Term>& tuple : Answer(query_index, options)) {
     rendered.push_back(TupleToString(tuple));
@@ -133,7 +201,17 @@ std::vector<std::string> Reasoner::AnswerStrings(
 
 bool Reasoner::IsCertain(const ConjunctiveQuery& query,
                          const std::vector<Term>& answer,
-                         const ReasonerOptions& options) {
+                         const ReasonerOptions& options) const {
+  if (classification_.uses_negation) {
+    // The chase and the proof searches ignore negative bodies, so for
+    // negation programs the only sound decision route is the stratified
+    // Datalog evaluator (and none at all outside Datalog).
+    if (!classification_.datalog) return false;
+    DatalogResult evaluated = EvaluateDatalog(program_, database_);
+    std::vector<std::vector<Term>> all =
+        EvaluateQuerySorted(query, evaluated.instance);
+    return std::binary_search(all.begin(), all.end(), answer);
+  }
   EngineChoice engine = ResolveEngine(options.engine);
   switch (engine) {
     case EngineChoice::kChase: {
@@ -155,7 +233,10 @@ bool Reasoner::IsCertain(const ConjunctiveQuery& query,
 
 std::string Reasoner::Explain(const ConjunctiveQuery& query,
                               const std::vector<Term>& answer,
-                              const ReasonerOptions& options) {
+                              const ReasonerOptions& options) const {
+  // The linear proof search ignores negative bodies: refusing (no
+  // proof) is sound, running it on a negation program is not.
+  if (classification_.uses_negation) return "";
   ProofExplanation explanation;
   ProofSearchResult result = LinearProofSearch(
       program_, database_, query, answer, options.proof, &explanation);

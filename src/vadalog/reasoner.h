@@ -60,6 +60,26 @@ class Reasoner {
   const Instance& database() const { return database_; }
   void AddFact(const Atom& fact) { database_.Insert(fact); }
 
+  /// Parses surface-syntax clauses and inserts them as facts (program +
+  /// database). Clauses that are not ground facts (rules, queries,
+  /// non-ground "facts") are rejected and the whole batch is rolled back.
+  /// Returns an error message, or "" on success. Mutates the reasoner:
+  /// callers sharing it across threads must hold their write lock.
+  std::string AddFactsText(std::string_view text);
+
+  /// Parses one query clause ("?(X) :- ...") against this reasoner's
+  /// symbol table without retaining it in the program. Exactly one query
+  /// and nothing else may appear in `text`. Interns new constants, so it
+  /// mutates the symbol table: same locking caveat as AddFactsText.
+  std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                             std::string* error);
+
+  /// Interns a constant by name (protocol answers arrive as strings).
+  /// Mutates the symbol table: same locking caveat as AddFactsText.
+  Term InternConstant(std::string_view name) {
+    return program_.symbols().InternConstant(name);
+  }
+
   /// Fragment analysis of the normalized rule set.
   const ProgramClassification& classification() const {
     return classification_;
@@ -73,28 +93,39 @@ class Reasoner {
   /// With proof-search budgets set (options.proof.max_states/max_millis)
   /// the answer set can be silently incomplete — use AnswerChecked to see
   /// whether any search gave up.
+  ///
+  /// The query entry points below are const and re-entrant: any number of
+  /// threads may answer queries against one Reasoner concurrently, as
+  /// long as no thread mutates it (AddFact*/ParseQuery/InternConstant) at
+  /// the same time — the daemon's sessions guard exactly that split with
+  /// a reader-writer lock. A ProofSearchCache passed via options is NOT
+  /// covered by this guarantee (single concurrent user; see
+  /// engine/search_cache.h).
   std::vector<std::vector<Term>> Answer(
-      const ConjunctiveQuery& query, const ReasonerOptions& options = {});
+      const ConjunctiveQuery& query,
+      const ReasonerOptions& options = {}) const;
 
   /// Like Answer for the proof-search engines, but keeps the completeness
   /// signal: `complete` is false when a budget-exhausted search rejected a
   /// candidate without refuting it. Chase-based enumeration (kAuto/kChase,
-  /// or stratified-negation programs) is always complete.
+  /// or stratified-negation programs) is always complete. `error` is set
+  /// (and the answers empty) when no engine can serve the program at all,
+  /// e.g. stratified negation outside Datalog.
   CertainAnswerSet AnswerChecked(const ConjunctiveQuery& query,
-                                 const ReasonerOptions& options = {});
+                                 const ReasonerOptions& options = {}) const;
 
   /// Certain answers to the program's `index`-th parsed query.
-  std::vector<std::vector<Term>> Answer(size_t query_index,
-                                        const ReasonerOptions& options = {});
+  std::vector<std::vector<Term>> Answer(
+      size_t query_index, const ReasonerOptions& options = {}) const;
 
   /// Rendered answers, e.g. "(a, b)".
-  std::vector<std::string> AnswerStrings(size_t query_index,
-                                         const ReasonerOptions& options = {});
+  std::vector<std::string> AnswerStrings(
+      size_t query_index, const ReasonerOptions& options = {}) const;
 
   /// Decides one candidate tuple with the engine chosen by `options`.
   bool IsCertain(const ConjunctiveQuery& query,
                  const std::vector<Term>& answer,
-                 const ReasonerOptions& options = {});
+                 const ReasonerOptions& options = {}) const;
 
   /// Decides a candidate tuple with the linear proof search and, when it
   /// is a certain answer, returns the reconstructed linear proof tree as
@@ -102,7 +133,7 @@ class Reasoner {
   /// tuple is not certain.
   std::string Explain(const ConjunctiveQuery& query,
                       const std::vector<Term>& answer,
-                      const ReasonerOptions& options = {});
+                      const ReasonerOptions& options = {}) const;
 
   /// Renders a tuple with this reasoner's symbol table.
   std::string TupleToString(const std::vector<Term>& tuple) const;

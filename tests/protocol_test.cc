@@ -1,0 +1,327 @@
+// Golden tests for the vadalogd wire protocol: the JSON layer, request
+// parsing with structured errors, and the SessionRegistry dispatcher
+// driven exactly as the socket server drives it (HandleLine), without
+// sockets — so the same paths run under ASan/TSan in ctest.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+namespace vadalog {
+namespace {
+
+constexpr const char* kReachProgram =
+    "t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z). "
+    "e(a, b). e(b, c). ?(X) :- t(a, X).";
+
+std::string LoadLine(const std::string& session,
+                     const std::string& program = kReachProgram) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::String("LOAD_PROGRAM"));
+  request.Set("session", JsonValue::String(session));
+  request.Set("program", JsonValue::String(program));
+  return request.Dump();
+}
+
+// --- JSON layer ---
+
+TEST(JsonTest, ParsesAndDumpsRoundTrip) {
+  std::string error;
+  std::optional<JsonValue> value = JsonValue::Parse(
+      R"({"a":[1,2.5,-3],"b":"x\ny","c":{"d":true,"e":null},"f":false})",
+      &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  std::string dumped = value->Dump();
+  std::optional<JsonValue> again = JsonValue::Parse(dumped, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->Dump(), dumped);
+  EXPECT_EQ(value->Find("a")->Items().size(), 3u);
+  EXPECT_EQ(value->GetString("b"), "x\ny");
+  EXPECT_TRUE(value->Find("c")->Find("d")->AsBool());
+}
+
+TEST(JsonTest, HandlesEscapesAndSurrogatePairs) {
+  std::string error;
+  std::optional<JsonValue> value =
+      JsonValue::Parse(R"("é€😀\t")", &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  EXPECT_EQ(value->AsString(), "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80\t");
+  // Dump must escape control characters so the line framing survives.
+  EXPECT_EQ(JsonValue::String("a\nb\"c").Dump(), R"("a\nb\"c")");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "\"bad \\q escape\"", "\"lone \\ud800 surrogate\"",
+        "nan", "--1"}) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsHostileNesting) {
+  std::string bomb(1000, '[');
+  bomb += std::string(1000, ']');
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(bomb, &error).has_value());
+}
+
+TEST(JsonTest, IntegralNumbersDumpWithoutFraction) {
+  EXPECT_EQ(JsonValue::Number(uint64_t{42}).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(0.5).Dump(), "0.5");
+}
+
+// --- request parsing ---
+
+TEST(ProtocolTest, ParsesQueryRequestWithBudgets) {
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request = protocol::ParseRequest(
+      R"({"v":1,"id":7,"cmd":"QUERY","session":"s","query":"?(X) :- t(a, X).",)"
+      R"("engine":"linear","max_states":100,"max_millis":50,"threads":2})",
+      &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->cmd, protocol::Command::kQuery);
+  EXPECT_EQ(request->session, "s");
+  EXPECT_EQ(request->engine, "linear");
+  EXPECT_EQ(request->max_states, 100u);
+  EXPECT_EQ(request->max_millis, 50u);
+  EXPECT_EQ(request->threads, 2u);
+  EXPECT_EQ(id.AsNumber(), 7.0);
+}
+
+TEST(ProtocolTest, StructuredErrorsCarryStableCodes) {
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"no json at all", "EPROTO"},
+           {"[1,2,3]", "EPROTO"},
+           {R"({"cmd":"QUERY"})", "EBADREQ"},          // missing session
+           {R"({"cmd":"FROBNICATE","session":"s"})", "ECMD"},
+           {R"({"v":2,"cmd":"PING"})", "EVERSION"},
+           {R"({"cmd":"LOAD_PROGRAM","session":"s"})", "EBADREQ"},
+           {R"({"cmd":"QUERY","session":"s"})", "EBADREQ"},
+           {R"({"cmd":"QUERY","session":"s","query_index":0,)"
+            R"("engine":"warp"})",
+            "EBADREQ"},
+           {R"({"cmd":"EXPLAIN","session":"s","query_index":0})", "EBADREQ"},
+       }) {
+    protocol::Error error;
+    JsonValue id;
+    EXPECT_FALSE(protocol::ParseRequest(c.line, &error, &id).has_value())
+        << c.line;
+    EXPECT_EQ(error.code, c.code) << c.line;
+    EXPECT_FALSE(error.message.empty());
+  }
+}
+
+TEST(ProtocolTest, ErrorResponsesEchoTheRequestId) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue response =
+      registry.HandleLine(R"({"id":"abc","cmd":"QUERY","session":"gone",)"
+                          R"("query_index":0})");
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.GetString("id"), "abc");
+  EXPECT_EQ(response.Find("error")->GetString("code"), "ENOSESSION");
+}
+
+// --- registry dispatch (golden flows) ---
+
+TEST(ProtocolTest, MalformedJsonGetsEprotoResponse) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue response = registry.HandleLine("{not json");
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"), "EPROTO");
+}
+
+TEST(ProtocolTest, UnknownSessionIsStructured) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue response = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"nope","query_index":0})");
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"), "ENOSESSION");
+}
+
+TEST(ProtocolTest, LoadQueryUnloadLifecycle) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue loaded = registry.HandleLine(LoadLine("s"));
+  ASSERT_TRUE(loaded.GetBool("ok")) << loaded.Dump();
+  EXPECT_EQ(loaded.GetUint("rules"), 2u);
+  EXPECT_EQ(loaded.GetUint("facts"), 2u);
+  EXPECT_TRUE(loaded.Find("classification")->GetBool("warded"));
+
+  // Loading again without replace is EEXISTS; with replace it works.
+  JsonValue dup = registry.HandleLine(LoadLine("s"));
+  EXPECT_EQ(dup.Find("error")->GetString("code"), "EEXISTS");
+  JsonValue replaced = registry.HandleLine(
+      R"({"cmd":"LOAD_PROGRAM","session":"s","replace":true,"program":)" +
+      JsonValue::String(kReachProgram).Dump() + "}");
+  EXPECT_TRUE(replaced.GetBool("ok")) << replaced.Dump();
+
+  JsonValue answer = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  ASSERT_TRUE(answer.GetBool("ok")) << answer.Dump();
+  ASSERT_EQ(answer.Find("answers")->Items().size(), 2u);  // b, c
+  EXPECT_TRUE(answer.GetBool("complete"));
+
+  JsonValue unloaded =
+      registry.HandleLine(R"({"cmd":"UNLOAD","session":"s"})");
+  EXPECT_TRUE(unloaded.GetBool("ok"));
+  EXPECT_EQ(registry.session_count(), 0u);
+  JsonValue after = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  EXPECT_EQ(after.Find("error")->GetString("code"), "ENOSESSION");
+}
+
+TEST(ProtocolTest, InlineQueryTextAndAddFacts) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+
+  JsonValue before = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query":"?(X) :- t(X, c)."})");
+  ASSERT_TRUE(before.GetBool("ok")) << before.Dump();
+  EXPECT_EQ(before.Find("answers")->Items().size(), 2u);  // a, b
+
+  JsonValue added = registry.HandleLine(
+      R"({"cmd":"ADD_FACTS","session":"s","facts":"e(c, d). e(x, c)."})");
+  ASSERT_TRUE(added.GetBool("ok")) << added.Dump();
+  EXPECT_EQ(added.GetUint("added"), 2u);
+
+  JsonValue after = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query":"?(X) :- t(X, c)."})");
+  ASSERT_TRUE(after.GetBool("ok")) << after.Dump();
+  EXPECT_EQ(after.Find("answers")->Items().size(), 3u);  // a, b, x
+
+  // Rules masquerading as facts are rejected atomically.
+  JsonValue bad = registry.HandleLine(
+      R"({"cmd":"ADD_FACTS","session":"s","facts":"t(X, Y) :- e(Y, X)."})");
+  EXPECT_EQ(bad.Find("error")->GetString("code"), "EPARSE");
+}
+
+TEST(ProtocolTest, BudgetExhaustedQueryReportsIncomplete) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  JsonValue response = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0,"engine":"linear",)"
+      R"("max_states":1})");
+  ASSERT_TRUE(response.GetBool("ok")) << response.Dump();
+  EXPECT_FALSE(response.GetBool("complete", true));
+  EXPECT_GT(response.GetUint("budget_exhausted_candidates"), 0u);
+}
+
+TEST(ProtocolTest, ExplainReturnsAProofForCertainAnswersOnly) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  JsonValue proof = registry.HandleLine(
+      R"({"cmd":"EXPLAIN","session":"s","query_index":0,"answer":["c"]})");
+  ASSERT_TRUE(proof.GetBool("ok")) << proof.Dump();
+  EXPECT_TRUE(proof.GetBool("certain"));
+  EXPECT_NE(proof.GetString("proof"), "");
+
+  JsonValue refuted = registry.HandleLine(
+      R"({"cmd":"EXPLAIN","session":"s","query_index":0,"answer":["a"]})");
+  ASSERT_TRUE(refuted.GetBool("ok")) << refuted.Dump();
+  EXPECT_FALSE(refuted.GetBool("certain", true));
+
+  JsonValue arity = registry.HandleLine(
+      R"({"cmd":"EXPLAIN","session":"s","query_index":0,)"
+      R"("answer":["a","b"]})");
+  EXPECT_EQ(arity.Find("error")->GetString("code"), "EBADREQ");
+}
+
+TEST(ProtocolTest, UnsupportedFragmentIsEunsupportedNotEmpty) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry
+                  .HandleLine(LoadLine(
+                      "s",
+                      "p(a). e(a, b). r(X, Z) :- p(X). "
+                      "t(X) :- e(X, Y), not r(X, Y). ?(X) :- t(X)."))
+                  .GetBool("ok"));
+  JsonValue response = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"), "EUNSUPPORTED");
+
+  // EXPLAIN must refuse too (the linear search ignores negative bodies
+  // — running it would fabricate proofs the evaluator contradicts),
+  // even for negation programs QUERY can serve via the Datalog path.
+  JsonValue explain = registry.HandleLine(
+      R"({"cmd":"EXPLAIN","session":"s","query_index":0,"answer":["a"]})");
+  EXPECT_FALSE(explain.GetBool("ok"));
+  EXPECT_EQ(explain.Find("error")->GetString("code"), "EUNSUPPORTED");
+
+  SessionRegistry datalog_registry{SessionOptions{}};
+  ASSERT_TRUE(datalog_registry
+                  .HandleLine(LoadLine("d",
+                                       "q(a). r(a). q(b). "
+                                       "p(X) :- q(X), not r(X). "
+                                       "?(X) :- p(X)."))
+                  .GetBool("ok"));
+  JsonValue answers = datalog_registry.HandleLine(
+      R"({"cmd":"QUERY","session":"d","query_index":0})");
+  ASSERT_TRUE(answers.GetBool("ok")) << answers.Dump();
+  ASSERT_EQ(answers.Find("answers")->Items().size(), 1u);  // b only
+  JsonValue no_proof = datalog_registry.HandleLine(
+      R"({"cmd":"EXPLAIN","session":"d","query_index":0,"answer":["b"]})");
+  EXPECT_FALSE(no_proof.GetBool("ok"));
+  EXPECT_EQ(no_proof.Find("error")->GetString("code"), "EUNSUPPORTED");
+}
+
+TEST(ProtocolTest, WarmSessionCacheCarriesAcrossQueriesAndEvicts) {
+  SessionOptions options;
+  options.cache_byte_limit = 1;  // evict after every warm query
+  SessionRegistry capped{options};
+  ASSERT_TRUE(capped.HandleLine(LoadLine("s")).GetBool("ok"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        capped
+            .HandleLine(R"({"cmd":"QUERY","session":"s","query_index":0,)"
+                        R"("engine":"linear"})")
+            .GetBool("ok"));
+  }
+  JsonValue stats =
+      capped.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  ASSERT_TRUE(stats.GetBool("ok"));
+  const JsonValue* session = stats.Find("session");
+  EXPECT_EQ(session->GetUint("queries_served"), 3u);
+  EXPECT_GE(session->GetUint("cache_evictions"), 2u);
+
+  SessionRegistry uncapped{SessionOptions{}};
+  ASSERT_TRUE(uncapped.HandleLine(LoadLine("s")).GetBool("ok"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        uncapped
+            .HandleLine(R"({"cmd":"QUERY","session":"s","query_index":0,)"
+                        R"("engine":"linear"})")
+            .GetBool("ok"));
+  }
+  stats = uncapped.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  session = stats.Find("session");
+  EXPECT_EQ(session->GetUint("cache_evictions"), 0u);
+  EXPECT_GT(session->GetUint("cache_bytes"), 0u);
+  EXPECT_EQ(session->GetUint("queries_waited"), 0u);  // sequential callers
+}
+
+TEST(ProtocolTest, StatsAndPing) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue pong = registry.HandleLine(R"({"cmd":"PING"})");
+  EXPECT_TRUE(pong.GetBool("ok"));
+  EXPECT_TRUE(pong.GetBool("pong"));
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s1")).GetBool("ok"));
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s2")).GetBool("ok"));
+  JsonValue stats = registry.HandleLine(R"({"cmd":"STATS"})");
+  ASSERT_TRUE(stats.GetBool("ok"));
+  EXPECT_EQ(stats.Find("server")->GetUint("sessions"), 2u);
+  EXPECT_EQ(stats.Find("sessions")->Items().size(), 2u);
+}
+
+}  // namespace
+}  // namespace vadalog

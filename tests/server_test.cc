@@ -1,0 +1,364 @@
+// End-to-end tests for the vadalogd socket server: multi-client
+// concurrency stress (answers must match a single-threaded Reasoner on
+// the same program), admission control, and graceful shutdown. Run under
+// the ASan and TSan presets in CI — the concurrency contract of
+// Session/SessionRegistry/WorkerPool is exactly what they race.
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "vadalog/reasoner.h"
+
+namespace vadalog {
+namespace {
+
+#ifndef _WIN32
+
+constexpr const char* kProgram = R"(
+  t(X, Y) :- e(X, Y).
+  t(X, Z) :- e(X, Y), t(Y, Z).
+  path2(X, Z) :- e(X, Y), e(Y, Z).
+  e(a, b).  e(b, c).  e(c, d).  e(a, d).
+  ?(X) :- t(a, X).
+  ?(X, Z) :- path2(X, Z).
+)";
+
+/// Minimal blocking protocol client against 127.0.0.1:port.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ =
+        fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  std::optional<JsonValue> RoundTrip(const std::string& line) {
+    std::string out = line + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+      ssize_t n =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return std::nullopt;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return JsonValue::Parse(response, nullptr);
+      }
+      char chunk[65536];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+  options.tcp_port = 0;  // ephemeral
+  auto server = std::make_unique<Server>(std::move(options));
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  return server;
+}
+
+std::string LoadLine(const std::string& session, const std::string& program) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::String("LOAD_PROGRAM"));
+  request.Set("session", JsonValue::String(session));
+  request.Set("replace", JsonValue::Bool(true));
+  request.Set("program", JsonValue::String(program));
+  return request.Dump();
+}
+
+std::vector<std::vector<std::string>> RowsOf(const JsonValue& response) {
+  std::vector<std::vector<std::string>> rows;
+  const JsonValue* answers = response.Find("answers");
+  if (answers == nullptr) return rows;
+  for (const JsonValue& row : answers->Items()) {
+    std::vector<std::string> tuple;
+    for (const JsonValue& cell : row.Items()) tuple.push_back(cell.AsString());
+    rows.push_back(std::move(tuple));
+  }
+  return rows;
+}
+
+/// The single-threaded ground truth the stress clients diff against.
+std::vector<std::vector<std::vector<std::string>>> DirectAnswers(
+    const std::string& program_text, const std::string& engine) {
+  std::unique_ptr<Reasoner> reasoner = Reasoner::FromText(program_text);
+  EXPECT_NE(reasoner, nullptr);
+  ReasonerOptions options;
+  if (engine == "linear") options.engine = EngineChoice::kLinearProof;
+  if (engine == "alternating") {
+    options.engine = EngineChoice::kAlternatingProof;
+  }
+  std::vector<std::vector<std::vector<std::string>>> all;
+  for (size_t q = 0; q < reasoner->program().queries().size(); ++q) {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::vector<Term>& tuple :
+         reasoner->Answer(reasoner->program().queries()[q], options)) {
+      std::vector<std::string> row;
+      for (Term t : tuple) {
+        row.push_back(reasoner->program().symbols().TermToString(t));
+      }
+      rows.push_back(std::move(row));
+    }
+    all.push_back(std::move(rows));
+  }
+  return all;
+}
+
+TEST(ServerTest, SixteenConcurrentClientsMatchTheSingleThreadedReasoner) {
+  std::unique_ptr<Server> server = StartServer();
+  {
+    TestClient loader(server->tcp_port());
+    ASSERT_TRUE(loader.connected());
+    std::optional<JsonValue> loaded =
+        loader.RoundTrip(LoadLine("stress", kProgram));
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_TRUE(loaded->GetBool("ok")) << loaded->Dump();
+  }
+  // Mixed engines across clients: chase and linear must agree with the
+  // direct Reasoner under the same engine — and with each other.
+  const std::vector<std::string> engines = {"auto", "linear"};
+  std::vector<std::vector<std::vector<std::vector<std::string>>>> expected;
+  for (const std::string& engine : engines) {
+    expected.push_back(DirectAnswers(kProgram, engine));
+  }
+
+  constexpr int kClients = 16;
+  constexpr int kRepeats = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server->tcp_port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      const std::string& engine = engines[static_cast<size_t>(c) %
+                                          engines.size()];
+      const auto& want = expected[static_cast<size_t>(c) % engines.size()];
+      for (int r = 0; r < kRepeats; ++r) {
+        for (size_t q = 0; q < want.size(); ++q) {
+          while (true) {
+            std::optional<JsonValue> response = client.RoundTrip(
+                R"({"cmd":"QUERY","session":"stress","query_index":)" +
+                std::to_string(q) + R"(,"engine":")" + engine + "\"}");
+            if (!response.has_value()) {
+              ++failures;
+              return;
+            }
+            if (!response->GetBool("ok")) {
+              const JsonValue* detail = response->Find("error");
+              if (detail != nullptr &&
+                  detail->GetString("code") == "EBUSY") {
+                continue;  // admission control said retry
+              }
+              ++failures;
+              return;
+            }
+            if (RowsOf(*response) != want[q]) ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  TestClient prober(server->tcp_port());
+  std::optional<JsonValue> stats =
+      prober.RoundTrip(R"({"cmd":"STATS","session":"stress"})");
+  ASSERT_TRUE(stats.has_value() && stats->GetBool("ok"));
+  EXPECT_GE(stats->Find("session")->GetUint("queries_served"),
+            static_cast<uint64_t>(kClients * kRepeats * 2));
+  server->Stop();
+}
+
+TEST(ServerTest, ConcurrentLoadsQueriesAndUnloadsStayCoherent) {
+  // Clients hammer different sessions plus one shared session with
+  // LOAD/QUERY/ADD_FACTS/UNLOAD mixes; every response must be a
+  // well-formed protocol answer (ok or a structured error), no hangs, no
+  // sanitizer reports.
+  std::unique_ptr<Server> server = StartServer();
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server->tcp_port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      std::string own = "own" + std::to_string(c);
+      for (int r = 0; r < 6; ++r) {
+        std::vector<std::string> lines = {
+            LoadLine(own, kProgram),
+            LoadLine("shared", kProgram),
+            R"({"cmd":"QUERY","session":")" + own + R"(","query_index":0})",
+            "{\"cmd\":\"ADD_FACTS\",\"session\":\"" + own +
+                "\",\"facts\":\"e(d, z" + std::to_string(r) + ").\"}",
+            R"({"cmd":"QUERY","session":"shared","query_index":1})",
+            R"({"cmd":"STATS"})",
+            R"({"cmd":"UNLOAD","session":"shared"})",
+        };
+        for (const std::string& line : lines) {
+          std::optional<JsonValue> response = client.RoundTrip(line);
+          if (!response.has_value() || response->Find("ok") == nullptr) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server->Stop();
+}
+
+TEST(ServerTest, AdmissionControlRejectsWithEbusy) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_inflight = 1;
+  options.max_inflight_per_session = 1;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  TestClient loader(server->tcp_port());
+  ASSERT_TRUE(loader.connected());
+  ASSERT_TRUE(loader.RoundTrip(LoadLine("s", kProgram))->GetBool("ok"));
+
+  // Many clients firing one query each at a 1-slot server: every
+  // response is either a correct answer or a structured EBUSY.
+  constexpr int kClients = 8;
+  std::atomic<int> busy{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      TestClient client(server->tcp_port());
+      if (!client.connected()) {
+        ++bad;
+        return;
+      }
+      std::optional<JsonValue> response = client.RoundTrip(
+          R"({"cmd":"QUERY","session":"s","query_index":0})");
+      if (!response.has_value()) {
+        ++bad;
+        return;
+      }
+      if (response->GetBool("ok")) {
+        ++ok;
+      } else if (response->Find("error")->GetString("code") == "EBUSY" &&
+                 response->GetBool("retry")) {
+        ++busy;
+      } else {
+        ++bad;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ok.load() + busy.load(), kClients);
+  EXPECT_GE(ok.load(), 1);
+  // PING bypasses admission even when the server is saturated.
+  EXPECT_TRUE(loader.RoundTrip(R"({"cmd":"PING"})")->GetBool("pong"));
+  server->Stop();
+}
+
+TEST(ServerTest, GracefulShutdownFinishesInFlightWork) {
+  std::unique_ptr<Server> server = StartServer();
+  TestClient client(server->tcp_port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.RoundTrip(LoadLine("s", kProgram))->GetBool("ok"));
+  std::thread stopper([&] { server->Stop(); });
+  // Requests racing the shutdown either complete or see a closed
+  // connection — never a hang or a torn response.
+  for (int i = 0; i < 50; ++i) {
+    std::optional<JsonValue> response = client.RoundTrip(
+        R"({"cmd":"QUERY","session":"s","query_index":0})");
+    if (!response.has_value()) break;
+    EXPECT_NE(response->Find("ok"), nullptr);
+  }
+  stopper.join();
+  EXPECT_FALSE(TestClient(server->tcp_port()).connected());
+}
+
+TEST(ServerTest, UnixSocketEndpointServes) {
+  ServerOptions options;
+  options.tcp = false;
+  options.unix_path = "/tmp/vadalogd_test_" + std::to_string(::getpid()) +
+                      ".sock";
+  auto server = std::make_unique<Server>(options);
+  std::string error;
+  ASSERT_TRUE(server->Start(&error)) << error;
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  std::string line = "{\"cmd\":\"PING\"}\n";
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  char buffer[4096];
+  ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+  ASSERT_GT(n, 0);
+  std::optional<JsonValue> response =
+      JsonValue::Parse(std::string(buffer, static_cast<size_t>(n - 1)),
+                       nullptr);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->GetBool("pong"));
+  ::close(fd);
+  server->Stop();
+  // The socket file is removed on shutdown.
+  EXPECT_NE(::access(options.unix_path.c_str(), F_OK), 0);
+}
+
+#include <sys/un.h>
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace vadalog

@@ -7,6 +7,9 @@
 
 #include "ast/parser.h"
 #include "base/rng.h"
+#include "engine/alternating_search.h"
+#include "engine/certain.h"
+#include "engine/linear_search.h"
 #include "engine/search_cache.h"
 #include "engine/state.h"
 #include "engine/subsumption.h"
@@ -157,6 +160,116 @@ TEST(SearchCacheSubsumptionTest, RefutedStatesTransferToSubsumedStates) {
   EXPECT_TRUE(cache.LinearRefutedBySubsumption(superset, 3, 3));
   // But not for a search exploring beyond the recorded bound.
   EXPECT_FALSE(cache.LinearRefutedBySubsumption(superset, 4, 3));
+}
+
+TEST(SweepSharedSubsumptionTest, CompletedRefutationsBankAcrossSearches) {
+  // A sweep-shared SubsumptionIndex (ProofSearchOptions.shared_refuted)
+  // carries refutation subtrees across candidate searches even with no
+  // cache at all: candidate 1's completed refutation banks its visited
+  // states; candidate 2's search discards subsumed frontier states.
+  ParseResult parsed = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).  e(b, c).  e(c, d).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+  PredicateId t = program.symbols().FindPredicate("t");
+  Term a = program.symbols().InternConstant("a");
+  // t(X, a): nothing reaches a, so every candidate runs a full
+  // refutation — and unwinding t(X, a) via e(X, Y), t(Y, a) walks
+  // through exactly the states later candidates start from.
+  ConjunctiveQuery query;
+  query.output = {Term::Variable(0)};
+  query.atoms = {Atom(t, {Term::Variable(0), a})};
+
+  SubsumptionIndex bank;
+  ProofSearchOptions options;
+  options.shared_refuted = &bank;
+  ProofSearchResult first = LinearProofSearch(program, db, query, {a},
+                                              options);
+  EXPECT_FALSE(first.accepted);
+  EXPECT_FALSE(first.budget_exhausted);
+  EXPECT_GT(bank.size(), 0u);  // the refutation banked its visited states
+
+  ProofSearchResult second = LinearProofSearch(
+      program, db, query, {program.symbols().InternConstant("b")}, options);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_GT(second.sweep_refuted_hits, 0u);
+  EXPECT_LT(second.states_visited, first.states_visited);
+
+  // An accepted search must NOT bank (its visited states are not
+  // refuted): t(a, X) with answer b is certain.
+  SubsumptionIndex accept_bank;
+  ProofSearchOptions accept_options;
+  accept_options.shared_refuted = &accept_bank;
+  ConjunctiveQuery reach;
+  reach.output = {Term::Variable(0)};
+  reach.atoms = {
+      Atom(t, {program.symbols().InternConstant("a"), Term::Variable(0)})};
+  ProofSearchResult accepted = LinearProofSearch(
+      program, db, reach, {program.symbols().InternConstant("b")},
+      accept_options);
+  EXPECT_TRUE(accepted.accepted);
+  EXPECT_EQ(accept_bank.size(), 0u);
+}
+
+TEST(SweepSharedSubsumptionTest, AlternatingSearchSharesOneIndex) {
+  ParseResult parsed = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).  e(b, c).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+  PredicateId t = program.symbols().FindPredicate("t");
+  Term a = program.symbols().InternConstant("a");
+  ConjunctiveQuery query;
+  query.output = {Term::Variable(0)};
+  query.atoms = {Atom(t, {Term::Variable(0), a})};  // t(X, a): no answers
+
+  SubsumptionIndex bank;
+  ProofSearchOptions options;
+  options.shared_refuted = &bank;
+  AlternatingSearchResult first =
+      AlternatingProofSearch(program, db, query, {a}, options);
+  EXPECT_FALSE(first.accepted);
+  size_t banked = bank.size();
+  EXPECT_GT(banked, 0u);  // path-independent refutations registered
+
+  AlternatingSearchResult second = AlternatingProofSearch(
+      program, db, query, {program.symbols().InternConstant("b")}, options);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_GT(second.sweep_refuted_hits + second.subsumed_discarded, 0u);
+}
+
+TEST(SweepSharedSubsumptionTest, SweepMatchesUnsharedAnswersExactly) {
+  // The sweep in CertainAnswersViaSearchChecked installs the shared bank
+  // by default; its answers must be identical to chase enumeration for
+  // both engines (exactness of the pruning).
+  ParseResult parsed = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b).  e(b, c).  e(c, a).  e(c, d).
+    ?(X) :- t(X, d).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program program = std::move(*parsed.program);
+  NormalizeToSingleHead(&program, nullptr);
+  Instance db = DatabaseFromFacts(program.facts());
+  ConjunctiveQuery query = program.queries()[0];
+  std::vector<std::vector<Term>> chase =
+      CertainAnswersViaChase(program, db, query);
+  for (bool alternating : {false, true}) {
+    CertainAnswerSet swept = CertainAnswersViaSearchChecked(
+        program, db, query, alternating, ProofSearchOptions{});
+    EXPECT_TRUE(swept.complete);
+    EXPECT_EQ(swept.answers, chase) << "alternating=" << alternating;
+  }
 }
 
 TEST(IncrementalSimplifyTest, CleanComponentsInheritTheCertificate) {

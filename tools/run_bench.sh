@@ -32,8 +32,8 @@ if [[ ${#BENCHES[@]} -eq 0 ]]; then
   EXPLICIT_BENCHES=0
   BENCHES=(bench_micro bench_rewriting bench_pipeline bench_combined
            bench_recursion_profile bench_tiling bench_ablation
-           bench_linearize bench_owl2ql bench_search_cache bench_space
-           bench_warded)
+           bench_linearize bench_owl2ql bench_search_cache bench_server
+           bench_space bench_warded)
 fi
 if [[ -z "$OUT" ]]; then
   OUT="BENCH_$(date -u +%Y%m%d).json"

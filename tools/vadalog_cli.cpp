@@ -146,8 +146,23 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < queries.size(); ++i) {
     std::printf("query %zu: %s\n", i,
                 queries[i].ToString(reasoner->program().symbols()).c_str());
-    std::vector<std::vector<Term>> answers =
-        reasoner->Answer(queries[i], options);
+    CertainAnswerSet result = reasoner->AnswerChecked(queries[i], options);
+    if (!result.error.empty()) {
+      // Scripted callers must be able to tell "unservable program" from
+      // "empty answer set": one-line diagnostic on stderr, nonzero exit.
+      std::fprintf(stderr, "%s: query %zu: %s\n", path.c_str(), i,
+                   result.error.c_str());
+      return 1;
+    }
+    if (!result.complete) {
+      std::fprintf(stderr,
+                   "%s: query %zu: warning: budget exhausted on %llu "
+                   "candidate(s); the answers below are a sound subset\n",
+                   path.c_str(), i,
+                   static_cast<unsigned long long>(
+                       result.budget_exhausted_candidates));
+    }
+    const std::vector<std::vector<Term>>& answers = result.answers;
     if (answers.empty()) {
       std::printf("  (no certain answers)\n");
     }

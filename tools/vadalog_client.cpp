@@ -1,0 +1,435 @@
+// vadalog_client — client and end-to-end checker for vadalogd.
+//
+// Modes:
+//
+//   * Raw:        pipe newline-delimited JSON requests on stdin, responses
+//                 come back on stdout.
+//
+//       vadalog_client --connect=tcp:127.0.0.1:4333 < requests.ndjson
+//
+//   * Round-trip: load a .vada program into a session over the wire, run
+//                 every query in it through the protocol — optionally
+//                 from many concurrent client connections — and diff the
+//                 answers against a direct in-process Reasoner on the
+//                 same program. Exit 0 iff every answer set matches.
+//
+//       vadalog_client --serve --clients=16 --repeat=4
+//           --roundtrip=examples/programs/company_control.vada
+//
+// Endpoints: --connect=tcp:HOST:PORT (HOST is an IPv4 literal or
+// "localhost") or --connect=unix:PATH, or --serve to spin up an
+// in-process daemon on an ephemeral loopback port and talk to it over a
+// real socket — the zero-setup round trip the e2e suite runs.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "base/version.h"
+#include "server/server.h"
+#include "vadalog/reasoner.h"
+
+using namespace vadalog;
+
+#ifdef _WIN32
+int main() {
+  std::fprintf(stderr, "vadalog_client requires POSIX sockets\n");
+  return 1;
+}
+#else
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--connect=tcp:HOST:PORT | --connect=unix:PATH | "
+               "--serve)\n"
+               "          [--roundtrip=FILE.vada [--engine=E] [--clients=N] "
+               "[--repeat=N]]\n",
+               argv0);
+  return 2;
+}
+
+/// A blocking line-oriented protocol connection.
+class Connection {
+ public:
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ConnectTcp(const std::string& host, uint16_t port,
+                  std::string* error) {
+    std::string address = host == "localhost" ? "127.0.0.1" : host;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+      *error = "bad IPv4 address: " + address;
+      return false;
+    }
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0) {
+      *error = "connect tcp:" + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+
+  bool ConnectUnix(const std::string& path, std::string* error) {
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path) {
+      *error = "unix socket path too long";
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0) {
+      *error = "connect unix:" + path + ": " + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+
+  /// Sends one request line and reads one response line.
+  bool RoundTrip(const std::string& line, std::string* response_line) {
+    std::string out = line + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+      ssize_t n =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *response_line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[65536];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct Endpoint {
+  bool use_unix = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string unix_path;
+
+  std::unique_ptr<Connection> Dial(std::string* error) const {
+    auto connection = std::make_unique<Connection>();
+    bool ok = use_unix ? connection->ConnectUnix(unix_path, error)
+                       : connection->ConnectTcp(host, port, error);
+    if (!ok) return nullptr;
+    return connection;
+  }
+};
+
+std::string EscapeJson(const std::string& s) {
+  return JsonValue::String(s).Dump();
+}
+
+/// Computes the expected protocol-rendered answer rows for one query by
+/// running the in-process Reasoner the same way the session does.
+std::vector<std::vector<std::string>> ExpectedAnswers(
+    const Reasoner& reasoner, size_t query_index, const std::string& engine) {
+  ReasonerOptions options;
+  if (engine == "chase") options.engine = EngineChoice::kChase;
+  if (engine == "linear") options.engine = EngineChoice::kLinearProof;
+  if (engine == "alternating") {
+    options.engine = EngineChoice::kAlternatingProof;
+  }
+  std::vector<std::vector<std::string>> rendered;
+  for (const std::vector<Term>& tuple :
+       reasoner.Answer(reasoner.program().queries()[query_index], options)) {
+    std::vector<std::string> row;
+    for (Term t : tuple) {
+      row.push_back(reasoner.program().symbols().TermToString(t));
+    }
+    rendered.push_back(std::move(row));
+  }
+  return rendered;
+}
+
+std::vector<std::vector<std::string>> AnswersFromResponse(
+    const JsonValue& response) {
+  std::vector<std::vector<std::string>> rows;
+  const JsonValue* answers = response.Find("answers");
+  if (answers == nullptr || !answers->is_array()) return rows;
+  for (const JsonValue& row : answers->Items()) {
+    std::vector<std::string> tuple;
+    for (const JsonValue& cell : row.Items()) {
+      tuple.push_back(cell.is_string() ? cell.AsString() : cell.Dump());
+    }
+    rows.push_back(std::move(tuple));
+  }
+  return rows;
+}
+
+/// One simulated client: its own connection, running every query of the
+/// session `repeat` times and diffing each answer set.
+bool RunClientThread(const Endpoint& endpoint, const std::string& session,
+                     const std::string& engine, size_t num_queries,
+                     int repeat,
+                     const std::vector<std::vector<std::vector<std::string>>>&
+                         expected) {
+  std::string error;
+  std::unique_ptr<Connection> connection = endpoint.Dial(&error);
+  if (connection == nullptr) {
+    std::fprintf(stderr, "client: %s\n", error.c_str());
+    return false;
+  }
+  for (int r = 0; r < repeat; ++r) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      std::string request = "{\"cmd\":\"QUERY\",\"session\":" +
+                            EscapeJson(session) +
+                            ",\"query_index\":" + std::to_string(q) +
+                            ",\"engine\":" + EscapeJson(engine) + "}";
+      std::string line;
+      while (true) {
+        if (!connection->RoundTrip(request, &line)) {
+          std::fprintf(stderr, "client: connection lost\n");
+          return false;
+        }
+        std::optional<JsonValue> response = JsonValue::Parse(line, nullptr);
+        if (!response.has_value()) {
+          std::fprintf(stderr, "client: malformed response: %s\n",
+                       line.c_str());
+          return false;
+        }
+        if (!response->GetBool("ok")) {
+          // Admission-control rejections are part of normal operation
+          // under a 16-client burst: honor the retry hint, fail on
+          // anything else.
+          const JsonValue* detail = response->Find("error");
+          if (detail != nullptr &&
+              detail->GetString("code") == "EBUSY") {
+            continue;
+          }
+          std::fprintf(stderr, "client: query failed: %s\n", line.c_str());
+          return false;
+        }
+        if (AnswersFromResponse(*response) != expected[q]) {
+          std::fprintf(stderr,
+                       "client: ANSWER MISMATCH on query %zu:\n  got  %s\n",
+                       q, line.c_str());
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
+                 const std::string& engine, int clients, int repeat) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream text;
+  text << file.rdbuf();
+
+  std::string parse_error;
+  std::unique_ptr<Reasoner> reasoner =
+      Reasoner::FromText(text.str(), &parse_error);
+  if (reasoner == nullptr) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), parse_error.c_str());
+    return 1;
+  }
+  size_t num_queries = reasoner->program().queries().size();
+  if (num_queries == 0) {
+    std::fprintf(stderr, "%s has no queries to round-trip\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::vector<std::vector<std::string>>> expected;
+  for (size_t q = 0; q < num_queries; ++q) {
+    expected.push_back(ExpectedAnswers(*reasoner, q, engine));
+  }
+
+  // Load the session over the wire.
+  std::string error;
+  std::unique_ptr<Connection> connection = endpoint.Dial(&error);
+  if (connection == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const std::string session = "roundtrip";
+  std::string line;
+  if (!connection->RoundTrip("{\"cmd\":\"LOAD_PROGRAM\",\"session\":" +
+                                 EscapeJson(session) +
+                                 ",\"replace\":true,\"program\":" +
+                                 EscapeJson(text.str()) + "}",
+                             &line)) {
+    std::fprintf(stderr, "LOAD_PROGRAM: connection lost\n");
+    return 1;
+  }
+  std::optional<JsonValue> loaded = JsonValue::Parse(line, nullptr);
+  if (!loaded.has_value() || !loaded->GetBool("ok")) {
+    std::fprintf(stderr, "LOAD_PROGRAM failed: %s\n", line.c_str());
+    return 1;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      if (!RunClientThread(endpoint, session, engine, num_queries, repeat,
+                           expected)) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Wrap up with a STATS probe so the e2e run also exercises it.
+  if (connection->RoundTrip("{\"cmd\":\"STATS\",\"session\":" +
+                                EscapeJson(session) + "}",
+                            &line)) {
+    std::fprintf(stderr, "stats: %s\n", line.c_str());
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAILED: %d/%d clients saw mismatches or errors\n",
+                 failures.load(), clients);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "OK: %d client(s) x %d repeat(s) x %zu query(ies) matched "
+               "the in-process reasoner\n",
+               clients, repeat, num_queries);
+  return 0;
+}
+
+int RunRaw(const Endpoint& endpoint) {
+  std::string error;
+  std::unique_ptr<Connection> connection = endpoint.Dial(&error);
+  if (connection == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::string response;
+    if (!connection->RoundTrip(line, &response)) {
+      std::fprintf(stderr, "connection lost\n");
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint endpoint;
+  bool have_endpoint = false;
+  bool serve = false;
+  std::string roundtrip_path;
+  std::string engine = "auto";
+  int clients = 1;
+  int repeat = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("vadalog_client %s (protocol v%d)\n", kVersionString,
+                  protocol::kVersion);
+      return 0;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      serve = true;
+    } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+      std::string spec = arg + 10;
+      if (spec.rfind("unix:", 0) == 0) {
+        endpoint.use_unix = true;
+        endpoint.unix_path = spec.substr(5);
+      } else if (spec.rfind("tcp:", 0) == 0) {
+        std::string rest = spec.substr(4);
+        size_t colon = rest.rfind(':');
+        if (colon == std::string::npos) return Usage(argv[0]);
+        endpoint.host = rest.substr(0, colon);
+        endpoint.port =
+            static_cast<uint16_t>(std::atoi(rest.c_str() + colon + 1));
+        if (endpoint.port == 0) return Usage(argv[0]);
+      } else {
+        return Usage(argv[0]);
+      }
+      have_endpoint = true;
+    } else if (std::strncmp(arg, "--roundtrip=", 12) == 0) {
+      roundtrip_path = arg + 12;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine = arg + 9;
+      if (engine != "auto" && engine != "chase" && engine != "linear" &&
+          engine != "alternating") {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      clients = std::atoi(arg + 10);
+      if (clients < 1 || clients > 1024) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      repeat = std::atoi(arg + 9);
+      if (repeat < 1) return Usage(argv[0]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (serve == have_endpoint) return Usage(argv[0]);  // exactly one
+
+  std::unique_ptr<Server> server;
+  if (serve) {
+    // In-process daemon on an ephemeral loopback port; the traffic still
+    // crosses real sockets, so this is a faithful round trip.
+    ServerOptions options;
+    options.tcp_port = 0;
+    server = std::make_unique<Server>(options);
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "--serve: %s\n", error.c_str());
+      return 1;
+    }
+    endpoint.port = server->tcp_port();
+  }
+
+  int status = roundtrip_path.empty()
+                   ? RunRaw(endpoint)
+                   : RunRoundTrip(endpoint, roundtrip_path, engine, clients,
+                                  repeat);
+  if (server != nullptr) server->Stop();
+  return status;
+}
+
+#endif  // _WIN32

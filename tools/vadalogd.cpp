@@ -1,0 +1,194 @@
+// vadalogd — the long-lived reasoning daemon. Loads programs once into
+// named sessions and answers many queries against them concurrently over
+// a newline-delimited JSON protocol (see src/server/protocol.h and the
+// README's "Running as a service" section).
+//
+// Usage:
+//   vadalogd [options]
+//     --tcp-port=N            listen on 127.0.0.1:N (default 4333;
+//                             0 = ephemeral, see --print-port)
+//     --no-tcp                disable the TCP endpoint
+//     --unix=PATH             also listen on a Unix-domain socket
+//     --workers=N             worker pool size (default 4)
+//     --search-threads=N      default parallel-search threads per query
+//     --max-inflight=N        global in-flight request cap (default 64)
+//     --max-inflight-per-session=N   per-session cap (default 16)
+//     --cache-bytes=N         per-session cache eviction threshold
+//     --load NAME=FILE        preload FILE into session NAME (repeatable)
+//     --print-port            print "PORT <n>" once listening (scripts
+//                             use this with --tcp-port=0)
+//     --version
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, finish
+// in-flight requests, exit 0.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "base/version.h"
+#include "server/server.h"
+
+using namespace vadalog;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--tcp-port=N] [--no-tcp] [--unix=PATH] [--workers=N]\n"
+      "          [--search-threads=N] [--max-inflight=N]\n"
+      "          [--max-inflight-per-session=N] [--cache-bytes=N]\n"
+      "          [--load NAME=FILE]... [--print-port]\n",
+      argv0);
+  return 2;
+}
+
+#ifndef _WIN32
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  // write(2) is async-signal-safe; the return value is irrelevant (the
+  // pipe being full still wakes the reader).
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+#endif
+
+bool ParseSize(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  options.tcp_port = 4333;
+  bool print_port = false;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("vadalogd %s (protocol v%d)\n", kVersionString,
+                  protocol::kVersion);
+      return 0;
+    } else if (std::strncmp(arg, "--tcp-port=", 11) == 0) {
+      if (!ParseSize(arg + 11, &value) || value > 65535) return Usage(argv[0]);
+      options.tcp_port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--no-tcp") == 0) {
+      options.tcp = false;
+    } else if (std::strncmp(arg, "--unix=", 7) == 0) {
+      options.unix_path = arg + 7;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      if (!ParseSize(arg + 10, &value) || value == 0) return Usage(argv[0]);
+      options.workers = static_cast<size_t>(value);
+    } else if (std::strncmp(arg, "--search-threads=", 17) == 0) {
+      if (!ParseSize(arg + 17, &value) || value == 0) return Usage(argv[0]);
+      options.session.search_threads = static_cast<uint32_t>(value);
+    } else if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
+      if (!ParseSize(arg + 15, &value) || value == 0) return Usage(argv[0]);
+      options.max_inflight = static_cast<size_t>(value);
+    } else if (std::strncmp(arg, "--max-inflight-per-session=", 27) == 0) {
+      if (!ParseSize(arg + 27, &value) || value == 0) return Usage(argv[0]);
+      options.max_inflight_per_session = static_cast<size_t>(value);
+    } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+      if (!ParseSize(arg + 14, &value)) return Usage(argv[0]);
+      options.session.cache_byte_limit = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--print-port") == 0) {
+      print_port = true;
+    } else if (std::strcmp(arg, "--load") == 0 && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return Usage(argv[0]);
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+#ifdef _WIN32
+  std::fprintf(stderr, "vadalogd requires POSIX sockets\n");
+  return 1;
+#else
+  // Handlers go in before anything listens or loads: a supervisor's
+  // SIGTERM during a slow --load preload must still shut down
+  // gracefully (exit 0, socket files unlinked), not hit the default
+  // disposition.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "vadalogd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    return 1;
+  }
+
+  for (const auto& [name, path] : preloads) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "vadalogd: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream text;
+    text << file.rdbuf();
+    protocol::Request request;
+    request.cmd = protocol::Command::kLoadProgram;
+    request.session = name;
+    request.program = text.str();
+    JsonValue response = server.registry().Handle(request);
+    const JsonValue* ok = response.Find("ok");
+    if (ok == nullptr || !ok->AsBool()) {
+      std::fprintf(stderr, "vadalogd: preload %s failed: %s\n", name.c_str(),
+                   response.Dump().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "vadalogd: loaded session %s from %s\n",
+                 name.c_str(), path.c_str());
+  }
+
+  if (print_port) {
+    std::printf("PORT %u\n", server.tcp_port());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "vadalogd: listening%s%s%s%s\n",
+               options.tcp ? (" on 127.0.0.1:" +
+                              std::to_string(server.tcp_port()))
+                                 .c_str()
+                           : "",
+               options.unix_path.empty() ? "" : " and unix:",
+               options.unix_path.empty() ? "" : options.unix_path.c_str(),
+               "");
+
+  // Park until SIGINT/SIGTERM, then shut down gracefully. A signal that
+  // arrived during startup is already buffered in the pipe.
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "vadalogd: shutting down\n");
+  server.Stop();
+  return 0;
+#endif
+}
