@@ -238,6 +238,35 @@ int main() {
           static_cast<unsigned long long>(r.cache_hits),
           r.accepted ? "entailed" : "refuted");
     }
+
+    // -- (3b) Explicit-stack alternating ablation: fork_depth widens the
+    // prefix of the AND/OR tree whose children run as isolated branch
+    // tasks (the parallel unit), at the price of sibling memo sharing —
+    // states may grow with fork_depth but must be identical across
+    // thread counts (the determinism contract), and every verdict must
+    // match. Cold caches per row so rows are comparable.
+    Row("");
+    Row("%-28s %10s %10s %12s %8s", "alternating fork ablation", "ms",
+        "states", "refuted", "result");
+    for (uint32_t fork_depth : {0u, 1u, 2u}) {
+      for (uint32_t threads : {1u, 4u}) {
+        ProofSearchCache fresh(program, db);
+        ProofSearchOptions ablation;
+        ablation.cache = &fresh;
+        ablation.fork_depth = fork_depth;
+        ablation.num_threads = threads;
+        Timer timer;
+        AlternatingSearchResult r = AlternatingProofSearch(
+            program, db, query, {absent}, ablation);
+        char label[64];
+        std::snprintf(label, sizeof label, "fork_depth=%u, %u thread%s",
+                      fork_depth, threads, threads == 1 ? "" : "s");
+        Row("%-28s %10.2f %10llu %12llu %8s", label, timer.Ms(),
+            static_cast<unsigned long long>(r.states_expanded),
+            static_cast<unsigned long long>(r.refuted_cached),
+            r.accepted ? "ENTAILED?!" : "refuted");
+      }
+    }
   }
   return 0;
 }

@@ -16,6 +16,18 @@
 //     an ancestor still on the DFS path (standard tabling taint rule —
 //     a minimal proof never repeats a state along a branch, so pruning
 //     revisits is complete, but the resulting failure is path-dependent).
+//
+// The machine is an explicit-stack iterative DFS: frames live on the
+// heap, so proof depth is bounded only by the max_states/max_millis
+// budgets — never by the OS stack. The top ProofSearchOptions.fork_depth
+// tree levels run their children as isolated branch tasks, speculatively
+// in parallel on the shared worker pool and folded deterministically in
+// child order: on untimed searches, verdicts and all counters are
+// bit-identical for any num_threads. A max_millis deadline is wall-clock
+// and therefore schedule-dependent — a loaded host can push a timed
+// search over the deadline at one thread count and not another (the
+// give-up is still reported honestly as budget_exhausted, never as a
+// refutation) — exactly as for the parallel linear BFS.
 
 #ifndef VADALOG_ENGINE_ALTERNATING_SEARCH_H_
 #define VADALOG_ENGINE_ALTERNATING_SEARCH_H_

@@ -108,10 +108,12 @@ CertainAnswerSet CertainAnswersViaSearchChecked(
   if (effective.shared_refuted == nullptr && effective.subsumption) {
     effective.shared_refuted = &sweep_refuted;
   }
-  if (!use_alternating && effective.pool == nullptr &&
-      effective.num_threads > 1) {
-    // Helpers only — the sweep's calling thread takes a share per level.
-    // 64 mirrors the search's own worker cap.
+  if (effective.pool == nullptr && effective.num_threads > 1 &&
+      (!use_alternating || effective.fork_depth > 0)) {
+    // Helpers only — the sweep's calling thread takes a share per level
+    // (linear) or per branch batch (alternating; with fork_depth == 0
+    // the machine is fully sequential and a pool would just idle). 64
+    // mirrors the searches' own worker cap.
     sweep_pool.emplace(std::min<uint32_t>(effective.num_threads, 64) - 1);
     effective.pool = &*sweep_pool;
   }

@@ -123,15 +123,26 @@ class ProofSearchCache {
 
   /// Subsumption transfer over the recorded refutations: true iff some
   /// recorded refuted state with a covering bound maps homomorphically
-  /// into `state` (and has no more atoms). NOT thread-safe — the parallel
-  /// search consults these only from its sequential merge phase.
+  /// into `state` (and has no more atoms). NOT thread-safe by default —
+  /// the parallel linear search consults these only from its sequential
+  /// merge phase. The alternating search's concurrent branch tasks pass
+  /// `probe_stats` (a task-private SubsumptionIndex::Stats) instead,
+  /// which makes the probe a pure read of the entry tables (safe and
+  /// deterministic as long as no Record runs concurrently — records are
+  /// deferred to the end of the search); the deltas are merged back via
+  /// MergeAltProbeStats in a fixed order.
   bool LinearRefutedBySubsumption(const CanonicalState& state, size_t width,
                                   size_t max_chunk) const {
     return linear_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
   }
-  bool AltRefutedBySubsumption(const CanonicalState& state, size_t width,
-                               size_t max_chunk) const {
-    return alt_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
+  bool AltRefutedBySubsumption(
+      const CanonicalState& state, size_t width, size_t max_chunk,
+      SubsumptionIndex::Stats* probe_stats = nullptr) const {
+    return alt_refuted_states_.FindSubsumer(state, width, max_chunk,
+                                            INT64_MAX, probe_stats) >= 0;
+  }
+  void MergeAltProbeStats(const SubsumptionIndex::Stats& delta) {
+    alt_refuted_states_.MergeStats(delta);
   }
 
   /// Counters are atomic so concurrent exact-match lookups stay race-free.

@@ -78,14 +78,29 @@ int64_t SubsumptionIndex::Add(const CanonicalState& state, size_t width,
 
 int64_t SubsumptionIndex::FindSubsumer(const CanonicalState& state,
                                        size_t width, size_t chunk,
-                                       int64_t same_size_before) const {
+                                       int64_t same_size_before,
+                                       Stats* probe_stats) const {
+  Stats& stats = probe_stats != nullptr ? *probe_stats : stats_;
   if (entries_.empty() || state.atoms.empty()) return -1;
-  if (stats_.hom_checks >= kAdaptiveProbation &&
-      stats_.hom_checks > stats_.hits * kMaxChecksPerHit) {
-    ++stats_.disabled_skips;
+  // The adaptive gate always counts the index's lifetime block on top of
+  // an external probe block: private blocks start at zero, and without
+  // the lifetime term every branch task of every search would re-pay the
+  // whole probation window on workloads the gate long since learned to
+  // skip. Deterministic: stats_ is frozen while external-block probes
+  // run (merges happen at end of search, single-threaded), so the sum
+  // depends only on the probing searcher's own query sequence.
+  uint64_t gate_checks = stats.hom_checks;
+  uint64_t gate_hits = stats.hits;
+  if (probe_stats != nullptr) {
+    gate_checks += stats_.hom_checks;
+    gate_hits += stats_.hits;
+  }
+  if (gate_checks >= kAdaptiveProbation &&
+      gate_checks > gate_hits * kMaxChecksPerHit) {
+    ++stats.disabled_skips;
     return -1;
   }
-  ++stats_.queries;
+  ++stats.queries;
   uint64_t state_mask = MaskOf(state.atoms);
   uint64_t state_rigid = RigidMaskOf(state.atoms);
   uint64_t checks = 0;
@@ -118,13 +133,13 @@ int64_t SubsumptionIndex::FindSubsumer(const CanonicalState& state,
         if ((entry.rigid_mask & ~state_rigid) != 0) continue;
         if (entry.width < width || entry.chunk < chunk) continue;
         if (checks >= kMaxHomChecksPerQuery) {
-          ++stats_.capped;
+          ++stats.capped;
           return -1;
         }
         ++checks;
-        ++stats_.hom_checks;
+        ++stats.hom_checks;
         if (HasStateHomomorphism(entry.atoms, state.atoms)) {
-          ++stats_.hits;
+          ++stats.hits;
           return static_cast<int64_t>(id);
         }
       }

@@ -41,6 +41,25 @@ class SubsumptionIndex {
   /// it keeps subsuming.
   int64_t Add(const CanonicalState& state, size_t width, size_t chunk);
 
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hom_checks = 0;
+    uint64_t hits = 0;
+    uint64_t capped = 0;  // queries that hit the per-query hom-check cap
+    uint64_t disabled_skips = 0;  // queries skipped by the adaptive gate
+
+    /// Accumulates another counter block (the single definition of what
+    /// "merging stats" means — index-internal and searcher-private
+    /// blocks both go through here).
+    void MergeFrom(const Stats& delta) {
+      queries += delta.queries;
+      hom_checks += delta.hom_checks;
+      hits += delta.hits;
+      capped += delta.capped;
+      disabled_skips += delta.disabled_skips;
+    }
+  };
+
   /// Finds a registered state with a bound covering (width, chunk) and no
   /// more atoms than `state` that maps homomorphically into it. Returns
   /// its entry id, or -1. Same-size subsumers only count when their entry
@@ -51,9 +70,19 @@ class SubsumptionIndex {
   /// drop an accepting subtree on the floor. Strictly smaller subsumers
   /// always count (the (size, id) measure strictly decreases along any
   /// pruning chain, so chains end at a state that is genuinely expanded).
+  ///
+  /// `probe_stats`, when non-null, replaces the index's internal counter
+  /// block for this query: the adaptive gate evaluates against it and all
+  /// increments go there. This is what makes concurrent read-only probing
+  /// sound AND deterministic — parallel branch tasks of the alternating
+  /// search each bring their own counter block (no data race on `stats_`,
+  /// and the gate's decisions depend only on that task's own, schedule-
+  /// independent query sequence), then merge the deltas back in a fixed
+  /// order via MergeStats. Concurrent probing additionally requires that
+  /// no Add/Suppress runs at the same time.
   int64_t FindSubsumer(const CanonicalState& state, size_t width,
-                       size_t chunk,
-                       int64_t same_size_before = INT64_MAX) const;
+                       size_t chunk, int64_t same_size_before = INT64_MAX,
+                       Stats* probe_stats = nullptr) const;
 
   /// Marks an entry as covered by another subsumer, excluding it from
   /// further matching. Lossless: anything it subsumes, its own subsumer
@@ -65,14 +94,14 @@ class SubsumptionIndex {
 
   size_t size() const { return entries_.size(); }
 
-  struct Stats {
-    uint64_t queries = 0;
-    uint64_t hom_checks = 0;
-    uint64_t hits = 0;
-    uint64_t capped = 0;  // queries that hit the per-query hom-check cap
-    uint64_t disabled_skips = 0;  // queries skipped by the adaptive gate
-  };
   const Stats& stats() const { return stats_; }
+
+  /// Folds an externally-accumulated counter block (a FindSubsumer
+  /// `probe_stats` delta) into the internal one, so the long-lived
+  /// index's adaptive gate keeps learning across searches that probed it
+  /// with private blocks. Call from a single thread, in a deterministic
+  /// order.
+  void MergeStats(const Stats& delta) { stats_.MergeFrom(delta); }
 
   size_t ApproximateBytes() const;
 

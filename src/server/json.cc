@@ -434,11 +434,23 @@ std::string JsonValue::GetString(std::string_view key,
 }
 
 uint64_t JsonValue::GetUint(std::string_view key, uint64_t fallback) const {
+  uint64_t out = 0;
+  return TryGetUint(key, &out) == UintField::kValid ? out : fallback;
+}
+
+JsonValue::UintField JsonValue::TryGetUint(std::string_view key,
+                                           uint64_t* out) const {
   const JsonValue* value = Find(key);
-  if (value == nullptr || !value->is_number()) return fallback;
+  if (value == nullptr) return UintField::kAbsent;
+  if (!value->is_number()) return UintField::kInvalid;
   double n = value->AsNumber();
-  if (!(n >= 0) || n != std::floor(n) || n > 9e15) return fallback;
-  return static_cast<uint64_t>(n);
+  // `!(n >= 0)` also catches NaN; the 9e15 ceiling keeps the value in
+  // the exact double-integer range and makes the uint64_t cast defined.
+  if (!std::isfinite(n) || !(n >= 0) || n != std::floor(n) || n > 9e15) {
+    return UintField::kInvalid;
+  }
+  *out = static_cast<uint64_t>(n);
+  return UintField::kValid;
 }
 
 bool JsonValue::GetBool(std::string_view key, bool fallback) const {

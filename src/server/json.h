@@ -67,6 +67,16 @@ class JsonValue {
   uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
   bool GetBool(std::string_view key, bool fallback = false) const;
 
+  /// Tri-state unsigned read. A double is a valid uint only when it is
+  /// finite, non-negative, integral, and at most 9e15 (inside the 2^53
+  /// exact-integer range — casting a negative, NaN, infinite, or
+  /// out-of-range double to uint64_t is undefined behavior, so the check
+  /// comes first). `*out` is written on kValid only. The distinction
+  /// kAbsent vs kInvalid lets protocol fields reject a malformed budget
+  /// (EBADREQ) instead of silently running with the default.
+  enum class UintField : uint8_t { kAbsent, kValid, kInvalid };
+  UintField TryGetUint(std::string_view key, uint64_t* out) const;
+
   /// Serializes on one line (no newline appended, none embedded — the
   /// protocol's framing invariant).
   std::string Dump() const;

@@ -73,15 +73,19 @@ bool ParseFields(const JsonValue& object, Request* request, Error* error) {
     case Command::kQuery:
     case Command::kExplain: {
       const JsonValue* query = object.Find("query");
-      const JsonValue* index = object.Find("query_index");
+      uint64_t query_index = 0;
+      JsonValue::UintField index_field =
+          object.TryGetUint("query_index", &query_index);
       if (query != nullptr && query->is_string()) {
         request->query_text = query->AsString();
-      } else if (index != nullptr && index->is_number() &&
-                 index->AsNumber() >= 0) {
-        request->query_index = static_cast<int64_t>(index->AsNumber());
+      } else if (index_field == JsonValue::UintField::kValid) {
+        // TryGetUint already rejected negatives, fractions, and doubles
+        // past 2^53 — the values whose raw int64_t cast is undefined.
+        request->query_index = static_cast<int64_t>(query_index);
       } else {
         return Fail(error, "EBADREQ",
-                    "need string \"query\" or non-negative \"query_index\"");
+                    "need string \"query\" or a non-negative integer "
+                    "\"query_index\"");
       }
       if (request->cmd == Command::kExplain) {
         const JsonValue* answer = object.Find("answer");
@@ -102,10 +106,41 @@ bool ParseFields(const JsonValue& object, Request* request, Error* error) {
         return Fail(error, "EBADREQ",
                     "\"engine\" must be auto|chase|linear|alternating");
       }
-      request->max_states = object.GetUint("max_states", 0);
-      request->max_millis = object.GetUint("max_millis", 0);
-      request->threads =
-          static_cast<uint32_t>(object.GetUint("threads", 0));
+      // Budgets and thread counts: a present-but-malformed value (wrong
+      // type, negative, fractional, non-finite, or past 2^53) is a
+      // request error, not a silent fall-back to "unlimited" — a client
+      // that sent {"max_states": -1} almost certainly did not want an
+      // unbudgeted search.
+      struct UintSpec {
+        const char* key;
+        uint64_t* dest;
+        uint64_t max;
+      };
+      uint64_t threads_wide = 0;
+      const UintSpec specs[] = {
+          {"max_states", &request->max_states, UINT64_MAX},
+          {"max_millis", &request->max_millis, UINT64_MAX},
+          {"threads", &threads_wide, UINT32_MAX},
+      };
+      for (const UintSpec& spec : specs) {
+        uint64_t value = 0;
+        switch (object.TryGetUint(spec.key, &value)) {
+          case JsonValue::UintField::kAbsent:
+            break;
+          case JsonValue::UintField::kValid:
+            if (value > spec.max) {
+              return Fail(error, "EBADREQ",
+                          std::string("\"") + spec.key + "\" out of range");
+            }
+            *spec.dest = value;
+            break;
+          case JsonValue::UintField::kInvalid:
+            return Fail(error, "EBADREQ",
+                        std::string("\"") + spec.key +
+                            "\" must be a non-negative integer");
+        }
+      }
+      request->threads = static_cast<uint32_t>(threads_wide);
       break;
     }
     case Command::kStats:

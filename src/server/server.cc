@@ -4,6 +4,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -38,6 +39,32 @@ void Server::ReapConnections() {}
 std::string Server::ExecuteLine(const std::string&) { return ""; }
 
 #else  // POSIX
+
+namespace server_internal {
+
+RecvStatus RecvChunk(int fd, char* buffer, size_t capacity,
+                     size_t* received) {
+  *received = 0;
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return RecvStatus::kData;
+    }
+    if (n == 0) return RecvStatus::kClosed;  // orderly peer shutdown
+    if (errno == EINTR) continue;            // signal: just re-issue
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Receive timeout (SO_RCVTIMEO) — NOT a closed peer: the caller
+      // decides whether to keep waiting (normally) or wind down (server
+      // stopping). Conflating this with n <= 0 used to drop idle
+      // connections mid-request the moment a timeout or signal landed.
+      return RecvStatus::kRetry;
+    }
+    return RecvStatus::kError;
+  }
+}
+
+}  // namespace server_internal
 
 namespace {
 
@@ -171,6 +198,13 @@ void Server::AcceptLoop(int listen_fd) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
+    if (options_.recv_timeout_ms != 0) {
+      timeval tv{};
+      tv.tv_sec = options_.recv_timeout_ms / 1000;
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.recv_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections;
@@ -195,9 +229,18 @@ void Server::ServeConnection(Connection* connection) {
   char chunk[65536];
   bool closing = false;
   while (true) {
-    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;  // EOF, shutdown, or error: connection is done
-    buffer.append(chunk, static_cast<size_t>(n));
+    size_t n = 0;
+    server_internal::RecvStatus status =
+        server_internal::RecvChunk(fd, chunk, sizeof chunk, &n);
+    if (status == server_internal::RecvStatus::kRetry) {
+      // Receive timeout: keep waiting while the server runs (any
+      // partially-received request stays buffered), wind down once it
+      // stops — the periodic wake-up is what bounds a shutdown drain.
+      if (!running_.load()) break;
+      continue;
+    }
+    if (status != server_internal::RecvStatus::kData) break;
+    buffer.append(chunk, n);
     size_t start = 0;
     size_t newline;
     while ((newline = buffer.find('\n', start)) != std::string::npos) {

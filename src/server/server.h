@@ -58,6 +58,13 @@ struct ServerOptions {
   /// cannot be trusted past an overrun).
   size_t max_line_bytes = 8ull << 20;
 
+  /// When non-zero, accepted sockets get an SO_RCVTIMEO of this many
+  /// milliseconds: a blocked connection reader wakes periodically
+  /// (EAGAIN), re-checks the server's running flag, and keeps waiting —
+  /// bounding how long a shutdown drain can park on an idle connection
+  /// without ever dropping a partially-received request.
+  uint32_t recv_timeout_ms = 0;
+
   /// Per-session knobs (cache cap, default search threads).
   SessionOptions session;
 };
@@ -127,6 +134,19 @@ class Server {
   mutable std::mutex stats_mutex_;
   Stats stats_;
 };
+
+namespace server_internal {
+
+/// One recv() with the error taxonomy the connection loop needs, exposed
+/// for direct unit testing. Retries EINTR internally — a stray signal
+/// (e.g. during a SIGTERM drain) must never drop an in-flight request —
+/// and reports EAGAIN/EWOULDBLOCK (a receive timeout on a socket with
+/// SO_RCVTIMEO) as kRetry, distinct from the peer closing. POSIX only.
+enum class RecvStatus { kData, kClosed, kRetry, kError };
+RecvStatus RecvChunk(int fd, char* buffer, size_t capacity,
+                     size_t* received);
+
+}  // namespace server_internal
 
 }  // namespace vadalog
 

@@ -53,8 +53,9 @@ namespace vadalog {
 struct SessionOptions {
   /// Generational eviction threshold for the per-session cache.
   size_t cache_byte_limit = 64ull << 20;
-  /// Default worker threads per linear proof search; a QUERY's "threads"
-  /// field overrides it (the engine caps both at 64).
+  /// Default worker threads per proof search — linear frontier levels
+  /// and alternating branch tasks alike; a QUERY's "threads" field
+  /// overrides it (the engines cap both at 64).
   uint32_t search_threads = 1;
   /// Pool the parallel searches fork onto (shared with request serving);
   /// may be null (searches then spawn private pools when parallel).

@@ -3,9 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "ast/parser.h"
 #include "engine/alternating_search.h"
 #include "engine/certain.h"
+#include "engine/search_cache.h"
+#include "engine/subsumption.h"
 
 namespace vadalog {
 namespace {
@@ -166,6 +171,181 @@ TEST(AlternatingSearchTest, SubsumptionPruningPreservesDecisions) {
     }
   }
   EXPECT_GT(total_discarded, 0u);  // the pruning must actually fire
+}
+
+// The explicit-stack machine must prove goals whose only proof is deeper
+// than the former kMaxProveDepth = 2000 recursion guard (which silently
+// reported such goals as budget_exhausted) — and do it without leaning on
+// the OS stack: tests/CMakeLists.txt re-runs the DeepChain tests under a
+// `ulimit -s 1024` (1 MiB) stack to pin that.
+struct DeepChain {
+  static constexpr uint32_t kNodes = 1500;  // proof depth ~2 frames/node
+
+  Program program;
+  Instance db;
+
+  DeepChain() {
+    std::string text =
+        "t(X, Y) :- e(X, Y).\n"
+        "t(X, Z) :- t(X, Y), e(Y, Z).\n"
+        "?(X) :- t(a0, X).\n";
+    for (uint32_t i = 0; i + 1 < kNodes; ++i) {
+      text += "e(a" + std::to_string(i) + ", a" + std::to_string(i + 1) +
+              ").\n";
+    }
+    ParseResult parsed = ParseProgram(text.c_str());
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program = std::move(*parsed.program);
+    NormalizeToSingleHead(&program, nullptr);
+    db = DatabaseFromFacts(program.facts());
+  }
+};
+
+TEST(AlternatingSearchTest, DeepChainProofBeyondFormerRecursionGuard) {
+  DeepChain s;
+  Term last = s.program.symbols().InternConstant(
+      "a" + std::to_string(DeepChain::kNodes - 1));
+  AlternatingSearchResult deep = AlternatingProofSearch(
+      s.program, s.db, s.program.queries()[0], {last});
+  EXPECT_TRUE(deep.accepted);
+  EXPECT_FALSE(deep.budget_exhausted);
+  // The proof tree really was deeper than the former guard.
+  EXPECT_GT(deep.states_expanded, 2000u);
+  // Both engines agree on the deep verdict (the program is WARD ∩ PWL).
+  ProofSearchResult linear = LinearProofSearch(
+      s.program, s.db, s.program.queries()[0], {last});
+  EXPECT_TRUE(linear.accepted);
+}
+
+TEST(AlternatingSearchTest, DeepChainRefutationAgrees) {
+  DeepChain s;
+  Term absent = s.program.symbols().InternConstant("zz");
+  AlternatingSearchResult alt = AlternatingProofSearch(
+      s.program, s.db, s.program.queries()[0], {absent});
+  EXPECT_FALSE(alt.accepted);
+  EXPECT_FALSE(alt.budget_exhausted);
+  ProofSearchResult linear = LinearProofSearch(
+      s.program, s.db, s.program.queries()[0], {absent});
+  EXPECT_FALSE(linear.accepted);
+  EXPECT_FALSE(linear.budget_exhausted);
+}
+
+// Budget-exhausted searches must never deposit refutation certificates:
+// the branch that hit the cut was not fully explored, so nothing it gave
+// up on may later masquerade as refuted in the session cache or the
+// sweep-shared bank.
+TEST(AlternatingSearchTest, BudgetExhaustedRecordsNoCertificates) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  SubsumptionIndex bank;
+  ProofSearchOptions options;
+  options.cache = &cache;
+  options.shared_refuted = &bank;
+  options.max_states = 1;
+  AlternatingSearchResult result = AlternatingProofSearch(
+      s.program, s.db, s.Query(), {s.Const("zz")}, options);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(cache.alt_refuted_size(), 0u);
+  EXPECT_EQ(bank.size(), 0u);
+}
+
+// The fork-join parallelization contract, mirroring the linear BFS: on
+// untimed searches the verdict AND every counter are bit-identical for
+// any thread count, because the fork structure is fixed by fork_depth
+// alone and speculative branch results are only accepted when provably
+// equal to the sequential fold's run.
+TEST(AlternatingSearchTest, CountersBitIdenticalAcrossThreads) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d). e(d, f). e(f, g). e(x1, y1).
+    ?(X, Y) :- t(a, X), t(x1, Y).
+  )");
+  auto run = [&](uint32_t threads, uint32_t fork_depth,
+                 uint64_t max_states, const std::vector<Term>& answer) {
+    ProofSearchOptions options;
+    options.num_threads = threads;
+    options.fork_depth = fork_depth;
+    options.max_states = max_states;
+    return AlternatingProofSearch(s.program, s.db, s.Query(), answer,
+                                  options);
+  };
+  auto expect_identical = [](const AlternatingSearchResult& a,
+                             const AlternatingSearchResult& b,
+                             const char* what) {
+    EXPECT_EQ(a.accepted, b.accepted) << what;
+    EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << what;
+    EXPECT_EQ(a.states_expanded, b.states_expanded) << what;
+    EXPECT_EQ(a.proven_cached, b.proven_cached) << what;
+    EXPECT_EQ(a.refuted_cached, b.refuted_cached) << what;
+    EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+    EXPECT_EQ(a.subsumed_discarded, b.subsumed_discarded) << what;
+    EXPECT_EQ(a.sweep_refuted_hits, b.sweep_refuted_hits) << what;
+    EXPECT_EQ(a.peak_state_bytes, b.peak_state_bytes) << what;
+    EXPECT_EQ(a.node_width_used, b.node_width_used) << what;
+  };
+  std::vector<std::vector<Term>> answers = {
+      {s.Const("d"), s.Const("y1")},   // provable (AND-split root)
+      {s.Const("a"), s.Const("y1")},   // refutable left component
+      {s.Const("zz"), s.Const("zz")},  // refutable everywhere
+  };
+  for (uint32_t fork_depth : {1u, 2u}) {
+    for (uint64_t max_states : {uint64_t{0}, uint64_t{40}}) {
+      for (const std::vector<Term>& answer : answers) {
+        AlternatingSearchResult base =
+            run(1, fork_depth, max_states, answer);
+        for (uint32_t threads : {2u, 4u}) {
+          AlternatingSearchResult r =
+              run(threads, fork_depth, max_states, answer);
+          expect_identical(base, r,
+                           ("fork_depth=" + std::to_string(fork_depth) +
+                            " max_states=" + std::to_string(max_states) +
+                            " threads=" + std::to_string(threads))
+                               .c_str());
+        }
+      }
+    }
+  }
+}
+
+// fork_depth trades sibling memo sharing for parallelism; it must never
+// change a verdict.
+TEST(AlternatingSearchTest, ForkDepthAblationPreservesDecisions) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, a). e(c, d).
+    ?(X, Y) :- t(X, Y).
+  )");
+  std::vector<Term> constants = {s.Const("a"), s.Const("b"), s.Const("c"),
+                                 s.Const("d"), s.Const("zz")};
+  for (Term x : constants) {
+    for (Term y : constants) {
+      ProofSearchOptions sequential;
+      sequential.fork_depth = 0;
+      bool expected =
+          AlternatingProofSearch(s.program, s.db, s.Query(), {x, y},
+                                 sequential)
+              .accepted;
+      for (uint32_t fork_depth : {1u, 3u}) {
+        ProofSearchOptions forked;
+        forked.fork_depth = fork_depth;
+        forked.num_threads = 2;
+        EXPECT_EQ(AlternatingProofSearch(s.program, s.db, s.Query(), {x, y},
+                                         forked)
+                      .accepted,
+                  expected)
+            << x.index() << ", " << y.index() << " fork_depth "
+            << fork_depth;
+      }
+    }
+  }
 }
 
 TEST(AlternatingSearchTest, MatchesLinearSearchOnPwlPrograms) {

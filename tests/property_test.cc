@@ -191,6 +191,7 @@ TEST_P(SearchConfigEquivalence, PrunedAndParallelSearchesMatchChase) {
     bool alternating;
     bool subsumption;
     uint32_t threads;
+    uint32_t fork_depth = 1;
   };
   constexpr Config kConfigs[] = {
       {"linear/pruned", false, true, 1},
@@ -199,11 +200,14 @@ TEST_P(SearchConfigEquivalence, PrunedAndParallelSearchesMatchChase) {
       {"linear/unpruned/4-threads", false, false, 4},
       {"alternating/pruned", true, true, 1},
       {"alternating/unpruned", true, false, 1},
+      {"alternating/pruned/4-threads", true, true, 4},
+      {"alternating/pruned/fork2/4-threads", true, true, 4, 2},
   };
   for (const Config& config : kConfigs) {
     ProofSearchOptions options;
     options.subsumption = config.subsumption;
     options.num_threads = config.threads;
+    options.fork_depth = config.fork_depth;
     CertainAnswerSet result = CertainAnswersViaSearchChecked(
         program, db, *query, config.alternating, options);
     EXPECT_TRUE(result.complete) << config.name << " seed " << seed;

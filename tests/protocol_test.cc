@@ -96,6 +96,46 @@ TEST(ProtocolTest, ParsesQueryRequestWithBudgets) {
   EXPECT_EQ(id.AsNumber(), 7.0);
 }
 
+// A present-but-malformed budget is a request error (EBADREQ), never a
+// silent fall-back to "unlimited" — and never an undefined-behavior cast
+// of a negative / huge / fractional double to an unsigned integer.
+TEST(ProtocolTest, MalformedBudgetsAreRejectedNotDefaulted) {
+  const char* kBad[] = {
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_states":-1})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_states":1e300})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_states":2.5})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_states":"50"})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_millis":-3})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"threads":-2})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"threads":0.5})",
+      R"({"cmd":"QUERY","session":"s","query_index":0,"threads":5e9})",
+      R"({"cmd":"QUERY","session":"s","query_index":-1})",
+      R"({"cmd":"QUERY","session":"s","query_index":1e300})",
+      R"({"cmd":"QUERY","session":"s","query_index":0.5})",
+  };
+  for (const char* line : kBad) {
+    protocol::Error error;
+    JsonValue id;
+    EXPECT_FALSE(protocol::ParseRequest(line, &error, &id).has_value())
+        << line;
+    EXPECT_EQ(error.code, "EBADREQ") << line;
+  }
+  // Valid and absent budgets still parse (absent = engine defaults).
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> ok = protocol::ParseRequest(
+      R"({"cmd":"QUERY","session":"s","query_index":0,"max_states":9e15})",
+      &error, &id);
+  ASSERT_TRUE(ok.has_value()) << error.message;
+  EXPECT_EQ(ok->max_states, 9000000000000000ull);
+  std::optional<protocol::Request> absent = protocol::ParseRequest(
+      R"({"cmd":"QUERY","session":"s","query_index":0})", &error, &id);
+  ASSERT_TRUE(absent.has_value()) << error.message;
+  EXPECT_EQ(absent->max_states, 0u);
+  EXPECT_EQ(absent->max_millis, 0u);
+  EXPECT_EQ(absent->threads, 0u);
+}
+
 TEST(ProtocolTest, StructuredErrorsCarryStableCodes) {
   struct Case {
     const char* line;

@@ -9,10 +9,14 @@
 #ifndef _WIN32
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
+
+#include <csignal>
 
 #include <atomic>
 #include <cstring>
@@ -320,6 +324,126 @@ TEST(ServerTest, GracefulShutdownFinishesInFlightWork) {
   }
   stopper.join();
   EXPECT_FALSE(TestClient(server->tcp_port()).connected());
+}
+
+// Unit tests for the connection loop's recv taxonomy: a signal landing
+// mid-read is retried inside RecvChunk, and a receive timeout (EAGAIN)
+// is reported as kRetry — neither may be conflated with the peer
+// closing, or a SIGTERM drain could drop an in-flight request.
+TEST(ServerTest, RecvChunkRetriesInterruptedReads) {
+  // SIGUSR1 with an empty handler and no SA_RESTART, so a blocked recv
+  // really returns EINTR instead of being transparently restarted.
+  struct sigaction action{};
+  struct sigaction previous{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  std::atomic<bool> reading{false};
+  std::atomic<bool> done{false};
+  server_internal::RecvStatus status = server_internal::RecvStatus::kError;
+  std::string received;
+  std::thread reader([&] {
+    char chunk[256];
+    size_t n = 0;
+    reading.store(true);
+    status = server_internal::RecvChunk(pair[0], chunk, sizeof chunk, &n);
+    received.assign(chunk, n);
+    done.store(true);
+  });
+  while (!reading.load()) std::this_thread::yield();
+  // Pepper the blocked reader with signals; RecvChunk must absorb every
+  // EINTR and still deliver the bytes that eventually arrive.
+  for (int i = 0; i < 20 && !done.load(); ++i) {
+    ::pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(::send(pair[1], "hello", 5, MSG_NOSIGNAL), 5);
+  reader.join();
+  EXPECT_EQ(status, server_internal::RecvStatus::kData);
+  EXPECT_EQ(received, "hello");
+  ::close(pair[0]);
+  ::close(pair[1]);
+  ::sigaction(SIGUSR1, &previous, nullptr);
+}
+
+TEST(ServerTest, RecvChunkReportsTimeoutAsRetryNotClose) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  timeval tv{};
+  tv.tv_usec = 20 * 1000;  // 20 ms receive timeout
+  ASSERT_EQ(::setsockopt(pair[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv),
+            0);
+  char chunk[256];
+  size_t n = 0;
+  // No data yet: timeout, reported as retry (not closed, not error).
+  EXPECT_EQ(server_internal::RecvChunk(pair[0], chunk, sizeof chunk, &n),
+            server_internal::RecvStatus::kRetry);
+  ASSERT_EQ(::send(pair[1], "ok", 2, MSG_NOSIGNAL), 2);
+  EXPECT_EQ(server_internal::RecvChunk(pair[0], chunk, sizeof chunk, &n),
+            server_internal::RecvStatus::kData);
+  EXPECT_EQ(n, 2u);
+  ::close(pair[1]);
+  EXPECT_EQ(server_internal::RecvChunk(pair[0], chunk, sizeof chunk, &n),
+            server_internal::RecvStatus::kClosed);
+  ::close(pair[0]);
+}
+
+// End-to-end: with SO_RCVTIMEO armed on accepted sockets, idle pauses
+// and mid-request pauses longer than the timeout must not cost the
+// connection or the buffered request prefix.
+TEST(ServerTest, RecvTimeoutKeepsSlowConnectionsAndPartialRequests) {
+  ServerOptions options;
+  options.recv_timeout_ms = 20;
+  std::unique_ptr<Server> server = StartServer(options);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->tcp_port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  auto read_line = [&]() -> std::string {
+    std::string line;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1) {
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+    return line;
+  };
+
+  // Idle across several timeout periods, then a whole request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::string ping = "{\"cmd\":\"PING\"}\n";
+  ASSERT_EQ(::send(fd, ping.data(), ping.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(ping.size()));
+  std::optional<JsonValue> pong = JsonValue::Parse(read_line(), nullptr);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("pong"));
+
+  // A request split around a pause longer than the timeout: the prefix
+  // must survive the EAGAIN wake-ups.
+  const std::string head = "{\"cmd\":\"PI";
+  const std::string tail = "NG\",\"id\":7}\n";
+  ASSERT_EQ(::send(fd, head.data(), head.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(head.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::send(fd, tail.data(), tail.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(tail.size()));
+  std::optional<JsonValue> split = JsonValue::Parse(read_line(), nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->GetBool("pong"));
+  EXPECT_EQ(split->Find("id")->AsNumber(), 7.0);
+
+  ::close(fd);
+  server->Stop();
 }
 
 TEST(ServerTest, UnixSocketEndpointServes) {

@@ -59,7 +59,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--connect=tcp:HOST:PORT | --connect=unix:PATH | "
                "--serve)\n"
-               "          [--roundtrip=FILE.vada [--engine=E] [--clients=N] "
+               "          [--roundtrip=FILE.vada [--engine=E] [--threads=N] "
+               "[--clients=N] "
                "[--repeat=N]]\n",
                argv0);
   return 2;
@@ -199,8 +200,8 @@ std::vector<std::vector<std::string>> AnswersFromResponse(
 /// One simulated client: its own connection, running every query of the
 /// session `repeat` times and diffing each answer set.
 bool RunClientThread(const Endpoint& endpoint, const std::string& session,
-                     const std::string& engine, size_t num_queries,
-                     int repeat,
+                     const std::string& engine, uint32_t threads,
+                     size_t num_queries, int repeat,
                      const std::vector<std::vector<std::vector<std::string>>>&
                          expected) {
   std::string error;
@@ -214,7 +215,11 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
       std::string request = "{\"cmd\":\"QUERY\",\"session\":" +
                             EscapeJson(session) +
                             ",\"query_index\":" + std::to_string(q) +
-                            ",\"engine\":" + EscapeJson(engine) + "}";
+                            ",\"engine\":" + EscapeJson(engine);
+      if (threads != 0) {
+        request += ",\"threads\":" + std::to_string(threads);
+      }
+      request += "}";
       std::string line;
       while (true) {
         if (!connection->RoundTrip(request, &line)) {
@@ -253,7 +258,8 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
 }
 
 int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
-                 const std::string& engine, int clients, int repeat) {
+                 const std::string& engine, uint32_t threads, int clients,
+                 int repeat) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -303,16 +309,16 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
   }
 
   std::atomic<int> failures{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> client_threads;
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&] {
-      if (!RunClientThread(endpoint, session, engine, num_queries, repeat,
-                           expected)) {
+    client_threads.emplace_back([&] {
+      if (!RunClientThread(endpoint, session, engine, threads,
+                           num_queries, repeat, expected)) {
         failures.fetch_add(1);
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : client_threads) t.join();
 
   // Wrap up with a STATS probe so the e2e run also exercises it.
   if (connection->RoundTrip("{\"cmd\":\"STATS\",\"session\":" +
@@ -361,6 +367,7 @@ int main(int argc, char** argv) {
   bool serve = false;
   std::string roundtrip_path;
   std::string engine = "auto";
+  uint32_t search_threads = 0;
   int clients = 1;
   int repeat = 1;
 
@@ -397,6 +404,10 @@ int main(int argc, char** argv) {
           engine != "alternating") {
         return Usage(argv[0]);
       }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int parsed = std::atoi(arg + 10);
+      if (parsed < 0 || parsed > 64) return Usage(argv[0]);
+      search_threads = static_cast<uint32_t>(parsed);
     } else if (std::strncmp(arg, "--clients=", 10) == 0) {
       clients = std::atoi(arg + 10);
       if (clients < 1 || clients > 1024) return Usage(argv[0]);
@@ -426,8 +437,8 @@ int main(int argc, char** argv) {
 
   int status = roundtrip_path.empty()
                    ? RunRaw(endpoint)
-                   : RunRoundTrip(endpoint, roundtrip_path, engine, clients,
-                                  repeat);
+                   : RunRoundTrip(endpoint, roundtrip_path, engine,
+                                  search_threads, clients, repeat);
   if (server != nullptr) server->Stop();
   return status;
 }
