@@ -47,6 +47,19 @@ PredicateId SymbolTable::MakeFreshPredicate(std::string_view stem,
   }
 }
 
+void SymbolTable::RollbackGeneration(const Generation& mark) {
+  assert(mark.constants <= constant_names_.size());
+  assert(mark.predicates <= predicates_.size());
+  for (size_t i = mark.constants; i < constant_names_.size(); ++i) {
+    constant_ids_.erase(constant_names_[i]);
+  }
+  constant_names_.resize(mark.constants);
+  for (size_t i = mark.predicates; i < predicates_.size(); ++i) {
+    predicate_ids_.erase(predicates_[i].name);
+  }
+  predicates_.resize(mark.predicates);
+}
+
 std::string SymbolTable::TermToString(Term t) const {
   switch (t.kind()) {
     case TermKind::kConstant:

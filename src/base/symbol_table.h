@@ -25,6 +25,16 @@ inline constexpr PredicateId kInvalidPredicate = ~PredicateId{0};
 /// Owns the mapping between external names and internal ids for constants
 /// and predicates, plus predicate arities. Not thread-safe by design: a
 /// reasoning session owns one table.
+///
+/// Interning is generation-scoped: ids are handed out in arrival order, so
+/// a mutator that may fail (ADD_FACTS parsing a whole batch, an inline
+/// query) takes a MarkGeneration() snapshot first and, on any failure
+/// path, RollbackGeneration() releases exactly the ids the failed
+/// generation allocated — the table stays flat under repeated
+/// add/rollback cycles instead of leaking one arena per attempt. Rolling
+/// back is only sound while nothing outside the failed batch holds the
+/// fresh ids (the daemon guarantees that by rolling back under the same
+/// exclusive lock the batch interned under, before any query can run).
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -64,6 +74,22 @@ class SymbolTable {
   /// Creates a fresh predicate with a unique name derived from `stem`
   /// (used by single-head normalization and the Lemma 6.4 rewriter).
   PredicateId MakeFreshPredicate(std::string_view stem, uint32_t arity);
+
+  /// A snapshot of the interning high-water marks: everything allocated
+  /// after the mark belongs to the current generation.
+  struct Generation {
+    size_t constants = 0;
+    size_t predicates = 0;
+  };
+  Generation MarkGeneration() const {
+    return Generation{constant_names_.size(), predicates_.size()};
+  }
+
+  /// Releases every constant and predicate id allocated since `mark`
+  /// (ids are sequential, so the generation is exactly the tail). The
+  /// caller must guarantee no live structure still references the
+  /// released ids — see the class comment.
+  void RollbackGeneration(const Generation& mark);
 
   /// Renders a term using this table's names (nulls as _:nK, variables as
   /// their debug names).

@@ -19,11 +19,19 @@ ProgramIndex::ProgramIndex(const Program& program, const Instance& database) {
   for (PredicateId p : database.Predicates()) note(p);
   tgds_by_head_.resize(max_predicate + 1);
   supported_.assign(max_predicate + 1, 0);
+  heads_by_body_.resize(max_predicate + 1);
 
   for (size_t i = 0; i < tgds.size(); ++i) {
     for (const Atom& head : tgds[i].head) {
       tgds_by_head_[head.predicate].push_back(i);
+      for (const Atom& body : tgds[i].body) {
+        heads_by_body_[body.predicate].push_back(head.predicate);
+      }
     }
+  }
+  for (std::vector<PredicateId>& heads : heads_by_body_) {
+    std::sort(heads.begin(), heads.end());
+    heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
   }
 
   // Supported-predicate least fixpoint, seeded with the database
@@ -60,6 +68,29 @@ const std::vector<size_t>& ProgramIndex::TgdsWithHead(PredicateId p) const {
   return p < tgds_by_head_.size() ? tgds_by_head_[p] : no_tgds_;
 }
 
+std::vector<char> ProgramIndex::AffectedByDelta(
+    const std::vector<PredicateId>& delta) const {
+  std::vector<char> affected(supported_.size(), 0);
+  std::vector<PredicateId> frontier;
+  for (PredicateId p : delta) {
+    if (p < affected.size() && affected[p] == 0) {
+      affected[p] = 1;
+      frontier.push_back(p);
+    }
+  }
+  while (!frontier.empty()) {
+    PredicateId p = frontier.back();
+    frontier.pop_back();
+    for (PredicateId head : heads_by_body_[p]) {
+      if (affected[head] == 0) {
+        affected[head] = 1;
+        frontier.push_back(head);
+      }
+    }
+  }
+  return affected;
+}
+
 bool ProgramIndex::StateIsDead(const std::vector<Atom>& atoms,
                                const Instance& database) const {
   for (const Atom& atom : atoms) {
@@ -87,7 +118,10 @@ ProofSearchCache::Key ProofSearchCache::InternKey(const CanonicalState& state) {
     offset += len;
     uint32_t next_id = static_cast<uint32_t>(atom_ids_.size());
     auto [it, inserted] = atom_ids_.try_emplace(std::move(chunk), next_id);
-    if (inserted) interned_words_ += len;
+    if (inserted) {
+      interned_words_ += len;
+      atom_predicates_.push_back(atom.predicate);
+    }
     key.push_back(it->second);
   }
   return key;
@@ -199,10 +233,65 @@ void ProofSearchCache::AltRecordRefuted(const CanonicalState& state,
   }
 }
 
+ProofSearchCache::DeltaInvalidation ProofSearchCache::InvalidateForDelta(
+    const Program& program, const Instance& database,
+    const std::vector<PredicateId>& delta_predicates) {
+  DeltaInvalidation result;
+  // The schema-sized index is rebuilt first: the supported fixpoint and
+  // the per-atom match estimates are monotone in the database, so the
+  // fresh index only ever prunes less than the stale one did.
+  index_ = ProgramIndex(program, database);
+  std::vector<char> affected = index_.AffectedByDelta(delta_predicates);
+  for (char flag : affected) {
+    result.affected_predicates += static_cast<size_t>(flag);
+  }
+
+  // One staleness bit per interned atom id; stored keys are tested by id
+  // without re-decoding the atom encoding.
+  std::vector<char> stale_atom(atom_predicates_.size(), 0);
+  bool any_stale = false;
+  for (size_t id = 0; id < atom_predicates_.size(); ++id) {
+    PredicateId p = atom_predicates_[id];
+    if (p < affected.size() && affected[p] != 0) {
+      stale_atom[id] = 1;
+      any_stale = true;
+    }
+  }
+  result.proven_kept = alt_proven_.size();
+  if (!any_stale) return result;
+
+  auto key_is_stale = [&stale_atom](const Key& key) {
+    for (uint32_t id : key) {
+      if (stale_atom[id] != 0) return true;
+    }
+    return false;
+  };
+  auto drop_stale = [&](Table* table) {
+    for (auto it = table->begin(); it != table->end();) {
+      if (key_is_stale(it->first)) {
+        key_words_ -= it->first.size();
+        it = table->erase(it);
+        ++result.exact_dropped;
+      } else {
+        ++it;
+      }
+    }
+  };
+  // Refutations ("cannot reach the empty state") can be voided by new
+  // facts in their cone; proofs are monotone and all survive.
+  drop_stale(&linear_refuted_);
+  drop_stale(&alt_refuted_);
+  result.subsumers_dropped =
+      linear_refuted_states_.InvalidateByPredicate(affected) +
+      alt_refuted_states_.InvalidateByPredicate(affected);
+  return result;
+}
+
 size_t ProofSearchCache::ApproximateBytes() const {
   size_t entries = linear_refuted_.size() + alt_proven_.size() +
                    alt_refuted_.size();
   return interned_words_ * sizeof(uint64_t) + key_words_ * sizeof(uint32_t) +
+         atom_predicates_.size() * sizeof(PredicateId) +
          entries * sizeof(Bound) + linear_refuted_states_.ApproximateBytes() +
          alt_refuted_states_.ApproximateBytes();
 }

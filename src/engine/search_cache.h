@@ -29,8 +29,13 @@
 // uint32 id per canonical atom encoding), so the per-state footprint across
 // thousands of overlapping states stays small.
 //
-// A cache is only meaningful for the exact (program, database) pair it was
-// constructed with; reusing it across different inputs is unsound.
+// A cache is only meaningful for the (program, database) pair it was
+// constructed with. The one sanctioned migration is InvalidateForDelta:
+// when facts are *inserted* (never removed) the cache carries over to the
+// grown database after dropping exactly the refutation-flavored entries
+// whose predicates fall in the delta's affected cone — proven entries are
+// monotone (a proof over D is a proof over any D ⊇ D) and survive as-is.
+// Any other reuse across different inputs remains unsound.
 
 #ifndef VADALOG_ENGINE_SEARCH_CACHE_H_
 #define VADALOG_ENGINE_SEARCH_CACHE_H_
@@ -83,11 +88,28 @@ class ProgramIndex {
   bool StateIsDead(const std::vector<Atom>& atoms,
                    const Instance& database) const;
 
+  /// Reverse-dependency query over pg(Σ) for delta maintenance: the set
+  /// of predicates whose resolution cone can reach a predicate of
+  /// `delta` — the least set containing `delta` and closed under "head
+  /// of a TGD whose body intersects the set" (forward reachability in
+  /// pg(Σ), the dual of the supported fixpoint above). A proof of a
+  /// state none of whose predicates is affected can never discharge an
+  /// atom against a new fact of a delta predicate, so refutations of
+  /// such states survive the insertion untouched. Returned as flat
+  /// per-predicate flags sized like `Supported`'s table; delta
+  /// predicates beyond the known range are ignored (nothing recorded
+  /// can mention them).
+  std::vector<char> AffectedByDelta(
+      const std::vector<PredicateId>& delta) const;
+
  private:
   // Flat per-predicate arrays: PredicateIds are small dense interned ints,
   // and these are probed for every atom of every explored state.
   std::vector<std::vector<size_t>> tgds_by_head_;
   std::vector<char> supported_;
+  // Forward edges of pg(Σ): heads_by_body_[p] lists the head predicates
+  // of TGDs with p in the body (deduplicated), for AffectedByDelta.
+  std::vector<std::vector<PredicateId>> heads_by_body_;
   std::vector<size_t> no_tgds_;
 };
 
@@ -145,6 +167,27 @@ class ProofSearchCache {
     alt_refuted_states_.MergeStats(delta);
   }
 
+  /// What one InvalidateForDelta pass dropped (observability + tests).
+  struct DeltaInvalidation {
+    size_t affected_predicates = 0;  // size of the affected cone
+    size_t exact_dropped = 0;        // linear/alt refuted exact entries
+    size_t proven_kept = 0;          // alt proven entries (all survive)
+    size_t subsumers_dropped = 0;    // bank entries tombstoned
+  };
+
+  /// Delta maintenance on fact insertion: migrates this cache to the
+  /// grown `database` (which must be a superset of the one the cache was
+  /// built against, same `program`) by rebuilding the schema-sized
+  /// ProgramIndex and invalidating only the refuted entries — exact
+  /// tables and subsumption banks — that mention a predicate in
+  /// AffectedByDelta(delta_predicates). Everything else keeps its
+  /// soundness: proofs are monotone under fact insertion, and a
+  /// refutation whose cone misses the delta can never have used (or
+  /// missed) a new fact. Single-threaded, like the Record paths.
+  DeltaInvalidation InvalidateForDelta(
+      const Program& program, const Instance& database,
+      const std::vector<PredicateId>& delta_predicates);
+
   /// Counters are atomic so concurrent exact-match lookups stay race-free.
   struct Stats {
     std::atomic<uint64_t> lookups{0};
@@ -193,6 +236,10 @@ class ProofSearchCache {
 
   ProgramIndex index_;
   std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_;
+  // Predicate of each interned atom id (parallel to atom_ids_ values):
+  // lets InvalidateForDelta test a stored key against the affected cone
+  // without decoding the atom encoding.
+  std::vector<PredicateId> atom_predicates_;
   size_t interned_words_ = 0;
   size_t key_words_ = 0;
   Table linear_refuted_;

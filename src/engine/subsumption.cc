@@ -148,6 +148,29 @@ int64_t SubsumptionIndex::FindSubsumer(const CanonicalState& state,
   return -1;
 }
 
+size_t SubsumptionIndex::InvalidateByPredicate(
+    const std::vector<char>& affected) {
+  size_t dropped = 0;
+  for (Entry& entry : entries_) {
+    if (entry.suppressed != 0) continue;
+    bool stale = false;
+    for (const Atom& a : entry.atoms) {
+      if (a.predicate < affected.size() && affected[a.predicate] != 0) {
+        stale = true;
+        break;
+      }
+    }
+    if (!stale) continue;
+    for (const Atom& a : entry.atoms) {
+      atom_bytes_ -= sizeof(Atom) + a.args.size() * sizeof(Term);
+    }
+    std::vector<Atom>().swap(entry.atoms);
+    entry.suppressed = 1;
+    ++dropped;
+  }
+  return dropped;
+}
+
 size_t SubsumptionIndex::ApproximateBytes() const {
   return atom_bytes_ + entries_.size() * sizeof(Entry) +
          entries_.size() * sizeof(uint32_t);

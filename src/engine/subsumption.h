@@ -92,6 +92,15 @@ class SubsumptionIndex {
     entries_[static_cast<size_t>(id)].suppressed = 1;
   }
 
+  /// Delta maintenance: tombstones (suppresses and frees the atoms of)
+  /// every live entry containing a predicate flagged in `affected` —
+  /// such an entry's refutation claim may no longer hold once facts of
+  /// an affected predicate are inserted. Entry ids stay stable (the
+  /// suppressed slot remains so same-size ordering is untouched); the
+  /// freed atom storage is reclaimed immediately. Returns the number of
+  /// entries tombstoned.
+  size_t InvalidateByPredicate(const std::vector<char>& affected);
+
   size_t size() const { return entries_.size(); }
 
   const Stats& stats() const { return stats_; }

@@ -56,6 +56,19 @@ ReasonerOptions Session::BuildOptions(const Request& request) const {
   return options;
 }
 
+void Session::FinishCacheUse() {
+  size_t bytes = cache_->ApproximateBytes();
+  if (bytes > options_.cache_byte_limit) {
+    // Generational eviction: drop the whole generation, start warm
+    // again from empty (entries cannot be evicted individually).
+    cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
+                                                reasoner_->database());
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    bytes = cache_->ApproximateBytes();
+  }
+  cache_bytes_.store(bytes, std::memory_order_relaxed);
+}
+
 bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
                            JsonValue* response) {
   if (!request.query_text.empty()) {
@@ -119,19 +132,8 @@ JsonValue Session::Query(const Request& request) {
     set = reasoner_->AnswerChecked(query, options);
     if (set.error.empty()) {
       rows = RenderAnswers(*reasoner_, set.answers);
-      if (cache_lock.owns_lock()) {
-        size_t bytes = cache_->ApproximateBytes();
-        if (bytes > options_.cache_byte_limit) {
-          // Generational eviction: drop the whole generation, start warm
-          // again from empty (entries cannot be evicted individually).
-          cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
-                                                      reasoner_->database());
-          cache_evictions_.fetch_add(1, std::memory_order_relaxed);
-          bytes = cache_->ApproximateBytes();
-        }
-        cache_bytes_.store(bytes, std::memory_order_relaxed);
-      }
     }
+    if (cache_lock.owns_lock()) FinishCacheUse();
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (waited) queries_waited_.fetch_add(1, std::memory_order_relaxed);
@@ -182,9 +184,45 @@ JsonValue Session::Explain(const Request& request) {
   std::vector<Term> answer;
   {
     std::unique_lock<std::shared_mutex> lock(data_mutex_);  // interning
+    SymbolTable::Generation generation = reasoner_->MarkSymbolGeneration();
     answer.reserve(request.answer.size());
     for (const std::string& name : request.answer) {
       answer.push_back(reasoner_->InternConstant(name));
+    }
+    // An answer naming a constant this session has never seen cannot be
+    // certain when the query is safe (every output variable occurs in
+    // the body): chase(D, Σ) only contains constants of D and Σ, and
+    // homomorphisms are the identity on constants. Short-circuit to
+    // "not certain" and release the speculative interning generation —
+    // nothing (no cache state, no database row) holds the fresh ids, so
+    // probing with arbitrary unknown constants does not grow the table.
+    bool interned_fresh =
+        reasoner_->MarkSymbolGeneration().constants > generation.constants;
+    bool query_is_safe = true;
+    for (Term t : query.output) {
+      if (!t.is_variable()) continue;
+      bool in_body = false;
+      for (const Atom& atom : query.atoms) {
+        for (Term arg : atom.args) {
+          if (arg == t) {
+            in_body = true;
+            break;
+          }
+        }
+        if (in_body) break;
+      }
+      if (!in_body) {
+        query_is_safe = false;
+        break;
+      }
+    }
+    if (interned_fresh && query_is_safe) {
+      reasoner_->RollbackSymbolGeneration(generation);
+      response = OkResponse(request.id);
+      response.Set("session", JsonValue::String(name_));
+      response.Set("certain", JsonValue::Bool(false));
+      response.Set("proof", JsonValue::String(""));
+      return response;
     }
   }
   ReasonerOptions options = BuildOptions(request);
@@ -194,6 +232,7 @@ JsonValue Session::Explain(const Request& request) {
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
     options.proof.cache = cache_.get();
     proof = reasoner_->Explain(query, answer, options);
+    FinishCacheUse();
   }
   response = OkResponse(request.id);
   response.Set("session", JsonValue::String(name_));
@@ -205,20 +244,30 @@ JsonValue Session::Explain(const Request& request) {
 JsonValue Session::AddFacts(const Request& request) {
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
   size_t before = reasoner_->database().size();
-  std::string error = reasoner_->AddFactsText(request.facts);
+  std::vector<PredicateId> delta;
+  std::string error = reasoner_->AddFactsText(request.facts, &delta);
   if (!error.empty()) {
+    // All-or-nothing: AddFactsText rolled back the parsed clauses, the
+    // database, and the batch's symbol-table generation — the session is
+    // bitwise back where it was, warm cache included.
     return ErrorResponse(Error{"EPARSE", error}, request.id);
   }
   size_t added = reasoner_->database().size() - before;
   facts_added_.fetch_add(added, std::memory_order_relaxed);
-  {
+  ProofSearchCache::DeltaInvalidation invalidation;
+  if (!delta.empty()) {
     // No query can hold the cache here (queries hold the data lock
-    // shared while they do): rebuild against the new database — stale
-    // entries would be unsound.
+    // shared while they do). Delta maintenance instead of a rebuild:
+    // only refuted entries whose supported-predicate cone intersects the
+    // inserted predicates are dropped; everything else stays warm. An
+    // all-duplicate batch has an empty delta and skips even this.
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-    cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
-                                                reasoner_->database());
-    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    invalidation = cache_->InvalidateForDelta(reasoner_->program(),
+                                              reasoner_->database(), delta);
+    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    cache_invalidated_entries_.fetch_add(
+        invalidation.exact_dropped + invalidation.subsumers_dropped,
+        std::memory_order_relaxed);
     cache_bytes_.store(cache_->ApproximateBytes(), std::memory_order_relaxed);
   }
   JsonValue response = OkResponse(request.id);
@@ -227,6 +276,13 @@ JsonValue Session::AddFacts(const Request& request) {
   response.Set("facts",
                JsonValue::Number(
                    static_cast<uint64_t>(reasoner_->database().size())));
+  response.Set("affected_predicates",
+               JsonValue::Number(static_cast<uint64_t>(
+                   invalidation.affected_predicates)));
+  response.Set("cache_entries_invalidated",
+               JsonValue::Number(static_cast<uint64_t>(
+                   invalidation.exact_dropped +
+                   invalidation.subsumers_dropped)));
   return response;
 }
 
@@ -243,13 +299,23 @@ JsonValue Session::StatsObject() {
     object.Set("queries_loaded",
                JsonValue::Number(static_cast<uint64_t>(
                    reasoner_->program().queries().size())));
-    // Inline query text and EXPLAIN answers intern symbols permanently
-    // (rolling them back would dangle ids held by the cache), so growth
-    // is surfaced here for operators to watch; UNLOAD is the reset.
+    // Successful inline query texts intern symbols permanently (rolling
+    // them back would dangle ids held by the cache); failed parses,
+    // failed ADD_FACTS batches, and unknown EXPLAIN constants release
+    // their generation, so only genuinely retained names grow this.
     object.Set("symbols",
                JsonValue::Number(static_cast<uint64_t>(
                    reasoner_->program().symbols().num_constants() +
                    reasoner_->program().symbols().num_predicates())));
+    // Refresh the byte figure when the cache is idle so STATS reflects
+    // growth since the last request finished; under contention the last
+    // stored value (at most one request stale) is reported instead of
+    // blocking the stats path behind a running search.
+    std::unique_lock<std::mutex> cache_lock(cache_mutex_, std::try_to_lock);
+    if (cache_lock.owns_lock()) {
+      cache_bytes_.store(cache_->ApproximateBytes(),
+                         std::memory_order_relaxed);
+    }
   }
   object.Set("queries_served",
              JsonValue::Number(queries_.load(std::memory_order_relaxed)));
@@ -262,6 +328,12 @@ JsonValue Session::StatsObject() {
   object.Set("cache_evictions",
              JsonValue::Number(
                  cache_evictions_.load(std::memory_order_relaxed)));
+  object.Set("cache_invalidations",
+             JsonValue::Number(
+                 cache_invalidations_.load(std::memory_order_relaxed)));
+  object.Set("cache_invalidated_entries",
+             JsonValue::Number(cache_invalidated_entries_.load(
+                 std::memory_order_relaxed)));
   object.Set("facts_added",
              JsonValue::Number(facts_added_.load(std::memory_order_relaxed)));
   return object;

@@ -18,9 +18,18 @@
 //     (~1 ms) once the holder finishes. The cost is that one session's
 //     queries serialize; different sessions still run fully parallel,
 //     which is the scaling axis a multi-tenant daemon actually has;
-//   * ADD_FACTS invalidates the cache (its entries are sound only for
-//     the exact database they were recorded against) by rebuilding it;
-//   * the cache has a byte cap: when a query leaves it oversized it is
+//   * ADD_FACTS delta-invalidates the cache instead of rebuilding it:
+//     only refuted entries (exact tables + subsumption banks) whose
+//     predicates fall in the inserted facts' affected cone — forward
+//     reachability from the delta in pg(Σ) — are dropped; proven entries
+//     and cone-disjoint refutations carry over warm with their soundness
+//     intact (ProofSearchCache::InvalidateForDelta). Counted in
+//     `cache_invalidations`. A batch that inserts nothing new (or fails)
+//     leaves the cache untouched;
+//   * ADD_FACTS is all-or-nothing including the symbol table: a failed
+//     batch rolls back its interning generation, so repeated failing
+//     batches do not grow the table (see SymbolTable::RollbackGeneration);
+//   * the cache has a byte cap: when a request leaves it oversized it is
 //     generationally evicted (dropped and rebuilt empty), counted in
 //     `cache_evictions`. Entries cannot be evicted individually — a
 //     SubsumptionIndex never forgets — so wholesale generations keep the
@@ -91,6 +100,11 @@ class Session {
 
   ReasonerOptions BuildOptions(const protocol::Request& request) const;
 
+  /// Post-use cache bookkeeping, called with `cache_mutex_` held: applies
+  /// the byte-cap generational eviction and refreshes `cache_bytes_` so
+  /// STATS tracks growth as it happens, not only at the next eviction.
+  void FinishCacheUse();
+
   const std::string name_;
   const SessionOptions options_;
   std::unique_ptr<Reasoner> reasoner_;
@@ -104,7 +118,13 @@ class Session {
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> queries_waited_{0};  // had to wait for the cache
+  /// Byte-cap generational evictions (whole cache dropped) — distinct
+  /// from `cache_invalidations_`, the ADD_FACTS-driven partial drops.
   std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> cache_invalidations_{0};
+  /// Entries removed by delta invalidation (exact + subsumption bank),
+  /// cumulative; observability for how partial the invalidations are.
+  std::atomic<uint64_t> cache_invalidated_entries_{0};
   std::atomic<uint64_t> facts_added_{0};
   std::atomic<size_t> cache_bytes_{0};  // last observed ApproximateBytes
 };

@@ -27,15 +27,23 @@ Reasoner::Reasoner(Program program) : program_(std::move(program)) {
   wardedness_ = CheckWardedness(program_);
 }
 
-std::string Reasoner::AddFactsText(std::string_view text) {
+std::string Reasoner::AddFactsText(std::string_view text,
+                                   std::vector<PredicateId>* delta_predicates) {
   size_t old_tgds = program_.tgds().size();
   size_t old_facts = program_.facts().size();
   size_t old_queries = program_.queries().size();
+  // The batch's interning is one symbol-table generation: any failure
+  // below releases the fresh ids along with the parsed clauses, so a
+  // failed ADD_FACTS leaves no trace — not even in the symbol table.
+  // Sound because the rolled-back clauses are the only holders of the
+  // fresh ids (no database insert or query runs before the checks pass).
+  SymbolTable::Generation generation = program_.symbols().MarkGeneration();
   std::string error = ParseInto(text, &program_);
   auto rollback = [&] {
     program_.tgds().resize(old_tgds);
     program_.facts().resize(old_facts);
     program_.queries().resize(old_queries);
+    program_.symbols().RollbackGeneration(generation);
   };
   if (!error.empty()) {
     rollback();
@@ -54,7 +62,15 @@ std::string Reasoner::AddFactsText(std::string_view text) {
     }
   }
   for (size_t i = old_facts; i < program_.facts().size(); ++i) {
-    database_.Insert(program_.facts()[i]);
+    if (database_.Insert(program_.facts()[i]) && delta_predicates != nullptr) {
+      delta_predicates->push_back(program_.facts()[i].predicate);
+    }
+  }
+  if (delta_predicates != nullptr) {
+    std::sort(delta_predicates->begin(), delta_predicates->end());
+    delta_predicates->erase(
+        std::unique(delta_predicates->begin(), delta_predicates->end()),
+        delta_predicates->end());
   }
   return "";
 }
@@ -64,6 +80,7 @@ std::optional<ConjunctiveQuery> Reasoner::ParseQuery(std::string_view text,
   size_t old_tgds = program_.tgds().size();
   size_t old_facts = program_.facts().size();
   size_t old_queries = program_.queries().size();
+  SymbolTable::Generation generation = program_.symbols().MarkGeneration();
   std::string parse_error = ParseInto(text, &program_);
   auto rollback = [&] {
     program_.tgds().resize(old_tgds);
@@ -72,6 +89,9 @@ std::optional<ConjunctiveQuery> Reasoner::ParseQuery(std::string_view text,
   };
   if (!parse_error.empty()) {
     rollback();
+    // A failed parse releases its interning generation too — nothing
+    // holds the fresh ids.
+    program_.symbols().RollbackGeneration(generation);
     if (error != nullptr) *error = parse_error;
     return std::nullopt;
   }
@@ -79,13 +99,16 @@ std::optional<ConjunctiveQuery> Reasoner::ParseQuery(std::string_view text,
       program_.tgds().size() != old_tgds ||
       program_.facts().size() != old_facts) {
     rollback();
+    program_.symbols().RollbackGeneration(generation);
     if (error != nullptr) {
       *error = "expected exactly one query clause (\"?(X) :- ...\")";
     }
     return std::nullopt;
   }
   ConjunctiveQuery query = std::move(program_.queries().back());
-  rollback();  // the query is answered, not retained
+  // The query itself is returned and may hold freshly interned constants,
+  // so only the clause vectors are rolled back on success.
+  rollback();
   return query;
 }
 

@@ -62,10 +62,19 @@ class Reasoner {
 
   /// Parses surface-syntax clauses and inserts them as facts (program +
   /// database). Clauses that are not ground facts (rules, queries,
-  /// non-ground "facts") are rejected and the whole batch is rolled back.
-  /// Returns an error message, or "" on success. Mutates the reasoner:
-  /// callers sharing it across threads must hold their write lock.
-  std::string AddFactsText(std::string_view text);
+  /// non-ground "facts") are rejected and the whole batch is rolled back
+  /// all-or-nothing: program vectors, database, AND the symbol-table
+  /// generation the batch interned (fresh constant/predicate ids are
+  /// released, so repeated failing batches keep the table flat).
+  /// Returns an error message, or "" on success. On success,
+  /// `delta_predicates` (when non-null) receives the deduplicated
+  /// predicates of the facts actually inserted — facts already present
+  /// do not count, so a no-op batch reports an empty delta and warm
+  /// caches need not be touched at all. Mutates the reasoner: callers
+  /// sharing it across threads must hold their write lock.
+  std::string AddFactsText(std::string_view text,
+                           std::vector<PredicateId>* delta_predicates =
+                               nullptr);
 
   /// Parses one query clause ("?(X) :- ...") against this reasoner's
   /// symbol table without retaining it in the program. Exactly one query
@@ -78,6 +87,18 @@ class Reasoner {
   /// Mutates the symbol table: same locking caveat as AddFactsText.
   Term InternConstant(std::string_view name) {
     return program_.symbols().InternConstant(name);
+  }
+
+  /// Generation-scoped interning support for callers whose interning may
+  /// turn out to be speculative (e.g. EXPLAIN answers naming constants
+  /// the session has never seen): mark, intern, and — only if nothing
+  /// else can hold the fresh ids — roll back. Same locking caveat as
+  /// AddFactsText.
+  SymbolTable::Generation MarkSymbolGeneration() const {
+    return program_.symbols().MarkGeneration();
+  }
+  void RollbackSymbolGeneration(const SymbolTable::Generation& mark) {
+    program_.symbols().RollbackGeneration(mark);
   }
 
   /// Fragment analysis of the normalized rule set.

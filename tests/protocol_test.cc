@@ -333,6 +333,8 @@ TEST(ProtocolTest, WarmSessionCacheCarriesAcrossQueriesAndEvicts) {
   const JsonValue* session = stats.Find("session");
   EXPECT_EQ(session->GetUint("queries_served"), 3u);
   EXPECT_GE(session->GetUint("cache_evictions"), 2u);
+  // Byte-cap evictions are not ADD_FACTS invalidations.
+  EXPECT_EQ(session->GetUint("cache_invalidations"), 0u);
 
   SessionRegistry uncapped{SessionOptions{}};
   ASSERT_TRUE(uncapped.HandleLine(LoadLine("s")).GetBool("ok"));
@@ -346,8 +348,118 @@ TEST(ProtocolTest, WarmSessionCacheCarriesAcrossQueriesAndEvicts) {
   stats = uncapped.HandleLine(R"({"cmd":"STATS","session":"s"})");
   session = stats.Find("session");
   EXPECT_EQ(session->GetUint("cache_evictions"), 0u);
+  EXPECT_EQ(session->GetUint("cache_invalidations"), 0u);
   EXPECT_GT(session->GetUint("cache_bytes"), 0u);
   EXPECT_EQ(session->GetUint("queries_waited"), 0u);  // sequential callers
+}
+
+TEST(ProtocolTest, AddFactsFailureIsAllOrNothingIncludingSymbols) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  JsonValue stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  const JsonValue* session = stats.Find("session");
+  uint64_t facts = session->GetUint("facts");
+  uint64_t symbols = session->GetUint("symbols");
+  JsonValue before = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  ASSERT_TRUE(before.GetBool("ok")) << before.Dump();
+  std::string answers = before.Find("answers")->Dump();
+
+  // Well-formed facts followed by a malformed last clause: the whole
+  // batch is rejected — database, program, and the fresh names the good
+  // prefix interned. Repeating the failure must not grow anything.
+  for (int i = 0; i < 3; ++i) {
+    JsonValue bad = registry.HandleLine(
+        R"({"cmd":"ADD_FACTS","session":"s",)"
+        R"("facts":"e(c, d). brandnew(n1, n2). e(oops"})");
+    EXPECT_EQ(bad.Find("error")->GetString("code"), "EPARSE");
+  }
+  stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  session = stats.Find("session");
+  EXPECT_EQ(session->GetUint("facts"), facts);
+  EXPECT_EQ(session->GetUint("symbols"), symbols);
+  EXPECT_EQ(session->GetUint("facts_added"), 0u);
+  EXPECT_EQ(session->GetUint("cache_invalidations"), 0u);
+  JsonValue after = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  ASSERT_TRUE(after.GetBool("ok")) << after.Dump();
+  EXPECT_EQ(after.Find("answers")->Dump(), answers);
+}
+
+TEST(ProtocolTest, StatsTrackCacheBytesAcrossQueriesAndInvalidation) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  JsonValue stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  uint64_t cold = stats.Find("session")->GetUint("cache_bytes");
+
+  ASSERT_TRUE(
+      registry
+          .HandleLine(R"({"cmd":"QUERY","session":"s","query_index":0,)"
+                      R"("engine":"linear"})")
+          .GetBool("ok"));
+  stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  uint64_t warm = stats.Find("session")->GetUint("cache_bytes");
+  EXPECT_GT(warm, cold);
+
+  // e feeds t, so this delta's cone covers every recorded refutation:
+  // the invalidation drops them all and the byte figure comes back down
+  // (the interned-atom dictionary legitimately remains).
+  JsonValue added = registry.HandleLine(
+      R"({"cmd":"ADD_FACTS","session":"s","facts":"e(c, q1)."})");
+  ASSERT_TRUE(added.GetBool("ok")) << added.Dump();
+  EXPECT_EQ(added.GetUint("added"), 1u);
+  EXPECT_EQ(added.GetUint("affected_predicates"), 2u);  // e and t
+  EXPECT_GT(added.GetUint("cache_entries_invalidated"), 0u);
+  stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  const JsonValue* session = stats.Find("session");
+  EXPECT_LT(session->GetUint("cache_bytes"), warm);
+  EXPECT_EQ(session->GetUint("cache_invalidations"), 1u);
+  EXPECT_GT(session->GetUint("cache_invalidated_entries"), 0u);
+  EXPECT_EQ(session->GetUint("cache_evictions"), 0u);
+
+  // And the invalidated session answers against the grown graph.
+  JsonValue after = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0,"engine":"linear"})");
+  ASSERT_TRUE(after.GetBool("ok")) << after.Dump();
+  EXPECT_EQ(after.Find("answers")->Items().size(), 3u);  // b, c, q1
+}
+
+TEST(ProtocolTest, ConeDisjointAddFactsInvalidatesNothing) {
+  // tag feeds no rule: inserting into it must leave the warm cache
+  // entirely intact, and a duplicate-only batch must not even count as
+  // an invalidation.
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry
+                  .HandleLine(LoadLine(
+                      "s",
+                      "t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z). "
+                      "e(a, b). e(b, c). tag(a). ?(X) :- t(a, X)."))
+                  .GetBool("ok"));
+  ASSERT_TRUE(
+      registry
+          .HandleLine(R"({"cmd":"QUERY","session":"s","query_index":0,)"
+                      R"("engine":"linear"})")
+          .GetBool("ok"));
+  JsonValue added = registry.HandleLine(
+      R"({"cmd":"ADD_FACTS","session":"s","facts":"tag(b)."})");
+  ASSERT_TRUE(added.GetBool("ok")) << added.Dump();
+  EXPECT_EQ(added.GetUint("affected_predicates"), 1u);  // tag alone
+  EXPECT_EQ(added.GetUint("cache_entries_invalidated"), 0u);
+
+  JsonValue dup = registry.HandleLine(
+      R"({"cmd":"ADD_FACTS","session":"s","facts":"tag(b)."})");
+  ASSERT_TRUE(dup.GetBool("ok")) << dup.Dump();
+  EXPECT_EQ(dup.GetUint("added"), 0u);
+  EXPECT_EQ(dup.GetUint("affected_predicates"), 0u);
+
+  JsonValue stats = registry.HandleLine(R"({"cmd":"STATS","session":"s"})");
+  const JsonValue* session = stats.Find("session");
+  EXPECT_EQ(session->GetUint("cache_invalidations"), 1u);
+  EXPECT_EQ(session->GetUint("cache_invalidated_entries"), 0u);
+  JsonValue after = registry.HandleLine(
+      R"({"cmd":"QUERY","session":"s","query_index":0,"engine":"linear"})");
+  ASSERT_TRUE(after.GetBool("ok")) << after.Dump();
+  EXPECT_EQ(after.Find("answers")->Items().size(), 2u);  // b, c
 }
 
 TEST(ProtocolTest, StatsAndPing) {

@@ -323,5 +323,185 @@ TEST(SearchCacheTest, TimeBudgetReportsExhaustion) {
   }
 }
 
+TEST(ProgramIndexTest, AffectedByDeltaIsForwardClosureInPredicateGraph) {
+  // Two chains: r -> q -> p and u -> v, plus an isolated fact predicate.
+  TestEnv s(R"(
+    p(X) :- q(X).
+    q(X) :- r(X).
+    v(X) :- u(X).
+    r(a). u(a). tag(a).
+  )");
+  ProgramIndex index(s.program, s.db);
+  std::vector<char> affected = index.AffectedByDelta({s.Pred("r")});
+  EXPECT_TRUE(affected[s.Pred("r")]);
+  EXPECT_TRUE(affected[s.Pred("q")]);
+  EXPECT_TRUE(affected[s.Pred("p")]);
+  EXPECT_FALSE(affected[s.Pred("u")]);
+  EXPECT_FALSE(affected[s.Pred("v")]);
+  EXPECT_FALSE(affected[s.Pred("tag")]);
+  // A sink predicate (no rule body mentions it) affects only itself.
+  std::vector<char> sink = index.AffectedByDelta({s.Pred("p")});
+  EXPECT_TRUE(sink[s.Pred("p")]);
+  EXPECT_FALSE(sink[s.Pred("q")]);
+  EXPECT_FALSE(sink[s.Pred("r")]);
+  // An empty delta affects nothing.
+  std::vector<char> none = index.AffectedByDelta({});
+  for (char flag : none) EXPECT_EQ(flag, 0);
+}
+
+TEST(SearchCacheTest, DeltaInvalidationKeepsConeDisjointRefutationsWarm) {
+  // Two disconnected rule islands. Warming both and then inserting a fact
+  // into the f/s island must keep every t/e-island refutation reusable.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    s(X, Y) :- f(X, Y).
+    s(X, Z) :- f(X, Y), s(Y, Z).
+    e(a, b). e(b, c).
+    f(u, v). f(v, w).
+    ?(X, Y) :- t(X, Y).
+    ?(X, Y) :- s(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  ProofSearchResult cold_t = LinearProofSearch(
+      s.program, s.db, s.Query(0), {s.Const("a"), s.Const("zz")}, options);
+  EXPECT_FALSE(cold_t.accepted);
+  ProofSearchResult cold_s = LinearProofSearch(
+      s.program, s.db, s.Query(1), {s.Const("u"), s.Const("zz")}, options);
+  EXPECT_FALSE(cold_s.accepted);
+  size_t warm_entries = cache.linear_refuted_size();
+  EXPECT_GT(warm_entries, 0u);
+
+  // Grow the f island: s(u, x) becomes certain.
+  s.db.Insert(Atom(s.Pred("f"), {s.Const("w"), s.Const("x")}));
+  ProofSearchCache::DeltaInvalidation inv =
+      cache.InvalidateForDelta(s.program, s.db, {s.Pred("f")});
+  EXPECT_EQ(inv.affected_predicates, 2u);  // f and s, nothing else
+  EXPECT_GT(inv.exact_dropped, 0u);
+  EXPECT_LT(cache.linear_refuted_size(), warm_entries);
+  EXPECT_GT(cache.linear_refuted_size(), 0u);  // t-island entries survive
+
+  // The t island is still warm: the same refutation comes back cheaper.
+  ProofSearchResult warm_t = LinearProofSearch(
+      s.program, s.db, s.Query(0), {s.Const("a"), s.Const("zz")}, options);
+  EXPECT_FALSE(warm_t.accepted);
+  EXPECT_GT(warm_t.cache_hits, 0u);
+  EXPECT_LT(warm_t.states_visited, cold_t.states_visited);
+
+  // And the invalidated island answers correctly against the grown data:
+  // both through the warm cache and compared with an uncached search.
+  ProofSearchResult reach = LinearProofSearch(
+      s.program, s.db, s.Query(1), {s.Const("u"), s.Const("x")}, options);
+  EXPECT_TRUE(reach.accepted);
+  EXPECT_TRUE(LinearProofSearch(s.program, s.db, s.Query(1),
+                                {s.Const("u"), s.Const("x")})
+                  .accepted);
+  EXPECT_FALSE(LinearProofSearch(s.program, s.db, s.Query(1),
+                                 {s.Const("u"), s.Const("zz")}, options)
+                   .accepted);
+}
+
+TEST(SearchCacheTest, DeltaInvalidationMakesNewlyCertainCandidatesAccepted) {
+  // The bug the invalidation fixes: a refutation recorded before the
+  // insertion must not survive to contradict a now-derivable fact.
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).
+    e(a, b). e(b, c).
+    ?(X) :- t(a, X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("d")}, options)
+          .accepted);
+  EXPECT_GT(cache.linear_refuted_size(), 0u);
+
+  s.db.Insert(Atom(s.Pred("e"), {s.Const("c"), s.Const("d")}));
+  cache.InvalidateForDelta(s.program, s.db, {s.Pred("e")});
+  // e's cone covers t: every refutation was dropped.
+  EXPECT_EQ(cache.linear_refuted_size(), 0u);
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("d")}, options)
+          .accepted);
+  EXPECT_TRUE(
+      AlternatingProofSearch(s.program, s.db, s.Query(), {s.Const("d")})
+          .accepted);
+}
+
+TEST(SearchCacheTest, DeltaInvalidationRefreshesSupportedFixpoint) {
+  // Before the insertion r has no facts, so p and q are unsupported and
+  // the searches refute instantly via dead-state pruning. The inserted
+  // r-fact must re-enter them into the supported fixpoint.
+  TestEnv s(R"(
+    p(X) :- q(X).
+    q(X) :- r(X).
+    dom(a).
+    ?(X) :- p(X).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  EXPECT_FALSE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("a")}, options)
+          .accepted);
+  EXPECT_FALSE(cache.index().Supported(s.Pred("p")));
+
+  s.db.Insert(Atom(s.Pred("r"), {s.Const("a")}));
+  ProofSearchCache::DeltaInvalidation inv =
+      cache.InvalidateForDelta(s.program, s.db, {s.Pred("r")});
+  EXPECT_EQ(inv.affected_predicates, 3u);  // r, q, p
+  EXPECT_TRUE(cache.index().Supported(s.Pred("p")));
+  EXPECT_TRUE(
+      LinearProofSearch(s.program, s.db, s.Query(), {s.Const("a")}, options)
+          .accepted);
+}
+
+TEST(SearchCacheTest, DeltaInvalidationKeepsAllProvenAlternatingEntries) {
+  TestEnv s(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), t(Y, Z).
+    e(a, b). e(b, c). e(c, d).
+    tag(q0).
+    ?(X, Y) :- t(X, Y).
+  )");
+  ProofSearchCache cache(s.program, s.db);
+  ProofSearchOptions options;
+  options.cache = &cache;
+  EXPECT_TRUE(AlternatingProofSearch(s.program, s.db, s.Query(),
+                                     {s.Const("a"), s.Const("d")}, options)
+                  .accepted);
+  EXPECT_FALSE(AlternatingProofSearch(s.program, s.db, s.Query(),
+                                      {s.Const("d"), s.Const("a")}, options)
+                   .accepted);
+  size_t proven = cache.alt_proven_size();
+  size_t refuted = cache.alt_refuted_size();
+  EXPECT_GT(proven, 0u);
+
+  // tag feeds no rule: the delta's cone is {tag} and nothing is dropped.
+  s.db.Insert(Atom(s.Pred("tag"), {s.Const("q1")}));
+  ProofSearchCache::DeltaInvalidation inv =
+      cache.InvalidateForDelta(s.program, s.db, {s.Pred("tag")});
+  EXPECT_EQ(inv.affected_predicates, 1u);
+  EXPECT_EQ(inv.exact_dropped, 0u);
+  EXPECT_EQ(inv.subsumers_dropped, 0u);
+  EXPECT_EQ(inv.proven_kept, proven);
+  EXPECT_EQ(cache.alt_proven_size(), proven);
+  EXPECT_EQ(cache.alt_refuted_size(), refuted);
+
+  // Even when the cone does hit t, proofs are monotone and all survive.
+  s.db.Insert(Atom(s.Pred("e"), {s.Const("d"), s.Const("q1")}));
+  inv = cache.InvalidateForDelta(s.program, s.db, {s.Pred("e")});
+  EXPECT_EQ(inv.proven_kept, proven);
+  EXPECT_EQ(cache.alt_proven_size(), proven);
+  EXPECT_EQ(cache.alt_refuted_size(), 0u);
+  EXPECT_TRUE(AlternatingProofSearch(s.program, s.db, s.Query(),
+                                     {s.Const("a"), s.Const("q1")}, options)
+                  .accepted);
+}
+
 }  // namespace
 }  // namespace vadalog

@@ -33,7 +33,7 @@ if [[ ${#BENCHES[@]} -eq 0 ]]; then
   BENCHES=(bench_micro bench_rewriting bench_pipeline bench_combined
            bench_recursion_profile bench_tiling bench_ablation
            bench_linearize bench_owl2ql bench_search_cache bench_server
-           bench_space bench_warded)
+           bench_space bench_streaming bench_warded)
 fi
 if [[ -z "$OUT" ]]; then
   OUT="BENCH_$(date -u +%Y%m%d).json"
