@@ -42,6 +42,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -114,11 +116,22 @@ class ProgramIndex {
 };
 
 /// Shared memoization across proof searches over one (program, database)
-/// pair. Share within one reasoning session. The exact-match lookups
-/// (LinearKnownRefuted, AltKnown*) are safe to call concurrently as long
-/// as no Record runs at the same time — the parallel linear BFS probes
-/// them from its workers and records only after they have joined. The
-/// subsumption lookups and all Record methods are single-threaded.
+/// pair. Share within one reasoning session.
+///
+/// Thread safety: internally synchronized by one reader-writer lock, so
+/// whole *searches* can share the cache concurrently — several queries
+/// of one session probing and (at their ends) recording at once. The
+/// exact-match lookups, the stats-free subsumption probe (probe_stats
+/// supplied), and the size getters take the lock shared; every Record,
+/// the stats-mutating subsumption probe, MergeAltProbeStats, and
+/// InvalidateForDelta take it exclusive. Within one search the old
+/// fine-grained contract still matters for determinism (the parallel
+/// searches defer their records past the concurrent probing phase), but
+/// safety no longer depends on it. The one exception is `index()`: the
+/// returned reference is invalidated by InvalidateForDelta, so callers
+/// must externally exclude delta maintenance for as long as they hold
+/// it — the session layer does (queries hold the session data lock
+/// shared, ADD_FACTS holds it exclusive).
 class ProofSearchCache {
  public:
   ProofSearchCache(const Program& program, const Instance& database);
@@ -145,25 +158,31 @@ class ProofSearchCache {
 
   /// Subsumption transfer over the recorded refutations: true iff some
   /// recorded refuted state with a covering bound maps homomorphically
-  /// into `state` (and has no more atoms). NOT thread-safe by default —
-  /// the parallel linear search consults these only from its sequential
-  /// merge phase. The alternating search's concurrent branch tasks pass
-  /// `probe_stats` (a task-private SubsumptionIndex::Stats) instead,
-  /// which makes the probe a pure read of the entry tables (safe and
-  /// deterministic as long as no Record runs concurrently — records are
-  /// deferred to the end of the search); the deltas are merged back via
-  /// MergeAltProbeStats in a fixed order.
+  /// into `state` (and has no more atoms). Without `probe_stats` the
+  /// probe updates the bank's own counters and takes the cache lock
+  /// exclusive; with a task-private `probe_stats` it is a pure read
+  /// under the shared lock — what the alternating search's concurrent
+  /// branch tasks use, merging the deltas back via MergeAltProbeStats
+  /// in a fixed order for determinism.
   bool LinearRefutedBySubsumption(const CanonicalState& state, size_t width,
                                   size_t max_chunk) const {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return linear_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
   }
   bool AltRefutedBySubsumption(
       const CanonicalState& state, size_t width, size_t max_chunk,
       SubsumptionIndex::Stats* probe_stats = nullptr) const {
+    if (probe_stats != nullptr) {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      return alt_refuted_states_.FindSubsumer(state, width, max_chunk,
+                                              INT64_MAX, probe_stats) >= 0;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return alt_refuted_states_.FindSubsumer(state, width, max_chunk,
-                                            INT64_MAX, probe_stats) >= 0;
+                                            INT64_MAX, nullptr) >= 0;
   }
   void MergeAltProbeStats(const SubsumptionIndex::Stats& delta) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     alt_refuted_states_.MergeStats(delta);
   }
 
@@ -196,10 +215,22 @@ class ProofSearchCache {
   };
   const Stats& stats() const { return stats_; }
 
-  size_t linear_refuted_size() const { return linear_refuted_.size(); }
-  size_t alt_proven_size() const { return alt_proven_.size(); }
-  size_t alt_refuted_size() const { return alt_refuted_.size(); }
-  size_t interned_atoms() const { return atom_ids_.size(); }
+  size_t linear_refuted_size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return linear_refuted_.size();
+  }
+  size_t alt_proven_size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return alt_proven_.size();
+  }
+  size_t alt_refuted_size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return alt_refuted_.size();
+  }
+  size_t interned_atoms() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return atom_ids_.size();
+  }
   size_t ApproximateBytes() const;
 
  private:
@@ -226,14 +257,18 @@ class ProofSearchCache {
   Key InternKey(const CanonicalState& state);
   /// Builds the interned key without interning: returns false (a sure
   /// cache miss) when any atom of the state has never been recorded.
-  /// Concurrency-safe: reads the intern map only, scratch is thread-local.
+  /// Caller holds `mutex_` (shared suffices: reads the intern map only,
+  /// scratch is thread-local).
   bool BuildKey(const CanonicalState& state, Key* out) const;
+  /// Caller holds `mutex_` shared (Lookup) / exclusive (Record).
   bool Lookup(const Table& table, const CanonicalState& state, size_t width,
               size_t max_chunk, bool entry_must_cover);
   /// Returns true when the entry was freshly inserted (not an update).
   bool Record(Table* table, const CanonicalState& state, size_t width,
               size_t max_chunk, bool keep_larger);
 
+  /// The cache-wide reader-writer lock (see class comment).
+  mutable std::shared_mutex mutex_;
   ProgramIndex index_;
   std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_;
   // Predicate of each interned atom id (parallel to atom_ids_ values):

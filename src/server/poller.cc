@@ -1,0 +1,165 @@
+#include "server/poller.h"
+
+#ifndef _WIN32
+
+#include <errno.h>
+#include <poll.h>
+
+#include <cassert>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <unistd.h>
+#define VADALOG_HAVE_EPOLL 1
+#else
+#define VADALOG_HAVE_EPOLL 0
+#endif
+
+namespace vadalog {
+
+#if VADALOG_HAVE_EPOLL
+namespace {
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  // EPOLLERR | EPOLLHUP are implicit: epoll always reports them.
+  return mask;
+}
+
+}  // namespace
+#endif
+
+Poller::Poller(Backend backend) : backend_(backend) {
+#if VADALOG_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      backend_ = Backend::kPoll;  // degrade rather than fail to start
+    }
+  }
+#else
+  if (backend_ == Backend::kEpoll) backend_ = Backend::kPoll;
+#endif
+  ok_ = true;
+}
+
+Poller::~Poller() {
+#if VADALOG_HAVE_EPOLL
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+#endif
+}
+
+void Poller::Add(int fd, bool want_read, bool want_write) {
+#if VADALOG_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    assert(rc == 0);
+    (void)rc;
+    return;
+  }
+#endif
+  interest_[fd] = Interest{want_read, want_write};
+}
+
+void Poller::Mod(int fd, bool want_read, bool want_write) {
+#if VADALOG_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    assert(rc == 0);
+    (void)rc;
+    return;
+  }
+#endif
+  auto it = interest_.find(fd);
+  assert(it != interest_.end());
+  it->second = Interest{want_read, want_write};
+}
+
+void Poller::Del(int fd) {
+#if VADALOG_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};  // non-null for pre-2.6.9 kernel ABI compatibility
+    int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+    assert(rc == 0);
+    (void)rc;
+    return;
+  }
+#endif
+  size_t erased = interest_.erase(static_cast<int>(fd));
+  assert(erased == 1);
+  (void)erased;
+}
+
+int Poller::Wait(std::vector<Event>* events, int timeout_ms) {
+  events->clear();
+#if VADALOG_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ready[64];
+    int count;
+    do {
+      count = epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+    } while (count < 0 && errno == EINTR);
+    if (count < 0) return -1;
+    events->reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return count;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    if (want.read) pfd.events |= POLLIN;
+    if (want.write) pfd.events |= POLLOUT;
+    fds.push_back(pfd);
+  }
+  int count;
+  do {
+    count = poll(fds.data(), fds.size(), timeout_ms);
+  } while (count < 0 && errno == EINTR);
+  if (count < 0) return -1;
+  for (const pollfd& pfd : fds) {
+    if (pfd.revents == 0) continue;
+    Event event;
+    event.fd = pfd.fd;
+    event.readable = (pfd.revents & POLLIN) != 0;
+    event.writable = (pfd.revents & POLLOUT) != 0;
+    event.error = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return count;
+}
+
+}  // namespace vadalog
+
+#else  // _WIN32
+
+namespace vadalog {
+
+Poller::Poller(Backend backend) : backend_(backend) {}
+Poller::~Poller() = default;
+void Poller::Add(int, bool, bool) {}
+void Poller::Mod(int, bool, bool) {}
+void Poller::Del(int) {}
+int Poller::Wait(std::vector<Event>*, int) { return -1; }
+
+}  // namespace vadalog
+
+#endif  // _WIN32

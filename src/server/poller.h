@@ -1,0 +1,82 @@
+// A minimal readiness-notification facade for the server's event loop:
+// register descriptors with read/write interest, wait for events. Two
+// backends behind one interface —
+//
+//   * epoll (Linux): O(ready) wakeups, the production backend for
+//     hundreds-to-thousands of mostly-idle connections;
+//   * poll (portable POSIX): the interest set is replayed into a pollfd
+//     array per Wait. O(registered) per wakeup, which is fine at the
+//     scale where it is the only option.
+//
+// The backend is chosen at construction (ServerConfig.poller), so the
+// poll path is exercised by tests on Linux too instead of rotting as
+// dead #ifdef code. Level-triggered semantics on both backends: an event
+// repeats until the condition is drained, so a handler that reads or
+// writes less than everything is woken again rather than wedged.
+//
+// Not thread-safe: exactly one thread — the event loop — owns a Poller.
+
+#ifndef VADALOG_SERVER_POLLER_H_
+#define VADALOG_SERVER_POLLER_H_
+
+#include <map>
+#include <vector>
+
+namespace vadalog {
+
+class Poller {
+ public:
+  /// Backend selection; kEpoll silently degrades to kPoll on platforms
+  /// without epoll, so callers can always ask for the fast path.
+  enum class Backend { kEpoll, kPoll };
+
+  explicit Poller(Backend backend);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// False when the backend failed to initialize (epoll_create failure);
+  /// a !ok() Poller must not be used.
+  bool ok() const { return ok_; }
+  /// The backend actually in effect after any fallback.
+  Backend backend() const { return backend_; }
+
+  /// Registers `fd` with the given interest; Add-ing a registered fd or
+  /// Mod/Del-ing an unregistered one is a caller bug (asserted in debug).
+  void Add(int fd, bool want_read, bool want_write);
+  void Mod(int fd, bool want_read, bool want_write);
+  void Del(int fd);
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup: the owner should read (draining any final bytes
+    /// and observing EOF) and close.
+    bool error = false;
+  };
+
+  /// Blocks up to `timeout_ms` (-1 = no timeout) and fills `events` with
+  /// the ready set. Returns the event count, 0 on timeout; EINTR is
+  /// retried internally. A negative return is an unrecoverable backend
+  /// error.
+  int Wait(std::vector<Event>* events, int timeout_ms);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  bool ok_ = false;
+  int epoll_fd_ = -1;
+  /// The poll backend's registry (ordered so Wait's replay is
+  /// deterministic); unused by epoll.
+  std::map<int, Interest> interest_;
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_SERVER_POLLER_H_

@@ -2,16 +2,15 @@
 
 #ifndef _WIN32
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <utility>
 
@@ -19,13 +18,10 @@ namespace vadalog {
 
 #ifdef _WIN32
 
-Server::Server(ServerOptions options)
-    : options_(std::move(options)),
-      pool_(std::make_unique<WorkerPool>(options_.workers)),
-      registry_([this] {
-        SessionOptions session = options_.session;
-        return session;
-      }()) {}
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      pool_(std::make_unique<WorkerPool>(config_.workers)),
+      registry_(SessionOptions{}) {}
 Server::~Server() = default;
 bool Server::Start(std::string* error) {
   if (error != nullptr) *error = "vadalogd requires POSIX sockets";
@@ -33,10 +29,22 @@ bool Server::Start(std::string* error) {
 }
 void Server::Stop() {}
 Server::Stats Server::stats() const { return {}; }
-void Server::AcceptLoop(int) {}
-void Server::ServeConnection(Connection*) {}
-void Server::ReapConnections() {}
-std::string Server::ExecuteLine(const std::string&) { return ""; }
+void Server::EventLoop() {}
+void Server::AcceptReady(int) {}
+void Server::ReadReady(const std::shared_ptr<Connection>&) {}
+void Server::WriteReady(const std::shared_ptr<Connection>&) {}
+void Server::FrameAndDispatch(const std::shared_ptr<Connection>&) {}
+void Server::DispatchPending(const std::shared_ptr<Connection>&) {}
+void Server::ServeLine(const std::shared_ptr<Connection>&,
+                       const std::string&) {}
+void Server::QueueResponse(const std::shared_ptr<Connection>&, std::string) {}
+void Server::FlushOut(const std::shared_ptr<Connection>&) {}
+void Server::UpdateInterest(const std::shared_ptr<Connection>&) {}
+void Server::CloseConnection(int) {}
+void Server::DrainCompletions() {}
+bool Server::EvictIdleConnection() { return false; }
+bool Server::AnyExecuting() const { return false; }
+void Server::ReleaseAdmission(const std::string&) {}
 
 #else  // POSIX
 
@@ -54,10 +62,10 @@ RecvStatus RecvChunk(int fd, char* buffer, size_t capacity,
     if (n == 0) return RecvStatus::kClosed;  // orderly peer shutdown
     if (errno == EINTR) continue;            // signal: just re-issue
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      // Receive timeout (SO_RCVTIMEO) — NOT a closed peer: the caller
-      // decides whether to keep waiting (normally) or wind down (server
-      // stopping). Conflating this with n <= 0 used to drop idle
-      // connections mid-request the moment a timeout or signal landed.
+      // On the loop's non-blocking sockets this means "drained for
+      // now" — NOT a closed peer: the loop parks the connection until
+      // the next readiness event. Conflating this with n <= 0 used to
+      // drop idle connections mid-request.
       return RecvStatus::kRetry;
     }
     return RecvStatus::kError;
@@ -68,17 +76,9 @@ RecvStatus RecvChunk(int fd, char* buffer, size_t capacity,
 
 namespace {
 
-/// Sends the whole buffer; MSG_NOSIGNAL so a vanished client is an error
-/// return, not a process-wide SIGPIPE.
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 JsonValue BusyResponse(const JsonValue& id, const char* scope) {
@@ -94,13 +94,15 @@ JsonValue BusyResponse(const JsonValue& id, const char* scope) {
 
 }  // namespace
 
-Server::Server(ServerOptions options)
-    : options_(std::move(options)),
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
       pool_(std::make_unique<WorkerPool>(
-          options_.workers == 0 ? 1 : options_.workers)),
+          config_.workers == 0 ? 1 : config_.workers)),
       registry_([this] {
-        SessionOptions session = options_.session;
-        if (session.pool == nullptr) session.pool = pool_.get();
+        SessionOptions session;
+        session.cache_byte_limit = config_.cache_byte_limit;
+        session.search_threads = config_.search_threads;
+        session.pool = pool_.get();
         return session;
       }()) {}
 
@@ -111,10 +113,20 @@ bool Server::Start(std::string* error) {
     if (error != nullptr) *error = message + ": " + std::strerror(errno);
     for (int fd : listen_fds_) ::close(fd);
     listen_fds_.clear();
+    if (wakeup_read_ >= 0) ::close(wakeup_read_);
+    if (wakeup_write_ >= 0) ::close(wakeup_write_);
+    wakeup_read_ = wakeup_write_ = -1;
+    poller_.reset();
     return false;
   };
 
-  if (options_.tcp) {
+  std::string config_error = config_.Validate();
+  if (!config_error.empty()) {
+    if (error != nullptr) *error = "invalid config: " + config_error;
+    return false;
+  }
+
+  if (config_.tcp) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return fail("socket(tcp)");
     int one = 1;
@@ -122,9 +134,9 @@ bool Server::Start(std::string* error) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
-    addr.sin_port = htons(options_.tcp_port);
+    addr.sin_port = htons(config_.tcp_port);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-        ::listen(fd, 64) != 0) {
+        ::listen(fd, 128) != 0) {
       int saved = errno;
       ::close(fd);
       errno = saved;
@@ -136,9 +148,9 @@ bool Server::Start(std::string* error) {
     listen_fds_.push_back(fd);
   }
 
-  if (!options_.unix_path.empty()) {
+  if (!config_.unix_path.empty()) {
     sockaddr_un addr{};
-    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+    if (config_.unix_path.size() >= sizeof addr.sun_path) {
       if (error != nullptr) *error = "unix socket path too long";
       for (int fd : listen_fds_) ::close(fd);
       listen_fds_.clear();
@@ -147,11 +159,11 @@ bool Server::Start(std::string* error) {
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return fail("socket(unix)");
     addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
                  sizeof addr.sun_path - 1);
-    ::unlink(options_.unix_path.c_str());  // stale socket from a crash
+    ::unlink(config_.unix_path.c_str());  // stale socket from a crash
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-        ::listen(fd, 64) != 0) {
+        ::listen(fd, 128) != 0) {
       int saved = errno;
       ::close(fd);
       errno = saved;
@@ -164,211 +176,489 @@ bool Server::Start(std::string* error) {
     if (error != nullptr) *error = "no listening endpoint configured";
     return false;
   }
-  running_.store(true);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return fail("pipe(wakeup)");
+  wakeup_read_ = pipe_fds[0];
+  wakeup_write_ = pipe_fds[1];
   for (int fd : listen_fds_) {
-    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+    if (!SetNonBlocking(fd)) return fail("fcntl(listen)");
   }
+  if (!SetNonBlocking(wakeup_read_) || !SetNonBlocking(wakeup_write_)) {
+    return fail("fcntl(wakeup)");
+  }
+  // Held open purely so AcceptReady can close it to survive EMFILE with
+  // nothing evictable; failure to open it is not fatal (the shed path
+  // just degrades away).
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+  poller_ = std::make_unique<Poller>(config_.poller == "poll"
+                                         ? Poller::Backend::kPoll
+                                         : Poller::Backend::kEpoll);
+  if (!poller_->ok()) return fail("poller init");
+  for (int fd : listen_fds_) poller_->Add(fd, /*read=*/true, /*write=*/false);
+  poller_->Add(wakeup_read_, /*read=*/true, /*write=*/false);
+
+  running_.store(true);
+  loop_thread_ = std::thread([this] { EventLoop(); });
   return true;
 }
 
-void Server::ReapConnections() {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    Connection& connection = **it;
-    if (!connection.done.load()) {
-      ++it;
-      continue;
-    }
-    if (connection.thread.joinable()) connection.thread.join();
-    ::close(connection.fd);
-    it = connections_.erase(it);
-  }
-}
+void Server::EventLoop() {
+  std::vector<Poller::Event> events;
+  bool draining = false;
+  bool flush_deadline_set = false;
+  std::chrono::steady_clock::time_point flush_deadline;
 
-void Server::AcceptLoop(int listen_fd) {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;
-      // Transient (EINTR, aborted handshake) or persistent (EMFILE
-      // under fd exhaustion): either way, back off instead of hot-
-      // spinning a core, and reap — finished connections may be exactly
-      // what frees the descriptors accept needs.
-      ReapConnections();
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
-    }
-    if (options_.recv_timeout_ms != 0) {
-      timeval tv{};
-      tv.tv_sec = options_.recv_timeout_ms / 1000;
-      tv.tv_usec =
-          static_cast<suseconds_t>(options_.recv_timeout_ms % 1000) * 1000;
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.connections;
-    }
-    ReapConnections();
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    if (!running_.load()) {
-      ::close(fd);
-      break;
-    }
-    connections_.push_back(std::make_unique<Connection>());
-    Connection* connection = connections_.back().get();
-    connection->fd = fd;
-    connection->thread =
-        std::thread([this, connection] { ServeConnection(connection); });
-  }
-}
-
-void Server::ServeConnection(Connection* connection) {
-  int fd = connection->fd;
-  std::string buffer;
-  char chunk[65536];
-  bool closing = false;
   while (true) {
-    size_t n = 0;
-    server_internal::RecvStatus status =
-        server_internal::RecvChunk(fd, chunk, sizeof chunk, &n);
-    if (status == server_internal::RecvStatus::kRetry) {
-      // Receive timeout: keep waiting while the server runs (any
-      // partially-received request stays buffered), wind down once it
-      // stops — the periodic wake-up is what bounds a shutdown drain.
-      if (!running_.load()) break;
-      continue;
-    }
-    if (status != server_internal::RecvStatus::kData) break;
-    buffer.append(chunk, n);
-    size_t start = 0;
-    size_t newline;
-    while ((newline = buffer.find('\n', start)) != std::string::npos) {
-      std::string line = buffer.substr(start, newline - start);
-      start = newline + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = ExecuteLine(line);
-      if (!SendAll(fd, response + "\n")) {
-        closing = true;  // peer is gone; stop reading too
-        break;
+    if (!running_.load() && !draining) {
+      draining = true;
+      // Stop accepting; stop reading; requests not yet dispatched are
+      // dropped (the client never got a response promise for them —
+      // exactly the old behavior where shutdown cut the read side).
+      for (int fd : listen_fds_) {
+        poller_->Del(fd);
+        ::close(fd);
+      }
+      listen_fds_.clear();
+      for (auto& [fd, connection] : connections_) {
+        connection->pending_lines.clear();
+        connection->closing = true;
+        UpdateInterest(connection);
       }
     }
-    buffer.erase(0, start);
-    if (closing) break;
-    if (buffer.size() > options_.max_line_bytes) {
-      // Framing can't be trusted past an overrun: answer and hang up.
-      SendAll(fd, protocol::ErrorResponse(
-                      protocol::Error{"EPROTO", "request line too long"},
-                      JsonValue())
-                          .Dump() +
-                      "\n");
-      break;
+
+    if (draining) {
+      if (inflight_ > 0) {
+        // Executing requests always finish and get flushed; the bounded
+        // timer below only covers the final out-buffer drain.
+        flush_deadline_set = false;
+      } else {
+        bool any_unsent = false;
+        for (auto& [fd, connection] : connections_) {
+          if (connection->out_sent < connection->out.size()) {
+            any_unsent = true;
+            break;
+          }
+        }
+        if (!any_unsent) break;
+        auto now = std::chrono::steady_clock::now();
+        if (!flush_deadline_set) {
+          flush_deadline_set = true;
+          flush_deadline = now + std::chrono::seconds(2);
+        } else if (now >= flush_deadline) {
+          break;  // a stalled reader does not hold shutdown hostage
+        }
+      }
+    }
+
+    int wait_ms = draining ? 20 : -1;
+    int ready = poller_->Wait(&events, wait_ms);
+    if (ready < 0) break;  // unrecoverable backend error
+    closed_in_batch_.clear();
+    DrainCompletions();
+    for (const Poller::Event& event : events) {
+      if (closed_in_batch_.count(event.fd) != 0) continue;  // stale event
+      if (event.fd == wakeup_read_) {
+        char drain[256];
+        while (::read(wakeup_read_, drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      bool is_listener = false;
+      for (int fd : listen_fds_) {
+        if (fd == event.fd) {
+          is_listener = true;
+          break;
+        }
+      }
+      if (is_listener) {
+        if (!draining) AcceptReady(event.fd);
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> connection = it->second;
+      if (event.error && !connection->executing) {
+        // Hangup/error with nothing in flight: nothing left to deliver.
+        CloseConnection(connection->fd);
+        continue;
+      }
+      if (event.writable) WriteReady(connection);
+      if (connection->fd >= 0 && event.readable && !connection->closing) {
+        ReadReady(connection);
+      }
     }
   }
-  // The fd is closed by the reaper (ReapConnections / Stop), which
-  // joins this thread first — a single owner for the descriptor, so a
-  // racing shutdown() cannot hit a recycled fd.
-  connection->done.store(true);
+
+  for (auto& [fd, connection] : connections_) {
+    connection->fd = -1;
+    ::close(fd);
+  }
+  connections_.clear();
+  for (int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
 }
 
-std::string Server::ExecuteLine(const std::string& line) {
+void Server::AcceptReady(int listen_fd) {
+  while (true) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor pressure: evicting our idlest request-free
+        // connection frees exactly one fd — retry the accept with it
+        // rather than leaving the backlog to starve.
+        if (EvictIdleConnection()) continue;
+        // Nothing evictable — every connection has work in flight, or
+        // the table is full of descriptors that are not ours to close.
+        // Shed the pending connection through the reserve descriptor:
+        // close it, accept, close the accepted socket, reopen. Turning
+        // one client away is the price of draining the backlog — a
+        // level-triggered listener that can never accept would
+        // otherwise keep the loop spinning at full CPU.
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+          int shed = ::accept(listen_fd, nullptr, nullptr);
+          if (shed >= 0) ::close(shed);
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          if (shed >= 0) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.idle_closed;
+            continue;
+          }
+        }
+        return;
+      }
+      return;  // EAGAIN (drained) or a transient like ECONNABORTED
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.idle_closed;
+      continue;
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    connection->last_active = ++activity_clock_;
+    connections_[fd] = connection;
+    poller_->Add(fd, /*read=*/true, /*write=*/false);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections;
+  }
+}
+
+void Server::ReadReady(const std::shared_ptr<Connection>& connection) {
+  char chunk[65536];
+  // Bounded per readiness event so one flooding client cannot hog the
+  // loop; level-triggered polling re-wakes us for the remainder.
+  for (int i = 0; i < 16; ++i) {
+    size_t n = 0;
+    server_internal::RecvStatus status = server_internal::RecvChunk(
+        connection->fd, chunk, sizeof chunk, &n);
+    if (status == server_internal::RecvStatus::kData) {
+      connection->in.append(chunk, n);
+      connection->last_active = ++activity_clock_;
+      continue;
+    }
+    if (status == server_internal::RecvStatus::kRetry) break;
+    // kClosed / kError: no more requests will arrive; finish what is
+    // already framed or in flight, flush, then close.
+    connection->closing = true;
+    break;
+  }
+  FrameAndDispatch(connection);
+}
+
+void Server::FrameAndDispatch(const std::shared_ptr<Connection>& connection) {
+  std::string& in = connection->in;
+  size_t start = 0;
+  size_t newline;
+  while ((newline = in.find('\n', start)) != std::string::npos) {
+    std::string line = in.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    connection->pending_lines.push_back(std::move(line));
+  }
+  in.erase(0, start);
+  if (in.size() > config_.max_line_bytes) {
+    // Framing can't be trusted past an overrun: answer and hang up.
+    connection->pending_lines.clear();
+    connection->closing = true;
+    in.clear();
+    in.shrink_to_fit();
+    QueueResponse(
+        connection,
+        protocol::EncodeResponse(
+            protocol::Response(protocol::ErrorResponse(
+                protocol::Error{"EPROTO", "request line too long"},
+                JsonValue())),
+            connection->wire.encoding));
+    if (connection->fd < 0) return;
+  }
+  DispatchPending(connection);
+}
+
+void Server::DispatchPending(const std::shared_ptr<Connection>& connection) {
+  // Serial order per connection: at most one request from this
+  // connection executes at a time, so responses come back in arrival
+  // order — the v1 contract — while other connections run concurrently.
+  while (connection->fd >= 0 && !connection->executing &&
+         !connection->pending_lines.empty()) {
+    std::string line = std::move(connection->pending_lines.front());
+    connection->pending_lines.pop_front();
+    ServeLine(connection, line);
+  }
+  if (connection->fd < 0) return;
+  if (connection->closing && !connection->executing &&
+      connection->pending_lines.empty() &&
+      connection->out_sent >= connection->out.size()) {
+    CloseConnection(connection->fd);
+    return;
+  }
+  UpdateInterest(connection);
+}
+
+void Server::ServeLine(const std::shared_ptr<Connection>& connection,
+                       const std::string& line) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests;
   }
+  protocol::Encoding encoding = connection->wire.encoding;
   protocol::Error parse_error;
   JsonValue id;
   std::optional<protocol::Request> request =
       protocol::ParseRequest(line, &parse_error, &id);
   if (!request.has_value()) {
-    return protocol::ErrorResponse(parse_error, id).Dump();
+    QueueResponse(connection,
+                  protocol::EncodeResponse(
+                      protocol::Response(
+                          protocol::ErrorResponse(parse_error, id)),
+                      encoding));
+    return;
   }
 
-  // PING and STATS are the monitoring path: they run inline on the
-  // connection thread — no admission, no pool queue — so they stay
-  // responsive even when the pool is saturated with a request backlog
-  // (both only touch counters and briefly-held registry/session locks).
+  // HELLO mutates this connection's negotiated wire state, which only
+  // the loop thread may touch — inline by necessity.
+  if (request->cmd == protocol::Command::kHello) {
+    protocol::Response response = protocol::NegotiateHello(
+        *request, config_.encodings, &connection->wire);
+    QueueResponse(connection, protocol::EncodeResponse(
+                                  response, connection->wire.encoding));
+    return;
+  }
+
+  // PING and STATS are the monitoring path: inline on the loop — no
+  // admission, no pool queue — so they stay responsive even when the
+  // pool is saturated with a request backlog (both only touch counters
+  // and briefly-held registry/session locks).
   if (request->cmd == protocol::Command::kPing ||
       request->cmd == protocol::Command::kStats) {
-    return registry_.Handle(*request).Dump();
+    QueueResponse(connection, protocol::EncodeResponse(
+                                  registry_.Handle(*request), encoding));
+    return;
   }
 
-  {
-    std::lock_guard<std::mutex> lock(admission_mutex_);
-    if (inflight_ >= options_.max_inflight) {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  // Admission control; the counters are loop-owned, no locking.
+  if (inflight_ >= config_.max_inflight) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.rejected_global;
-      return BusyResponse(id, "server").Dump();
     }
-    size_t& session_inflight = inflight_by_session_[request->session];
-    if (session_inflight >= options_.max_inflight_per_session) {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    QueueResponse(connection,
+                  protocol::EncodeResponse(
+                      protocol::Response(BusyResponse(id, "server")),
+                      encoding));
+    return;
+  }
+  size_t& session_inflight = inflight_by_session_[request->session];
+  if (session_inflight >= config_.max_inflight_per_session) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.rejected_session;
-      return BusyResponse(id, "session").Dump();
     }
-    ++inflight_;
-    ++session_inflight;
+    QueueResponse(connection,
+                  protocol::EncodeResponse(
+                      protocol::Response(BusyResponse(id, "session")),
+                      encoding));
+    return;
   }
+  ++inflight_;
+  ++session_inflight;
 
-  // Execute on the pool: at most pool-size requests compute at once, the
-  // rest queue FIFO behind the admission caps.
-  JsonValue response;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-  pool_->Submit([&] {
-    JsonValue result = registry_.Handle(*request);
-    std::lock_guard<std::mutex> lock(done_mutex);
-    response = std::move(result);
-    done = true;
-    done_cv.notify_one();
+  // Fork execution onto the pool. The response is encoded on the worker
+  // (under the encoding negotiated at dispatch time) so the loop only
+  // ever shuttles ready-made bytes.
+  connection->executing = true;
+  connection->last_active = ++activity_clock_;
+  auto request_ptr = std::make_shared<protocol::Request>(std::move(*request));
+  std::weak_ptr<Connection> weak = connection;
+  std::string session = request_ptr->session;
+  pool_->Submit([this, request_ptr, weak, encoding,
+                 session = std::move(session)]() mutable {
+    protocol::Response response = registry_.Handle(*request_ptr);
+    std::string bytes = protocol::EncodeResponse(response, encoding);
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(
+          Completion{std::move(weak), std::move(bytes), std::move(session)});
+    }
+    char one = 1;
+    // EAGAIN (pipe full) is fine: a wakeup is already pending.
+    ssize_t ignored = ::write(wakeup_write_, &one, 1);
+    (void)ignored;
   });
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done; });
-  }
+}
 
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(admission_mutex_);
-    --inflight_;
-    auto it = inflight_by_session_.find(request->session);
-    if (it != inflight_by_session_.end() && --it->second == 0) {
-      inflight_by_session_.erase(it);
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    // The admission slot is released even when the connection died mid-
+    // request; `session` rode along for exactly this.
+    ReleaseAdmission(completion.session);
+    std::shared_ptr<Connection> connection = completion.connection.lock();
+    if (connection == nullptr || connection->fd < 0) continue;
+    connection->executing = false;
+    QueueResponse(connection, std::move(completion.bytes));
+    if (connection->fd >= 0) DispatchPending(connection);
+  }
+}
+
+void Server::ReleaseAdmission(const std::string& session) {
+  if (inflight_ > 0) --inflight_;
+  auto it = inflight_by_session_.find(session);
+  if (it != inflight_by_session_.end() && --it->second == 0) {
+    inflight_by_session_.erase(it);
+  }
+}
+
+void Server::QueueResponse(const std::shared_ptr<Connection>& connection,
+                           std::string bytes) {
+  if (connection->fd < 0) return;
+  connection->out += bytes;
+  FlushOut(connection);
+}
+
+void Server::FlushOut(const std::shared_ptr<Connection>& connection) {
+  std::string& out = connection->out;
+  while (connection->out_sent < out.size()) {
+    ssize_t n = ::send(connection->fd, out.data() + connection->out_sent,
+                       out.size() - connection->out_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      connection->out_sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(connection->fd);  // peer is gone
+    return;
+  }
+  if (connection->out_sent >= out.size()) {
+    out.clear();
+    connection->out_sent = 0;
+  } else if (connection->out_sent > (1u << 20)) {
+    // Compact occasionally so a long-lived slow reader doesn't pin the
+    // already-sent prefix forever.
+    out.erase(0, connection->out_sent);
+    connection->out_sent = 0;
+  }
+  size_t unsent = out.size() - connection->out_sent;
+  if (unsent > config_.max_outbuf_bytes) {
+    // The client stopped reading; its backlog must not grow the
+    // daemon's memory without bound.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.overflow_closed;
+    }
+    CloseConnection(connection->fd);
+    return;
+  }
+  if (connection->closing && !connection->executing &&
+      connection->pending_lines.empty() && unsent == 0) {
+    CloseConnection(connection->fd);
+    return;
+  }
+  UpdateInterest(connection);
+}
+
+void Server::WriteReady(const std::shared_ptr<Connection>& connection) {
+  FlushOut(connection);
+}
+
+void Server::UpdateInterest(const std::shared_ptr<Connection>& connection) {
+  if (connection->fd < 0) return;
+  bool want_read = !connection->closing;
+  bool want_write = connection->out_sent < connection->out.size();
+  if (want_read == connection->want_read &&
+      want_write == connection->want_write) {
+    return;
+  }
+  connection->want_read = want_read;
+  connection->want_write = want_write;
+  poller_->Mod(connection->fd, want_read, want_write);
+}
+
+void Server::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second->fd = -1;  // marks the shared_ptr holders: this one is dead
+  poller_->Del(fd);
+  ::close(fd);
+  connections_.erase(it);
+  closed_in_batch_.insert(fd);
+}
+
+bool Server::EvictIdleConnection() {
+  std::shared_ptr<Connection> idlest;
+  for (auto& [fd, connection] : connections_) {
+    if (connection->executing || !connection->pending_lines.empty() ||
+        connection->out_sent < connection->out.size()) {
+      continue;  // has a request or response in flight: not evictable
+    }
+    if (idlest == nullptr || connection->last_active < idlest->last_active) {
+      idlest = connection;
     }
   }
-  return response.Dump();
+  if (idlest == nullptr) return false;
+  CloseConnection(idlest->fd);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.idle_closed;
+  return true;
 }
+
+bool Server::AnyExecuting() const { return inflight_ > 0; }
 
 void Server::Stop() {
   bool was_running = running_.exchange(false);
-  if (!was_running && listen_fds_.empty()) return;
-  for (int fd : listen_fds_) {
-    ::shutdown(fd, SHUT_RDWR);  // wakes the blocking accept on Linux
-    ::close(fd);
+  if (was_running) {
+    char one = 1;
+    ssize_t ignored = ::write(wakeup_write_, &one, 1);
+    (void)ignored;
   }
-  listen_fds_.clear();
-  for (std::thread& t : accept_threads_) {
-    if (t.joinable()) t.join();
-  }
-  accept_threads_.clear();
-
-  std::list<std::unique_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections.swap(connections_);
-  }
-  for (auto& connection : connections) {
-    ::shutdown(connection->fd, SHUT_RDWR);  // readers see EOF
-  }
-  for (auto& connection : connections) {
-    if (connection->thread.joinable()) {
-      connection->thread.join();  // in-flight requests finish first
-    }
-    ::close(connection->fd);
-  }
+  if (loop_thread_.joinable()) loop_thread_.join();
   pool_->Shutdown();
-  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  if (wakeup_read_ >= 0) ::close(wakeup_read_);
+  if (wakeup_write_ >= 0) ::close(wakeup_write_);
+  wakeup_read_ = wakeup_write_ = -1;
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+  reserve_fd_ = -1;
+  poller_.reset();
+  for (int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  if (was_running && !config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -379,3 +669,4 @@ Server::Stats Server::stats() const {
 #endif  // _WIN32
 
 }  // namespace vadalog
+

@@ -1,80 +1,79 @@
-// vadalogd's socket front end: a TCP (loopback) and/or Unix-domain
-// accept loop feeding the newline-delimited JSON protocol into a
-// SessionRegistry, with the request execution forked onto the shared
-// WorkerPool — the same pool the parallel proof searches fork their
-// frontier levels onto.
+// vadalogd's socket front end: a single event loop owning every
+// descriptor — the TCP (loopback) and Unix-domain listeners, all
+// accepted connections, and a self-pipe — feeding the negotiated wire
+// protocol into a SessionRegistry, with request *execution* forked onto
+// the shared WorkerPool (the same pool the parallel proof searches fork
+// their frontier levels onto).
 //
-// Threading model: one accept thread per listening socket; one
-// lightweight thread per connection doing blocking line I/O (connections
-// are cheap to park in a read); request *execution* happens on the pool,
-// so at most pool-size requests compute at once and everything else
-// queues fairly FIFO. Admission control sits in front of the queue:
+// Threading model: exactly 1 + workers threads, independent of the
+// connection count. The loop thread multiplexes all sockets through a
+// Poller (epoll on Linux, poll portably; level-triggered): non-blocking
+// reads accumulate into per-connection buffers, complete newline-framed
+// requests are parsed and admission-checked on the loop, and execution
+// happens on the pool. Workers hand the encoded response bytes back
+// through a completion queue + self-pipe wakeup; the loop queues them
+// onto the connection's out-buffer and drains it as the socket accepts
+// writes. Consequences the old thread-per-connection design couldn't
+// offer:
 //
-//   * a global cap on in-flight (queued + executing) requests, and
-//   * a per-session cap so one chatty session cannot monopolize the
-//     pool while other sessions starve;
+//   * idle connections cost one fd and ~nothing else — no parked reader
+//     thread — so thousands of mostly-idle clients are fine;
+//   * a slow-reading client cannot block anyone: its responses pile into
+//     its own out-buffer (bounded by max_outbuf_bytes, beyond which the
+//     connection is dropped) while the loop keeps serving others;
+//   * descriptor pressure is survivable: on EMFILE the loop evicts its
+//     idlest request-free connection instead of starving accept.
 //
-// both reject with a structured EBUSY error (clients retry) instead of
-// queueing unboundedly. Graceful shutdown: stop accepting, shut down the
-// connection sockets (readers see EOF), finish in-flight requests, join
-// everything.
+// Ordering contract: requests on one connection execute serially in
+// arrival order (responses can't interleave or reorder — the v1
+// contract); requests on different connections execute concurrently up
+// to the pool size. Admission control sits in front of the pool queue:
+// a global and a per-session cap on in-flight requests, both rejecting
+// with a structured EBUSY (clients retry) instead of queueing
+// unboundedly. The admission counters are owned by the loop thread —
+// no mutex. PING and STATS run inline on the loop (no admission, no
+// pool) so monitoring stays responsive under a saturated pool; HELLO
+// also runs inline, because it mutates the connection's negotiated
+// WireState, which only the loop may touch.
+//
+// Graceful shutdown: stop accepting and reading, drop requests not yet
+// dispatched, finish executing ones, best-effort flush of out-buffers
+// (bounded — a stopped server does not wait forever on a stalled
+// reader), join the loop, drain the pool.
 
 #ifndef VADALOG_SERVER_SERVER_H_
 #define VADALOG_SERVER_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/config.h"
+#include "server/poller.h"
 #include "server/session.h"
 #include "server/worker_pool.h"
 
 namespace vadalog {
 
-struct ServerOptions {
-  /// Listen on 127.0.0.1:tcp_port when `tcp` is set; port 0 binds an
-  /// ephemeral port (read it back from tcp_port() after Start).
-  bool tcp = true;
-  uint16_t tcp_port = 0;
-
-  /// Additionally listen on this Unix-domain socket path when non-empty.
-  /// A stale socket file at the path is unlinked first.
-  std::string unix_path;
-
-  /// Worker pool size (request execution + parallel search frontiers).
-  size_t workers = 4;
-
-  /// Admission control (see header comment).
-  size_t max_inflight = 64;
-  size_t max_inflight_per_session = 16;
-
-  /// A request line longer than this kills its connection (the framing
-  /// cannot be trusted past an overrun).
-  size_t max_line_bytes = 8ull << 20;
-
-  /// When non-zero, accepted sockets get an SO_RCVTIMEO of this many
-  /// milliseconds: a blocked connection reader wakes periodically
-  /// (EAGAIN), re-checks the server's running flag, and keeps waiting —
-  /// bounding how long a shutdown drain can park on an idle connection
-  /// without ever dropping a partially-received request.
-  uint32_t recv_timeout_ms = 0;
-
-  /// Per-session knobs (cache cap, default search threads).
-  SessionOptions session;
-};
+/// Deprecated spelling: the knobs consolidated into ServerConfig
+/// (server/config.h). Kept for one release so in-tree constructions
+/// keep compiling; new code should say ServerConfig.
+using ServerOptions = ServerConfig;
 
 class Server {
  public:
-  explicit Server(ServerOptions options);
+  explicit Server(ServerConfig config);
   ~Server();  // Stop()
 
-  /// Binds and launches the accept loops. False + `error` on failure.
+  /// Binds the endpoints and launches the event loop. False + `error`
+  /// on failure (including a config that fails Validate()).
   bool Start(std::string* error);
 
   /// Graceful shutdown; idempotent.
@@ -82,7 +81,7 @@ class Server {
 
   /// The bound TCP port (after Start) or 0 when TCP is disabled.
   uint16_t tcp_port() const { return bound_tcp_port_; }
-  const std::string& unix_path() const { return options_.unix_path; }
+  const std::string& unix_path() const { return config_.unix_path; }
 
   SessionRegistry& registry() { return registry_; }
   WorkerPool& pool() { return *pool_; }
@@ -92,44 +91,110 @@ class Server {
     uint64_t requests = 0;
     uint64_t rejected_global = 0;
     uint64_t rejected_session = 0;
+    /// Idle request-free connections evicted under descriptor pressure
+    /// (EMFILE/ENFILE on accept) or the max_connections cap.
+    uint64_t idle_closed = 0;
+    /// Connections dropped because their unsent response backlog
+    /// crossed max_outbuf_bytes (client stopped reading).
+    uint64_t overflow_closed = 0;
   };
   Stats stats() const;
 
  private:
-  /// One live client connection. The fd has a single owner — the reaper
-  /// (ReapConnections / Stop) — which joins the thread before closing,
-  /// so a racing shutdown() can never hit a recycled descriptor.
+  /// One live client connection; owned by the loop thread. Workers only
+  /// ever hold a weak_ptr (inside a queued completion) — if the loop
+  /// closed the connection meanwhile, the completion's response is
+  /// dropped and only the admission bookkeeping survives.
   struct Connection {
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    /// Negotiated wire state (HELLO); loop-thread only.
+    protocol::WireState wire;
+    /// Bytes received but not yet framed into a line.
+    std::string in;
+    /// Complete request lines waiting for their turn (serial order).
+    std::deque<std::string> pending_lines;
+    /// Encoded response bytes not yet accepted by the socket.
+    std::string out;
+    size_t out_sent = 0;
+    /// A request from this connection is executing on the pool.
+    bool executing = false;
+    /// EOF seen or protocol fault: finish what's in flight, flush, close.
+    bool closing = false;
+    /// The interest currently registered with the poller, so Mod is
+    /// only issued on transitions.
+    bool want_read = true;
+    bool want_write = false;
+    /// Monotonic activity stamp; the EMFILE eviction picks the minimum.
+    uint64_t last_active = 0;
   };
 
-  void AcceptLoop(int listen_fd);
-  void ServeConnection(Connection* connection);
-  /// Joins and closes connections whose threads have finished; called
-  /// from the accept loops so a long-lived daemon does not accumulate
-  /// one fd + one zombie thread per past connection.
-  void ReapConnections();
-  /// Executes one request line (admission-controlled, forked onto the
-  /// pool; PING/STATS run inline) and returns the serialized response.
-  std::string ExecuteLine(const std::string& line);
+  /// A finished request coming back from the pool. `session` rides along
+  /// so the loop can release the admission slot even if the connection
+  /// died while the request ran.
+  struct Completion {
+    std::weak_ptr<Connection> connection;
+    std::string bytes;
+    std::string session;
+  };
 
-  ServerOptions options_;
+  void EventLoop();
+  void AcceptReady(int listen_fd);
+  void ReadReady(const std::shared_ptr<Connection>& connection);
+  void WriteReady(const std::shared_ptr<Connection>& connection);
+  /// Splits the in-buffer into lines and serves pending ones while the
+  /// connection has no request executing.
+  void FrameAndDispatch(const std::shared_ptr<Connection>& connection);
+  void DispatchPending(const std::shared_ptr<Connection>& connection);
+  /// Serves one line: inline for HELLO/PING/STATS/parse errors/EBUSY,
+  /// pool-forked for everything else (sets `executing`).
+  void ServeLine(const std::shared_ptr<Connection>& connection,
+                 const std::string& line);
+  /// Appends encoded bytes to the out-buffer, writes what the socket
+  /// takes now, and updates write interest / overflow accounting.
+  void QueueResponse(const std::shared_ptr<Connection>& connection,
+                     std::string bytes);
+  void FlushOut(const std::shared_ptr<Connection>& connection);
+  void UpdateInterest(const std::shared_ptr<Connection>& connection);
+  void CloseConnection(int fd);
+  /// Moves queued completions onto their connections' out-buffers and
+  /// releases their admission slots.
+  void DrainCompletions();
+  /// Closes the idlest request-free connection (descriptor pressure).
+  /// False when every connection has work in flight.
+  bool EvictIdleConnection();
+  /// True while any connection still has a request on the pool.
+  bool AnyExecuting() const;
+  void ReleaseAdmission(const std::string& session);
+
+  ServerConfig config_;
   std::unique_ptr<WorkerPool> pool_;
   SessionRegistry registry_;
 
   std::atomic<bool> running_{false};
   uint16_t bound_tcp_port_ = 0;
   std::vector<int> listen_fds_;
-  std::vector<std::thread> accept_threads_;
+  int wakeup_read_ = -1;
+  int wakeup_write_ = -1;
+  /// An fd held in reserve (open on /dev/null) so accept can still make
+  /// progress under EMFILE when no idle connection is evictable: close
+  /// it, accept-and-close the pending connection, reopen. Loop-owned.
+  int reserve_fd_ = -1;
+  std::thread loop_thread_;
+  std::unique_ptr<Poller> poller_;
 
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
-
-  std::mutex admission_mutex_;
+  // Loop-thread state (no locks: single owner).
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  /// Descriptors closed while handling the current event batch: a later
+  /// event in the same batch may still name such an fd — possibly
+  /// already recycled by an accept — and must be ignored.
+  std::set<int> closed_in_batch_;
+  uint64_t activity_clock_ = 0;
   size_t inflight_ = 0;
   std::map<std::string, size_t> inflight_by_session_;
+
+  // The worker → loop handoff; the only cross-thread state.
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;
@@ -137,11 +202,12 @@ class Server {
 
 namespace server_internal {
 
-/// One recv() with the error taxonomy the connection loop needs, exposed
-/// for direct unit testing. Retries EINTR internally — a stray signal
-/// (e.g. during a SIGTERM drain) must never drop an in-flight request —
-/// and reports EAGAIN/EWOULDBLOCK (a receive timeout on a socket with
-/// SO_RCVTIMEO) as kRetry, distinct from the peer closing. POSIX only.
+/// One recv() with the error taxonomy the event loop needs, exposed for
+/// direct unit testing. Retries EINTR internally — a stray signal (e.g.
+/// during a SIGTERM drain) must never drop an in-flight request — and
+/// reports EAGAIN/EWOULDBLOCK as kRetry, distinct from the peer closing:
+/// on the loop's non-blocking sockets kRetry means "drained for now,
+/// wait for the next readiness event". POSIX only.
 enum class RecvStatus { kData, kClosed, kRetry, kError };
 RecvStatus RecvChunk(int fd, char* buffer, size_t capacity,
                      size_t* received);

@@ -19,18 +19,20 @@ EngineChoice EngineFromName(const std::string& name) {
   return EngineChoice::kAuto;
 }
 
-JsonValue RenderAnswers(const Reasoner& reasoner,
-                        const std::vector<std::vector<Term>>& answers) {
-  JsonValue rows = JsonValue::Array();
+protocol::AnswerTable RenderAnswers(
+    const Reasoner& reasoner,
+    const std::vector<std::vector<Term>>& answers) {
+  protocol::AnswerTable table;
+  table.row_count = answers.size();
+  table.columns = answers.empty() ? 0 : answers.front().size();
+  table.cells.reserve(table.row_count * table.columns);
+  const SymbolTable& symbols = reasoner.program().symbols();
   for (const std::vector<Term>& tuple : answers) {
-    JsonValue row = JsonValue::Array();
     for (Term t : tuple) {
-      const SymbolTable& symbols = reasoner.program().symbols();
-      row.Append(JsonValue::String(symbols.TermToString(t)));
+      table.cells.push_back(symbols.TermToString(t));
     }
-    rows.Append(std::move(row));
   }
-  return rows;
+  return table;
 }
 
 }  // namespace
@@ -57,14 +59,26 @@ ReasonerOptions Session::BuildOptions(const Request& request) const {
 }
 
 void Session::FinishCacheUse() {
-  size_t bytes = cache_->ApproximateBytes();
+  size_t bytes;
+  {
+    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
+    bytes = cache_->ApproximateBytes();
+  }
   if (bytes > options_.cache_byte_limit) {
     // Generational eviction: drop the whole generation, start warm
     // again from empty (entries cannot be evicted individually).
-    cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
-                                                reasoner_->database());
-    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Replacing the cache_ pointer needs the exclusive lock; re-check
+    // under it — a concurrent query may have evicted first, and
+    // evicting twice would throw away the second fresh generation's
+    // warmth for nothing.
+    std::unique_lock<std::shared_mutex> cache_lock(cache_mutex_);
     bytes = cache_->ApproximateBytes();
+    if (bytes > options_.cache_byte_limit) {
+      cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
+                                                  reasoner_->database());
+      cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+      bytes = cache_->ApproximateBytes();
+    }
   }
   cache_bytes_.store(bytes, std::memory_order_relaxed);
 }
@@ -98,10 +112,12 @@ bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
   return true;
 }
 
-JsonValue Session::Query(const Request& request) {
+protocol::Response Session::Query(const Request& request) {
   ConjunctiveQuery query;
   JsonValue response;
-  if (!ResolveQuery(request, &query, &response)) return response;
+  if (!ResolveQuery(request, &query, &response)) {
+    return protocol::Response(std::move(response));
+  }
   ReasonerOptions options = BuildOptions(request);
 
   // Only the explicitly-selected proof-search engines read or write the
@@ -113,15 +129,20 @@ JsonValue Session::Query(const Request& request) {
 
   auto start = std::chrono::steady_clock::now();
   CertainAnswerSet set;
-  JsonValue rows;
+  protocol::AnswerTable table;
   bool waited = false;
   {
     std::shared_lock<std::shared_mutex> data(data_mutex_);
-    // The cache is single-user, so proof-search queries on one session
-    // serialize on it: waiting for the warm cache (~ms) beats re-running
-    // the cold search (~hundreds of ms) every time. Lock order
-    // data -> cache everywhere, so this cannot deadlock with AddFacts.
-    std::unique_lock<std::mutex> cache_lock(cache_mutex_, std::defer_lock);
+    // Proof-search queries share the cache: the session lock is taken
+    // SHARED (it only pins the cache_ pointer against a concurrent
+    // generational eviction or delta migration), and the cache's own
+    // reader-writer lock arbitrates entry access — so same-session
+    // queries probe and record concurrently instead of serializing.
+    // A failed try_lock means a writer (eviction/ADD_FACTS) is active;
+    // count the wait for observability. Lock order data -> cache
+    // everywhere, so this cannot deadlock with AddFacts.
+    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
+                                                   std::defer_lock);
     if (uses_proof_cache) {
       if (!cache_lock.try_lock()) {
         waited = true;
@@ -131,14 +152,18 @@ JsonValue Session::Query(const Request& request) {
     }
     set = reasoner_->AnswerChecked(query, options);
     if (set.error.empty()) {
-      rows = RenderAnswers(*reasoner_, set.answers);
+      table = RenderAnswers(*reasoner_, set.answers);
     }
-    if (cache_lock.owns_lock()) FinishCacheUse();
+    if (cache_lock.owns_lock()) {
+      cache_lock.unlock();  // FinishCacheUse re-locks, exclusive if needed
+      FinishCacheUse();
+    }
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (waited) queries_waited_.fetch_add(1, std::memory_order_relaxed);
   if (!set.error.empty()) {
-    return ErrorResponse(Error{"EUNSUPPORTED", set.error}, request.id);
+    return protocol::Response(
+        ErrorResponse(Error{"EUNSUPPORTED", set.error}, request.id));
   }
   uint64_t millis = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -147,7 +172,6 @@ JsonValue Session::Query(const Request& request) {
 
   response = OkResponse(request.id);
   response.Set("session", JsonValue::String(name_));
-  response.Set("answers", std::move(rows));
   response.Set("complete", JsonValue::Bool(set.complete));
   response.Set("budget_exhausted_candidates",
                JsonValue::Number(set.budget_exhausted_candidates));
@@ -157,7 +181,9 @@ JsonValue Session::Query(const Request& request) {
                                  : waited          ? "shared-waited"
                                                    : "shared"));
   response.Set("millis", JsonValue::Number(millis));
-  return response;
+  protocol::Response result(std::move(response));
+  result.answers = std::move(table);
+  return result;
 }
 
 JsonValue Session::Explain(const Request& request) {
@@ -229,9 +255,13 @@ JsonValue Session::Explain(const Request& request) {
   std::string proof;
   {
     std::shared_lock<std::shared_mutex> data(data_mutex_);
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-    options.proof.cache = cache_.get();
-    proof = reasoner_->Explain(query, answer, options);
+    {
+      // Shared, like Query: the proof search records through the
+      // cache's internal lock; only the pointer needs pinning here.
+      std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
+      options.proof.cache = cache_.get();
+      proof = reasoner_->Explain(query, answer, options);
+    }
     FinishCacheUse();
   }
   response = OkResponse(request.id);
@@ -257,11 +287,12 @@ JsonValue Session::AddFacts(const Request& request) {
   ProofSearchCache::DeltaInvalidation invalidation;
   if (!delta.empty()) {
     // No query can hold the cache here (queries hold the data lock
-    // shared while they do). Delta maintenance instead of a rebuild:
+    // shared while they do), but the exclusive cache lock is still the
+    // contract for migrating it. Delta maintenance instead of a rebuild:
     // only refuted entries whose supported-predicate cone intersects the
     // inserted predicates are dropped; everything else stays warm. An
     // all-duplicate batch has an empty delta and skips even this.
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    std::unique_lock<std::shared_mutex> cache_lock(cache_mutex_);
     invalidation = cache_->InvalidateForDelta(reasoner_->program(),
                                               reasoner_->database(), delta);
     cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
@@ -307,11 +338,12 @@ JsonValue Session::StatsObject() {
                JsonValue::Number(static_cast<uint64_t>(
                    reasoner_->program().symbols().num_constants() +
                    reasoner_->program().symbols().num_predicates())));
-    // Refresh the byte figure when the cache is idle so STATS reflects
-    // growth since the last request finished; under contention the last
-    // stored value (at most one request stale) is reported instead of
-    // blocking the stats path behind a running search.
-    std::unique_lock<std::mutex> cache_lock(cache_mutex_, std::try_to_lock);
+    // Refresh the byte figure opportunistically so STATS reflects growth
+    // since the last request finished; when a writer (eviction or delta
+    // migration) holds the cache, the last stored value (at most one
+    // request stale) is reported instead of blocking the stats path.
+    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
+                                                   std::try_to_lock);
     if (cache_lock.owns_lock()) {
       cache_bytes_.store(cache_->ApproximateBytes(),
                          std::memory_order_relaxed);
@@ -436,6 +468,7 @@ JsonValue SessionRegistry::Stats(const Request& request) {
   JsonValue response = OkResponse(request.id);
   JsonValue server = JsonValue::Object();
   server.Set("protocol_version", JsonValue::Number(protocol::kVersion));
+  server.Set("protocol_max_version", JsonValue::Number(protocol::kMaxVersion));
   server.Set("sessions",
              JsonValue::Number(static_cast<uint64_t>(sessions.size())));
   server.Set("requests",
@@ -451,14 +484,28 @@ JsonValue SessionRegistry::Stats(const Request& request) {
   return response;
 }
 
-JsonValue SessionRegistry::Handle(const Request& request) {
+protocol::Response SessionRegistry::Handle(const Request& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  JsonValue response;
+  protocol::Response response;
   switch (request.cmd) {
+    case protocol::Command::kHello: {
+      // In-process callers have no connection, hence no per-connection
+      // wire state to mutate — negotiate against a scratch state with
+      // the default allowlist so HELLO still answers coherently (the
+      // socket server intercepts HELLO before this dispatcher and
+      // negotiates the real connection state).
+      protocol::WireState scratch;
+      response = protocol::NegotiateHello(
+          request,
+          {protocol::Encoding::kJson, protocol::Encoding::kBinary},
+          &scratch);
+      break;
+    }
     case protocol::Command::kPing: {
-      response = OkResponse(request.id);
-      response.Set("pong", JsonValue::Bool(true));
-      response.Set("v", JsonValue::Number(protocol::kVersion));
+      JsonValue pong = OkResponse(request.id);
+      pong.Set("pong", JsonValue::Bool(true));
+      pong.Set("v", JsonValue::Number(protocol::kVersion));
+      response = std::move(pong);
       break;
     }
     case protocol::Command::kLoadProgram:
@@ -490,7 +537,7 @@ JsonValue SessionRegistry::Handle(const Request& request) {
       break;
     }
   }
-  const JsonValue* ok = response.Find("ok");
+  const JsonValue* ok = response.body.Find("ok");
   if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -506,7 +553,7 @@ JsonValue SessionRegistry::HandleLine(std::string_view line) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(error, id);
   }
-  return Handle(*request);
+  return Handle(*request).ToJson();
 }
 
 }  // namespace vadalog

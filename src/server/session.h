@@ -10,14 +10,16 @@
 //     take it shared (the Reasoner's query entry points are const and
 //     re-entrant), ADD_FACTS and inline-query parsing (which interns
 //     symbols) take it exclusive;
-//   * the cache is single-user (its subsumption lookups and Record paths
-//     are not thread-safe), so queries serialize on the cache lock. A
-//     blocking wait beats the try-and-bypass alternative decisively:
-//     a bypassing query re-runs the whole cold search (hundreds of ms on
-//     the OWL 2 QL example) where the waiter pays warm-query latency
-//     (~1 ms) once the holder finishes. The cost is that one session's
-//     queries serialize; different sessions still run fully parallel,
-//     which is the scaling axis a multi-tenant daemon actually has;
+//   * the cache is internally synchronized (ProofSearchCache's own
+//     reader-writer lock), so same-session proof-search queries run
+//     CONCURRENTLY: each takes the session's cache lock shared — that
+//     lock only guards the cache_ pointer itself against wholesale
+//     replacement — and probes/records through the cache's internal
+//     lock. ADD_FACTS delta-invalidation and the byte-cap generational
+//     eviction, which swap or migrate the cache wholesale, take the
+//     session cache lock exclusive. `queries_waited` counts queries
+//     that found a writer holding the lock (had to block before
+//     starting), no longer queries serialized behind another query;
 //   * ADD_FACTS delta-invalidates the cache instead of rebuilding it:
 //     only refuted entries (exact tables + subsumption banks) whose
 //     predicates fall in the inserted facts' affected cone — forward
@@ -37,8 +39,11 @@
 //     generation.
 //
 // SessionRegistry::Handle() is the full command dispatcher mapping
-// protocol::Request to a response JsonValue; the socket server and the
-// in-process tests drive the same code path.
+// protocol::Request to a transport-independent protocol::Response (a
+// JSON body plus an optional answer table); the socket server renders
+// it under the connection's negotiated encoding, the in-process paths
+// (HandleLine) render it to the v1 JSON value. One execution path,
+// two encodings.
 
 #ifndef VADALOG_SERVER_SESSION_H_
 #define VADALOG_SERVER_SESSION_H_
@@ -79,9 +84,10 @@ class Session {
   const std::string& name() const { return name_; }
 
   /// Command implementations; each returns a complete response (ok or
-  /// error) correlated to `request.id`.
+  /// error) correlated to `request.id`. Query carries its answers as a
+  /// structured table (rendered per-encoding by the transport).
   JsonValue AddFacts(const protocol::Request& request);
-  JsonValue Query(const protocol::Request& request);
+  protocol::Response Query(const protocol::Request& request);
   JsonValue Explain(const protocol::Request& request);
 
   /// One {"name":...,"rules":...,...} stats object; lock-free counters
@@ -100,9 +106,12 @@ class Session {
 
   ReasonerOptions BuildOptions(const protocol::Request& request) const;
 
-  /// Post-use cache bookkeeping, called with `cache_mutex_` held: applies
-  /// the byte-cap generational eviction and refreshes `cache_bytes_` so
-  /// STATS tracks growth as it happens, not only at the next eviction.
+  /// Post-use cache bookkeeping, called with `data_mutex_` held (shared
+  /// suffices) and `cache_mutex_` NOT held: reads the byte figure, and
+  /// only when it crosses the cap upgrades to the exclusive cache lock,
+  /// re-checks (another query may have evicted first), and applies the
+  /// generational eviction. Refreshes `cache_bytes_` either way so STATS
+  /// tracks growth as it happens, not only at the next eviction.
   void FinishCacheUse();
 
   const std::string name_;
@@ -112,12 +121,14 @@ class Session {
   /// Guards program + database (see header comment).
   std::shared_mutex data_mutex_;
 
-  /// Guards the cache; taken with try_to_lock by queries.
-  std::mutex cache_mutex_;
+  /// Guards the cache_ *pointer* (see header comment): queries shared,
+  /// wholesale replacement/migration exclusive. Entry-level safety is
+  /// the ProofSearchCache's own internal lock.
+  std::shared_mutex cache_mutex_;
   std::unique_ptr<ProofSearchCache> cache_;
 
   std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> queries_waited_{0};  // had to wait for the cache
+  std::atomic<uint64_t> queries_waited_{0};  // blocked behind a cache writer
   /// Byte-cap generational evictions (whole cache dropped) — distinct
   /// from `cache_invalidations_`, the ADD_FACTS-driven partial drops.
   std::atomic<uint64_t> cache_evictions_{0};
@@ -133,12 +144,15 @@ class SessionRegistry {
  public:
   explicit SessionRegistry(const SessionOptions& defaults);
 
-  /// Dispatches one parsed request (any command) to a response.
-  JsonValue Handle(const protocol::Request& request);
+  /// Dispatches one parsed request (any command, HELLO included) to a
+  /// transport-independent response. The socket server renders it under
+  /// the connection's negotiated encoding.
+  protocol::Response Handle(const protocol::Request& request);
 
-  /// Parses one line and dispatches it; protocol errors become error
-  /// responses. The single entry point for the socket server, the
-  /// in-process client mode, and the tests.
+  /// Parses one line, dispatches it, and renders the response as the v1
+  /// JSON value (answers inlined); protocol errors become error
+  /// responses. The entry point for the in-process client mode and the
+  /// tests — paths with no connection and hence no negotiated state.
   JsonValue HandleLine(std::string_view line);
 
   size_t session_count();

@@ -146,7 +146,11 @@ TEST(ProtocolTest, StructuredErrorsCarryStableCodes) {
            {"[1,2,3]", "EPROTO"},
            {R"({"cmd":"QUERY"})", "EBADREQ"},          // missing session
            {R"({"cmd":"FROBNICATE","session":"s"})", "ECMD"},
-           {R"({"v":2,"cmd":"PING"})", "EVERSION"},
+           {R"({"v":0,"cmd":"PING"})", "EVERSION"},
+           {R"({"v":3,"cmd":"PING"})", "EVERSION"},
+           {R"({"cmd":"HELLO","max_version":0})", "EVERSION"},
+           {R"({"cmd":"HELLO","max_version":"two"})", "EBADREQ"},
+           {R"({"cmd":"HELLO","encodings":"binary"})", "EBADREQ"},
            {R"({"cmd":"LOAD_PROGRAM","session":"s"})", "EBADREQ"},
            {R"({"cmd":"QUERY","session":"s"})", "EBADREQ"},
            {R"({"cmd":"QUERY","session":"s","query_index":0,)"
@@ -460,6 +464,209 @@ TEST(ProtocolTest, ConeDisjointAddFactsInvalidatesNothing) {
       R"({"cmd":"QUERY","session":"s","query_index":0,"engine":"linear"})");
   ASSERT_TRUE(after.GetBool("ok")) << after.Dump();
   EXPECT_EQ(after.Find("answers")->Items().size(), 2u);  // b, c
+}
+
+// --- wire-API v2: HELLO negotiation and the binary answer frame ---
+
+protocol::Response Hello(const std::string& line, protocol::WireState* state,
+                         const std::vector<protocol::Encoding>& allowed = {
+                             protocol::Encoding::kJson,
+                             protocol::Encoding::kBinary}) {
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request =
+      protocol::ParseRequest(line, &error, &id);
+  EXPECT_TRUE(request.has_value()) << line << ": " << error.message;
+  return protocol::NegotiateHello(*request, allowed, state);
+}
+
+TEST(ProtocolTest, BothWireVersionsAreAccepted) {
+  for (const char* line :
+       {R"({"v":1,"cmd":"PING"})", R"({"v":2,"cmd":"PING"})"}) {
+    protocol::Error error;
+    JsonValue id;
+    EXPECT_TRUE(protocol::ParseRequest(line, &error, &id).has_value())
+        << line << ": " << error.message;
+  }
+}
+
+TEST(ProtocolTest, HelloNegotiatesVersionAndEncoding) {
+  // Full v2 + binary handshake.
+  protocol::WireState state;
+  protocol::Response response = Hello(
+      R"({"cmd":"HELLO","max_version":2,"encodings":["binary","json"]})",
+      &state);
+  EXPECT_TRUE(response.body.GetBool("ok"));
+  EXPECT_EQ(response.body.GetUint("version"), 2u);
+  EXPECT_EQ(response.body.GetUint("max_version"), 2u);
+  EXPECT_EQ(response.body.GetString("encoding"), "binary");
+  EXPECT_EQ(state.version, 2);
+  EXPECT_EQ(state.encoding, protocol::Encoding::kBinary);
+
+  // Unknown encoding names are skipped, not errors: the first name the
+  // server knows wins.
+  state = protocol::WireState{};
+  response = Hello(
+      R"({"cmd":"HELLO","max_version":2,"encodings":["zstd","json"]})",
+      &state);
+  EXPECT_EQ(response.body.GetString("encoding"), "json");
+  EXPECT_EQ(state.encoding, protocol::Encoding::kJson);
+
+  // No usable intersection falls back to JSON.
+  state = protocol::WireState{};
+  response = Hello(
+      R"({"cmd":"HELLO","max_version":2,"encodings":["zstd"]})", &state);
+  EXPECT_EQ(state.encoding, protocol::Encoding::kJson);
+
+  // A client future-proofed beyond the server clamps down to the
+  // server's maximum rather than failing.
+  state = protocol::WireState{};
+  response = Hello(R"({"cmd":"HELLO","max_version":99})", &state);
+  EXPECT_EQ(response.body.GetUint("version"),
+            static_cast<uint64_t>(protocol::kMaxVersion));
+}
+
+TEST(ProtocolTest, BinaryEncodingNeedsVersionTwo) {
+  // A v1-pinned client keeps the v1 contract: binary is refused even
+  // when explicitly preferred and allowed.
+  protocol::WireState state;
+  protocol::Response response = Hello(
+      R"({"cmd":"HELLO","max_version":1,"encodings":["binary"]})", &state);
+  EXPECT_EQ(state.version, 1);
+  EXPECT_EQ(response.body.GetString("encoding"), "json");
+  EXPECT_EQ(state.encoding, protocol::Encoding::kJson);
+}
+
+TEST(ProtocolTest, HelloHonorsServerAllowlist) {
+  // encodings=json in the server config keeps every connection on JSON
+  // no matter what clients prefer; the offer list tells them so.
+  protocol::WireState state;
+  protocol::Response response = Hello(
+      R"({"cmd":"HELLO","max_version":2,"encodings":["binary","json"]})",
+      &state, {protocol::Encoding::kJson});
+  EXPECT_EQ(state.encoding, protocol::Encoding::kJson);
+  const JsonValue* offered = response.body.Find("encodings");
+  ASSERT_NE(offered, nullptr);
+  ASSERT_EQ(offered->Items().size(), 1u);
+  EXPECT_EQ(offered->Items()[0].AsString(), "json");
+}
+
+TEST(ProtocolTest, HelloWorksThroughTheRegistryDispatcher) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue response = registry.HandleLine(
+      R"({"cmd":"HELLO","id":9,"max_version":2,"encodings":["binary"]})");
+  EXPECT_TRUE(response.GetBool("ok")) << response.Dump();
+  EXPECT_EQ(response.GetUint("version"), 2u);
+  EXPECT_EQ(response.GetUint("id"), 9u);
+}
+
+TEST(ProtocolTest, AnswerFrameRoundTripsExactly) {
+  protocol::AnswerTable table;
+  table.columns = 2;
+  table.row_count = 3;
+  table.cells = {"a", "bb", "", "d\"\n\x01", "λ→", "f"};
+  std::string payload = protocol::EncodeAnswerFrame(table);
+  protocol::AnswerTable decoded;
+  std::string error;
+  ASSERT_TRUE(protocol::DecodeAnswerFrame(payload, &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded, table);
+}
+
+TEST(ProtocolTest, AnswerFrameKeepsBooleanCertaintyDistinct) {
+  // Zero columns, one row ("certain") and zero rows ("not certain") are
+  // different answers; the frame must not quotient them away.
+  protocol::AnswerTable certain;
+  certain.columns = 0;
+  certain.row_count = 1;
+  protocol::AnswerTable refuted;
+  refuted.columns = 0;
+  refuted.row_count = 0;
+  std::string certain_payload = protocol::EncodeAnswerFrame(certain);
+  std::string refuted_payload = protocol::EncodeAnswerFrame(refuted);
+  EXPECT_NE(certain_payload, refuted_payload);
+  protocol::AnswerTable decoded;
+  std::string error;
+  ASSERT_TRUE(
+      protocol::DecodeAnswerFrame(certain_payload, &decoded, &error));
+  EXPECT_EQ(decoded.rows(), 1u);
+  ASSERT_TRUE(
+      protocol::DecodeAnswerFrame(refuted_payload, &decoded, &error));
+  EXPECT_EQ(decoded.rows(), 0u);
+}
+
+TEST(ProtocolTest, AnswerFrameRejectsMalformedPayloads) {
+  protocol::AnswerTable table;
+  table.columns = 1;
+  table.row_count = 2;
+  table.cells = {"xy", "z"};
+  std::string good = protocol::EncodeAnswerFrame(table);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  std::string truncated = good.substr(0, good.size() - 1);
+  std::string trailing = good + "!";
+  std::string short_header = good.substr(0, 11);
+  // rows=0xffffffff, cols=1 in a 12-byte frame: the plausibility bound
+  // must refuse before allocating anything rows-sized.
+  std::string hostile("VDF2\xff\xff\xff\xff\x01\x00\x00\x00", 12);
+
+  for (const std::string& bad :
+       {bad_magic, truncated, trailing, short_header, hostile,
+        std::string()}) {
+    protocol::AnswerTable decoded;
+    std::string error;
+    EXPECT_FALSE(protocol::DecodeAnswerFrame(bad, &decoded, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ProtocolTest, EncodeResponseFramesAnswersPerEncoding) {
+  protocol::Response response = protocol::OkResponse(JsonValue());
+  protocol::AnswerTable table;
+  table.columns = 1;
+  table.row_count = 2;
+  table.cells = {"b", "c"};
+  response.answers = table;
+
+  // JSON: one line, rows inlined.
+  std::string json_wire =
+      protocol::EncodeResponse(response, protocol::Encoding::kJson);
+  ASSERT_EQ(json_wire.back(), '\n');
+  std::string parse_error;
+  std::optional<JsonValue> json_head = JsonValue::Parse(
+      std::string_view(json_wire).substr(0, json_wire.size() - 1),
+      &parse_error);
+  ASSERT_TRUE(json_head.has_value()) << parse_error;
+  EXPECT_EQ(json_head->Find("answers")->Items().size(), 2u);
+  EXPECT_EQ(json_head->Find("answers_frame"), nullptr);
+
+  // Binary: a head line announcing the frame, then the exact payload.
+  std::string wire =
+      protocol::EncodeResponse(response, protocol::Encoding::kBinary);
+  size_t newline = wire.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  std::optional<JsonValue> head = JsonValue::Parse(
+      std::string_view(wire).substr(0, newline), &parse_error);
+  ASSERT_TRUE(head.has_value()) << parse_error;
+  EXPECT_EQ(head->Find("answers"), nullptr);
+  const JsonValue* descriptor = head->Find("answers_frame");
+  ASSERT_NE(descriptor, nullptr);
+  EXPECT_EQ(descriptor->GetUint("rows"), 2u);
+  EXPECT_EQ(descriptor->GetUint("cols"), 1u);
+  std::string_view payload = std::string_view(wire).substr(newline + 1);
+  EXPECT_EQ(descriptor->GetUint("bytes"), payload.size());
+  protocol::AnswerTable decoded;
+  std::string decode_error;
+  ASSERT_TRUE(protocol::DecodeAnswerFrame(payload, &decoded, &decode_error))
+      << decode_error;
+  EXPECT_EQ(decoded, table);
+
+  // Responses without a table stay pure JSON lines on every encoding.
+  protocol::Response plain = protocol::OkResponse(JsonValue());
+  std::string control =
+      protocol::EncodeResponse(plain, protocol::Encoding::kBinary);
+  EXPECT_EQ(control.find('\n'), control.size() - 1);
 }
 
 TEST(ProtocolTest, StatsAndPing) {

@@ -8,8 +8,11 @@
 
 #ifndef _WIN32
 #include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <pthread.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -42,11 +45,15 @@ constexpr const char* kProgram = R"(
   ?(X, Z) :- path2(X, Z).
 )";
 
-/// Minimal blocking protocol client against 127.0.0.1:port.
+/// Minimal blocking protocol client against 127.0.0.1:port. A non-zero
+/// `rcvbuf` shrinks SO_RCVBUF before connecting (slow-reader tests).
 class TestClient {
  public:
-  explicit TestClient(uint16_t port) {
+  explicit TestClient(uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ >= 0 && rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -60,30 +67,55 @@ class TestClient {
   }
   bool connected() const { return connected_; }
 
-  std::optional<JsonValue> RoundTrip(const std::string& line) {
+  bool SendLine(const std::string& line) {
     std::string out = line + "\n";
     size_t sent = 0;
     while (sent < out.size()) {
       ssize_t n =
           ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return std::nullopt;
+      if (n <= 0) return false;
       sent += static_cast<size_t>(n);
     }
+    return true;
+  }
+
+  std::optional<std::string> ReadLine() {
     while (true) {
       size_t newline = buffer_.find('\n');
       if (newline != std::string::npos) {
-        std::string response = buffer_.substr(0, newline);
+        std::string line = buffer_.substr(0, newline);
         buffer_.erase(0, newline + 1);
-        return JsonValue::Parse(response, nullptr);
+        return line;
       }
-      char chunk[65536];
-      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-      if (n <= 0) return std::nullopt;
-      buffer_.append(chunk, static_cast<size_t>(n));
+      if (!Fill()) return std::nullopt;
     }
   }
 
+  bool ReadExact(size_t n, std::string* out) {
+    while (buffer_.size() < n) {
+      if (!Fill()) return false;
+    }
+    *out = buffer_.substr(0, n);
+    buffer_.erase(0, n);
+    return true;
+  }
+
+  std::optional<JsonValue> RoundTrip(const std::string& line) {
+    if (!SendLine(line)) return std::nullopt;
+    std::optional<std::string> response = ReadLine();
+    if (!response.has_value()) return std::nullopt;
+    return JsonValue::Parse(*response, nullptr);
+  }
+
  private:
+  bool Fill() {
+    char chunk[65536];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
   int fd_ = -1;
   bool connected_ = false;
   std::string buffer_;
@@ -480,7 +512,291 @@ TEST(ServerTest, UnixSocketEndpointServes) {
   EXPECT_NE(::access(options.unix_path.c_str(), F_OK), 0);
 }
 
-#include <sys/un.h>
+// --- event-loop architecture tests ---
+
+size_t CountThreads() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+size_t CountOpenFds() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+// The tentpole contract: connections are event-loop state, not threads.
+// 256 concurrent idle connections must all be served by the same fixed
+// thread complement that served one.
+TEST(ServerTest, HundredsOfIdleConnectionsNeedNoExtraThreads) {
+  ServerConfig config;
+  config.workers = 2;
+  std::unique_ptr<Server> server = StartServer(config);
+  TestClient first(server->tcp_port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.RoundTrip(R"({"cmd":"PING"})")->GetBool("pong"));
+  size_t baseline = CountThreads();
+  ASSERT_GT(baseline, 0u);
+
+  constexpr size_t kIdle = 256;
+  std::vector<std::unique_ptr<TestClient>> idle;
+  for (size_t i = 0; i < kIdle; ++i) {
+    idle.push_back(std::make_unique<TestClient>(server->tcp_port()));
+    ASSERT_TRUE(idle.back()->connected()) << "connection " << i;
+  }
+  // Sampled connections across the set still serve requests — they are
+  // accepted descriptors, not a backlog illusion — with zero new threads.
+  for (size_t i : {size_t{0}, kIdle / 2, kIdle - 1}) {
+    std::optional<JsonValue> pong = idle[i]->RoundTrip(R"({"cmd":"PING"})");
+    ASSERT_TRUE(pong.has_value()) << "connection " << i;
+    EXPECT_TRUE(pong->GetBool("pong"));
+  }
+  EXPECT_EQ(CountThreads(), baseline);
+  EXPECT_GE(server->stats().connections, kIdle + 1);
+  server->Stop();
+}
+
+// Descriptor exhaustion on accept must evict an idle connection and keep
+// accepting, not starve the listener (the classic EMFILE accept spin).
+TEST(ServerTest, AcceptUnderEmfileEvictsIdleConnectionsInsteadOfStarving) {
+  std::unique_ptr<Server> server = StartServer();
+  TestClient sentinel(server->tcp_port());
+  ASSERT_TRUE(sentinel.connected());
+  ASSERT_TRUE(sentinel.RoundTrip(R"({"cmd":"PING"})")->GetBool("pong"));
+
+  // A few more idle connections to give the eviction policy a pool.
+  std::vector<std::unique_ptr<TestClient>> idle;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(std::make_unique<TestClient>(server->tcp_port()));
+    ASSERT_TRUE(idle.back()->connected());
+    ASSERT_TRUE(idle.back()->RoundTrip(R"({"cmd":"PING"})")->GetBool("pong"));
+  }
+
+  // Exhaust the descriptor table, then hand back exactly one slot. The
+  // new client's socket() consumes it; the accept on the server side
+  // then hits EMFILE and must evict an idle connection to admit it —
+  // client and server share this process's table, so nothing else can
+  // race for the freed descriptor while we block in recv.
+  rlimit old{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old), 0);
+  rlimit tight = old;
+  tight.rlim_cur = CountOpenFds() + 8;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> burners;
+  while (true) {
+    int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    burners.push_back(fd);
+  }
+  ASSERT_FALSE(burners.empty());
+  ::close(burners.back());
+  burners.pop_back();
+
+  TestClient newest(server->tcp_port());
+  ASSERT_TRUE(newest.connected());
+  std::optional<JsonValue> pong = newest.RoundTrip(R"({"cmd":"PING"})");
+  for (int fd : burners) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old), 0);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("pong"));
+  EXPECT_GE(server->stats().idle_closed, 1u);
+  // The eviction closed the idlest request-free connection: probing the
+  // whole pool finds at least one peer-closed socket.
+  size_t evicted = 0;
+  if (!sentinel.RoundTrip(R"({"cmd":"PING"})").has_value()) ++evicted;
+  for (auto& client : idle) {
+    if (!client->RoundTrip(R"({"cmd":"PING"})").has_value()) ++evicted;
+  }
+  EXPECT_GE(evicted, 1u);
+  server->Stop();
+}
+
+// Head-of-line isolation: one client that stops reading its (large)
+// responses parks them in its per-connection out-buffer; every other
+// connection keeps getting served while they sit there, and the slow
+// client's responses arrive intact once it finally drains.
+TEST(ServerTest, SlowReadingClientDoesNotBlockOtherConnections) {
+  std::unique_ptr<Server> server = StartServer();
+  // Answers big enough to overrun the slow reader's shrunken receive
+  // window plus the kernel send buffer, forcing server-side buffering.
+  std::string big;
+  for (int i = 0; i < 4000; ++i) {
+    big += "d(x" + std::to_string(i) + "). ";
+  }
+  big += "?(X) :- d(X).";
+  TestClient loader(server->tcp_port());
+  ASSERT_TRUE(loader.connected());
+  ASSERT_TRUE(loader.RoundTrip(LoadLine("big", big))->GetBool("ok"));
+
+  TestClient slow(server->tcp_port(), /*rcvbuf=*/1024);
+  ASSERT_TRUE(slow.connected());
+  constexpr int kPipelined = 8;
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_TRUE(slow.SendLine(
+        R"({"cmd":"QUERY","session":"big","query_index":0,"id":)" +
+        std::to_string(i) + "}"));
+  }
+
+  // While the slow client's responses back up, a healthy client must
+  // make steady progress through the same server.
+  TestClient healthy(server->tcp_port());
+  ASSERT_TRUE(healthy.connected());
+  for (int i = 0; i < 10; ++i) {
+    std::optional<JsonValue> response = healthy.RoundTrip(
+        R"({"cmd":"QUERY","session":"big","query_index":0})");
+    ASSERT_TRUE(response.has_value()) << "round " << i;
+    ASSERT_TRUE(response->GetBool("ok")) << response->Dump();
+    ASSERT_EQ(response->Find("answers")->Items().size(), 4000u);
+  }
+
+  // Now drain the slow connection: all pipelined responses, in order,
+  // uncorrupted.
+  for (int i = 0; i < kPipelined; ++i) {
+    std::optional<std::string> line = slow.ReadLine();
+    ASSERT_TRUE(line.has_value()) << "response " << i;
+    std::optional<JsonValue> response = JsonValue::Parse(*line, nullptr);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->GetBool("ok"));
+    EXPECT_EQ(response->Find("id")->AsNumber(), static_cast<double>(i));
+    EXPECT_EQ(response->Find("answers")->Items().size(), 4000u);
+  }
+  server->Stop();
+}
+
+// A client that reads nothing at all is eventually dropped when its
+// backlog crosses max_outbuf_bytes — buffering is bounded.
+TEST(ServerTest, UnboundedResponseBacklogDropsTheConnection) {
+  ServerConfig config;
+  config.max_outbuf_bytes = 16 << 10;
+  std::unique_ptr<Server> server = StartServer(config);
+  std::string big;
+  for (int i = 0; i < 20000; ++i) {
+    big += "d(x" + std::to_string(i) + "). ";
+  }
+  big += "?(X) :- d(X).";
+  TestClient loader(server->tcp_port());
+  ASSERT_TRUE(loader.connected());
+  ASSERT_TRUE(loader.RoundTrip(LoadLine("big", big))->GetBool("ok"));
+
+  // The greedy client pipelines queries and never reads. Its tiny
+  // receive window plus a full kernel send buffer (tcp autotuning can
+  // grow it to tcp_wmem[2], often 4 MiB, so the total backlog here is
+  // sized well past that) force responses back into the server's
+  // out-buffer, which crosses the 16 KiB cap.
+  TestClient greedy(server->tcp_port(), /*rcvbuf=*/1024);
+  ASSERT_TRUE(greedy.connected());
+  for (int i = 0; i < 32; ++i) {
+    if (!greedy.SendLine(
+            R"({"cmd":"QUERY","session":"big","query_index":0})")) {
+      break;  // already dropped — also a pass
+    }
+  }
+  for (int i = 0; i < 6000 && server->stats().overflow_closed == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server->stats().overflow_closed, 1u);
+  if (server->stats().overflow_closed > 0) {
+    // The server cut the connection, so reading to EOF terminates.
+    std::string sink;
+    while (greedy.ReadExact(1, &sink)) {
+      sink.clear();
+    }
+  }
+  server->Stop();
+}
+
+// The portable poll(2) backend must serve the same contract as epoll;
+// the whole protocol flow runs against it.
+TEST(ServerTest, PollBackendServesIdentically) {
+  ServerConfig config;
+  config.poller = "poll";
+  std::unique_ptr<Server> server = StartServer(config);
+  TestClient client(server->tcp_port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.RoundTrip(LoadLine("s", kProgram))->GetBool("ok"));
+  std::vector<std::vector<std::vector<std::string>>> expected =
+      DirectAnswers(kProgram, "auto");
+  for (size_t q = 0; q < expected.size(); ++q) {
+    std::optional<JsonValue> response = client.RoundTrip(
+        R"({"cmd":"QUERY","session":"s","query_index":)" +
+        std::to_string(q) + "}");
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->GetBool("ok")) << response->Dump();
+    EXPECT_EQ(RowsOf(*response), expected[q]);
+  }
+  std::optional<JsonValue> pong = client.RoundTrip(R"({"cmd":"PING"})");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("pong"));
+  server->Stop();
+}
+
+// Wire-API v2 over a real socket: HELLO negotiates the binary encoding
+// and the answer frame decodes bit-identical to the JSON rendering of
+// the same query on a v1 connection.
+TEST(ServerTest, BinaryEncodingMatchesJsonAnswersBitForBit) {
+  std::unique_ptr<Server> server = StartServer();
+  TestClient json_client(server->tcp_port());
+  ASSERT_TRUE(json_client.connected());
+  ASSERT_TRUE(json_client.RoundTrip(LoadLine("s", kProgram))->GetBool("ok"));
+  std::optional<JsonValue> via_json = json_client.RoundTrip(
+      R"({"cmd":"QUERY","session":"s","query_index":0})");
+  ASSERT_TRUE(via_json.has_value() && via_json->GetBool("ok"));
+
+  TestClient binary_client(server->tcp_port());
+  ASSERT_TRUE(binary_client.connected());
+  std::optional<JsonValue> hello = binary_client.RoundTrip(
+      R"({"cmd":"HELLO","max_version":2,"encodings":["binary"]})");
+  ASSERT_TRUE(hello.has_value()) << "HELLO got no response";
+  ASSERT_TRUE(hello->GetBool("ok")) << hello->Dump();
+  ASSERT_EQ(hello->GetString("encoding"), "binary");
+  ASSERT_EQ(hello->GetUint("version"), 2u);
+
+  ASSERT_TRUE(binary_client.SendLine(
+      R"({"v":2,"cmd":"QUERY","session":"s","query_index":0})"));
+  std::optional<std::string> head_line = binary_client.ReadLine();
+  ASSERT_TRUE(head_line.has_value());
+  std::optional<JsonValue> head = JsonValue::Parse(*head_line, nullptr);
+  ASSERT_TRUE(head.has_value());
+  ASSERT_TRUE(head->GetBool("ok")) << head->Dump();
+  EXPECT_EQ(head->Find("answers"), nullptr);
+  const JsonValue* descriptor = head->Find("answers_frame");
+  ASSERT_NE(descriptor, nullptr);
+  std::string payload;
+  ASSERT_TRUE(binary_client.ReadExact(
+      static_cast<size_t>(descriptor->GetUint("bytes")), &payload));
+  protocol::AnswerTable table;
+  std::string decode_error;
+  ASSERT_TRUE(protocol::DecodeAnswerFrame(payload, &table, &decode_error))
+      << decode_error;
+
+  std::vector<std::vector<std::string>> from_frame;
+  for (size_t r = 0; r < table.rows(); ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < table.columns; ++c) {
+      row.push_back(table.cells[r * table.columns + c]);
+    }
+    from_frame.push_back(std::move(row));
+  }
+  EXPECT_EQ(from_frame, RowsOf(*via_json));
+
+  // Control responses stay line-framed JSON even on a binary connection.
+  std::optional<JsonValue> pong =
+      binary_client.RoundTrip(R"({"v":2,"cmd":"PING"})");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("pong"));
+  server->Stop();
+}
 
 #endif  // !_WIN32
 

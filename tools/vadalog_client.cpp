@@ -3,18 +3,35 @@
 // Modes:
 //
 //   * Raw:        pipe newline-delimited JSON requests on stdin, responses
-//                 come back on stdout.
+//                 come back on stdout. Binary answer frames are decoded
+//                 and re-inlined as "answers" so the output stays
+//                 line-oriented JSON regardless of the negotiated
+//                 encoding.
 //
 //       vadalog_client --connect=tcp:127.0.0.1:4333 < requests.ndjson
+//
+//   * Hello:      probe the server's wire-API: send one HELLO carrying
+//                 this client's max_version and encoding preferences,
+//                 print the negotiation result, exit 0 iff it succeeded.
+//
+//       vadalog_client --connect=tcp:127.0.0.1:4333 --hello
 //
 //   * Round-trip: load a .vada program into a session over the wire, run
 //                 every query in it through the protocol — optionally
 //                 from many concurrent client connections — and diff the
 //                 answers against a direct in-process Reasoner on the
 //                 same program. Exit 0 iff every answer set matches.
+//                 With --encoding=binary the answers travel as columnar
+//                 v2 frames and the decoded cells must match the JSON
+//                 rendering bit for bit — the cross-encoding oracle.
 //
 //       vadalog_client --serve --clients=16 --repeat=4
 //           --roundtrip=examples/programs/company_control.vada
+//
+// --encoding=json|binary sends a HELLO at connect time and fails hard if
+// the server negotiates something other than the requested encoding.
+// Without the flag no HELLO is sent: the connection speaks the v1
+// contract, exactly like an old client.
 //
 // Endpoints: --connect=tcp:HOST:PORT (HOST is an IPv4 literal or
 // "localhost") or --connect=unix:PATH, or --serve to spin up an
@@ -27,6 +44,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -59,6 +77,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--connect=tcp:HOST:PORT | --connect=unix:PATH | "
                "--serve)\n"
+               "          [--encoding=json|binary] [--hello]\n"
                "          [--roundtrip=FILE.vada [--engine=E] [--threads=N] "
                "[--clients=N] "
                "[--repeat=N]]\n",
@@ -66,7 +85,8 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-/// A blocking line-oriented protocol connection.
+/// A blocking protocol connection: line-framed JSON requests out, JSON
+/// head lines plus optional binary answer frames back in.
 class Connection {
  public:
   ~Connection() {
@@ -112,31 +132,109 @@ class Connection {
     return true;
   }
 
-  /// Sends one request line and reads one response line.
-  bool RoundTrip(const std::string& line, std::string* response_line) {
+  /// Sends one request line, reads the JSON head line, and — when the
+  /// head announces an answers_frame — reads and decodes the binary
+  /// payload that follows it. `answers` is reset to nullopt when the
+  /// response carried none.
+  bool Transact(const std::string& line, JsonValue* head,
+                std::optional<protocol::AnswerTable>* answers,
+                std::string* error) {
+    answers->reset();
     std::string out = line + "\n";
     size_t sent = 0;
     while (sent < out.size()) {
       ssize_t n =
           ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return false;
+      if (n <= 0) {
+        *error = "connection lost (send)";
+        return false;
+      }
       sent += static_cast<size_t>(n);
     }
-    while (true) {
-      size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        *response_line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return true;
-      }
-      char chunk[65536];
-      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<size_t>(n));
+    std::string head_line;
+    if (!ReadLine(&head_line)) {
+      *error = "connection lost (recv)";
+      return false;
     }
+    std::string parse_error;
+    std::optional<JsonValue> parsed =
+        JsonValue::Parse(head_line, &parse_error);
+    if (!parsed.has_value()) {
+      *error = "malformed response: " + head_line;
+      return false;
+    }
+    *head = std::move(*parsed);
+    const JsonValue* descriptor = head->Find("answers_frame");
+    if (descriptor != nullptr) {
+      uint64_t bytes = descriptor->GetUint("bytes");
+      std::string payload;
+      if (!ReadExact(static_cast<size_t>(bytes), &payload)) {
+        *error = "connection lost mid-frame";
+        return false;
+      }
+      protocol::AnswerTable table;
+      std::string decode_error;
+      if (!protocol::DecodeAnswerFrame(payload, &table, &decode_error)) {
+        *error = "bad answer frame: " + decode_error;
+        return false;
+      }
+      *answers = std::move(table);
+    }
+    return true;
+  }
+
+  /// Sends one HELLO and verifies the server granted the requested
+  /// encoding (the negotiation response lands in `response` either way).
+  bool Hello(const std::string& encoding, JsonValue* response,
+             std::string* error) {
+    std::string request =
+        R"({"cmd":"HELLO","max_version":)" +
+        std::to_string(protocol::kMaxVersion) + R"(,"encodings":[)" +
+        JsonValue::String(encoding).Dump() + "]}";
+    std::optional<protocol::AnswerTable> none;
+    if (!Transact(request, response, &none, error)) return false;
+    if (!response->GetBool("ok")) {
+      *error = "HELLO failed: " + response->Dump();
+      return false;
+    }
+    if (response->GetString("encoding") != encoding) {
+      *error = "server declined encoding " + encoding + ": " +
+               response->Dump();
+      return false;
+    }
+    return true;
   }
 
  private:
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  bool ReadExact(size_t n, std::string* out) {
+    while (buffer_.size() < n) {
+      if (!Fill()) return false;
+    }
+    *out = buffer_.substr(0, n);
+    buffer_.erase(0, n);
+    return true;
+  }
+
+  bool Fill() {
+    char chunk[65536];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
   int fd_ = -1;
   std::string buffer_;
 };
@@ -146,12 +244,17 @@ struct Endpoint {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   std::string unix_path;
+  std::string encoding;  // empty = no HELLO, plain v1
 
   std::unique_ptr<Connection> Dial(std::string* error) const {
     auto connection = std::make_unique<Connection>();
     bool ok = use_unix ? connection->ConnectUnix(unix_path, error)
                        : connection->ConnectTcp(host, port, error);
     if (!ok) return nullptr;
+    if (!encoding.empty()) {
+      JsonValue response;
+      if (!connection->Hello(encoding, &response, error)) return nullptr;
+    }
     return connection;
   }
 };
@@ -182,7 +285,7 @@ std::vector<std::vector<std::string>> ExpectedAnswers(
   return rendered;
 }
 
-std::vector<std::vector<std::string>> AnswersFromResponse(
+std::vector<std::vector<std::string>> AnswersFromJson(
     const JsonValue& response) {
   std::vector<std::vector<std::string>> rows;
   const JsonValue* answers = response.Find("answers");
@@ -197,8 +300,25 @@ std::vector<std::vector<std::string>> AnswersFromResponse(
   return rows;
 }
 
-/// One simulated client: its own connection, running every query of the
-/// session `repeat` times and diffing each answer set.
+std::vector<std::vector<std::string>> AnswersFromTable(
+    const protocol::AnswerTable& table) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.rows());
+  for (size_t r = 0; r < table.rows(); ++r) {
+    std::vector<std::string> tuple;
+    tuple.reserve(table.columns);
+    for (size_t c = 0; c < table.columns; ++c) {
+      tuple.push_back(table.cells[r * table.columns + c]);
+    }
+    rows.push_back(std::move(tuple));
+  }
+  return rows;
+}
+
+/// One simulated client: its own connection (negotiating the endpoint's
+/// encoding), running every query of the session `repeat` times and
+/// diffing each answer set — decoded from the binary frame when that is
+/// what was negotiated — against the in-process oracle.
 bool RunClientThread(const Endpoint& endpoint, const std::string& session,
                      const std::string& engine, uint32_t threads,
                      size_t num_queries, int repeat,
@@ -220,34 +340,40 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
         request += ",\"threads\":" + std::to_string(threads);
       }
       request += "}";
-      std::string line;
       while (true) {
-        if (!connection->RoundTrip(request, &line)) {
-          std::fprintf(stderr, "client: connection lost\n");
+        JsonValue response;
+        std::optional<protocol::AnswerTable> table;
+        if (!connection->Transact(request, &response, &table, &error)) {
+          std::fprintf(stderr, "client: %s\n", error.c_str());
           return false;
         }
-        std::optional<JsonValue> response = JsonValue::Parse(line, nullptr);
-        if (!response.has_value()) {
-          std::fprintf(stderr, "client: malformed response: %s\n",
-                       line.c_str());
-          return false;
-        }
-        if (!response->GetBool("ok")) {
+        if (!response.GetBool("ok")) {
           // Admission-control rejections are part of normal operation
           // under a 16-client burst: honor the retry hint, fail on
           // anything else.
-          const JsonValue* detail = response->Find("error");
+          const JsonValue* detail = response.Find("error");
           if (detail != nullptr &&
               detail->GetString("code") == "EBUSY") {
             continue;
           }
-          std::fprintf(stderr, "client: query failed: %s\n", line.c_str());
+          std::fprintf(stderr, "client: query failed: %s\n",
+                       response.Dump().c_str());
           return false;
         }
-        if (AnswersFromResponse(*response) != expected[q]) {
+        // A binary connection must get frames, a JSON one inline rows.
+        if (endpoint.encoding == "binary" && !table.has_value()) {
+          std::fprintf(
+              stderr,
+              "client: negotiated binary but got inline answers\n");
+          return false;
+        }
+        std::vector<std::vector<std::string>> got =
+            table.has_value() ? AnswersFromTable(*table)
+                              : AnswersFromJson(response);
+        if (got != expected[q]) {
           std::fprintf(stderr,
                        "client: ANSWER MISMATCH on query %zu:\n  got  %s\n",
-                       q, line.c_str());
+                       q, response.Dump().c_str());
           return false;
         }
         break;
@@ -293,18 +419,19 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
     return 1;
   }
   const std::string session = "roundtrip";
-  std::string line;
-  if (!connection->RoundTrip("{\"cmd\":\"LOAD_PROGRAM\",\"session\":" +
-                                 EscapeJson(session) +
-                                 ",\"replace\":true,\"program\":" +
-                                 EscapeJson(text.str()) + "}",
-                             &line)) {
-    std::fprintf(stderr, "LOAD_PROGRAM: connection lost\n");
+  JsonValue loaded;
+  std::optional<protocol::AnswerTable> no_table;
+  if (!connection->Transact("{\"cmd\":\"LOAD_PROGRAM\",\"session\":" +
+                                EscapeJson(session) +
+                                ",\"replace\":true,\"program\":" +
+                                EscapeJson(text.str()) + "}",
+                            &loaded, &no_table, &error)) {
+    std::fprintf(stderr, "LOAD_PROGRAM: %s\n", error.c_str());
     return 1;
   }
-  std::optional<JsonValue> loaded = JsonValue::Parse(line, nullptr);
-  if (!loaded.has_value() || !loaded->GetBool("ok")) {
-    std::fprintf(stderr, "LOAD_PROGRAM failed: %s\n", line.c_str());
+  if (!loaded.GetBool("ok")) {
+    std::fprintf(stderr, "LOAD_PROGRAM failed: %s\n",
+                 loaded.Dump().c_str());
     return 1;
   }
 
@@ -321,10 +448,11 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
   for (std::thread& t : client_threads) t.join();
 
   // Wrap up with a STATS probe so the e2e run also exercises it.
-  if (connection->RoundTrip("{\"cmd\":\"STATS\",\"session\":" +
-                                EscapeJson(session) + "}",
-                            &line)) {
-    std::fprintf(stderr, "stats: %s\n", line.c_str());
+  JsonValue stats;
+  if (connection->Transact("{\"cmd\":\"STATS\",\"session\":" +
+                               EscapeJson(session) + "}",
+                           &stats, &no_table, &error)) {
+    std::fprintf(stderr, "stats: %s\n", stats.Dump().c_str());
   }
   if (failures.load() != 0) {
     std::fprintf(stderr, "FAILED: %d/%d clients saw mismatches or errors\n",
@@ -332,10 +460,38 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
     return 1;
   }
   std::fprintf(stderr,
-               "OK: %d client(s) x %d repeat(s) x %zu query(ies) matched "
+               "OK: %d client(s) x %d repeat(s) x %zu query(ies)%s matched "
                "the in-process reasoner\n",
-               clients, repeat, num_queries);
+               clients, repeat, num_queries,
+               endpoint.encoding == "binary" ? " (binary frames)" : "");
   return 0;
+}
+
+int RunHello(const Endpoint& endpoint) {
+  // Dial without the automatic handshake so a declined encoding is a
+  // printable outcome here, not a connect failure.
+  Endpoint plain = endpoint;
+  plain.encoding.clear();
+  std::string error;
+  std::unique_ptr<Connection> connection = plain.Dial(&error);
+  if (connection == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string prefs = endpoint.encoding.empty()
+                          ? "\"binary\",\"json\""
+                          : EscapeJson(endpoint.encoding);
+  JsonValue response;
+  std::optional<protocol::AnswerTable> no_table;
+  if (!connection->Transact(R"({"cmd":"HELLO","max_version":)" +
+                                std::to_string(protocol::kMaxVersion) +
+                                R"(,"encodings":[)" + prefs + "]}",
+                            &response, &no_table, &error)) {
+    std::fprintf(stderr, "HELLO: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.Dump().c_str());
+  return response.GetBool("ok") ? 0 : 1;
 }
 
 int RunRaw(const Endpoint& endpoint) {
@@ -348,12 +504,17 @@ int RunRaw(const Endpoint& endpoint) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    std::string response;
-    if (!connection->RoundTrip(line, &response)) {
-      std::fprintf(stderr, "connection lost\n");
+    JsonValue response;
+    std::optional<protocol::AnswerTable> table;
+    if (!connection->Transact(line, &response, &table, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    std::printf("%s\n", response.c_str());
+    // Keep stdout line-oriented: a decoded frame is re-inlined exactly
+    // the way the JSON encoding would have carried it.
+    protocol::Response model(std::move(response));
+    model.answers = std::move(table);
+    std::printf("%s\n", model.ToJson().Dump().c_str());
     std::fflush(stdout);
   }
   return 0;
@@ -365,6 +526,7 @@ int main(int argc, char** argv) {
   Endpoint endpoint;
   bool have_endpoint = false;
   bool serve = false;
+  bool hello = false;
   std::string roundtrip_path;
   std::string engine = "auto";
   uint32_t search_threads = 0;
@@ -374,11 +536,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--version") == 0) {
-      std::printf("vadalog_client %s (protocol v%d)\n", kVersionString,
-                  protocol::kVersion);
+      std::printf("vadalog_client %s (protocol v%d..%d)\n", kVersionString,
+                  protocol::kVersion, protocol::kMaxVersion);
       return 0;
     } else if (std::strcmp(arg, "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(arg, "--hello") == 0) {
+      hello = true;
     } else if (std::strncmp(arg, "--connect=", 10) == 0) {
       std::string spec = arg + 10;
       if (spec.rfind("unix:", 0) == 0) {
@@ -396,6 +560,11 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       have_endpoint = true;
+    } else if (std::strncmp(arg, "--encoding=", 11) == 0) {
+      endpoint.encoding = arg + 11;
+      if (endpoint.encoding != "json" && endpoint.encoding != "binary") {
+        return Usage(argv[0]);
+      }
     } else if (std::strncmp(arg, "--roundtrip=", 12) == 0) {
       roundtrip_path = arg + 12;
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
@@ -424,9 +593,9 @@ int main(int argc, char** argv) {
   if (serve) {
     // In-process daemon on an ephemeral loopback port; the traffic still
     // crosses real sockets, so this is a faithful round trip.
-    ServerOptions options;
-    options.tcp_port = 0;
-    server = std::make_unique<Server>(options);
+    ServerConfig config;
+    config.tcp_port = 0;
+    server = std::make_unique<Server>(config);
     std::string error;
     if (!server->Start(&error)) {
       std::fprintf(stderr, "--serve: %s\n", error.c_str());
@@ -435,10 +604,15 @@ int main(int argc, char** argv) {
     endpoint.port = server->tcp_port();
   }
 
-  int status = roundtrip_path.empty()
-                   ? RunRaw(endpoint)
-                   : RunRoundTrip(endpoint, roundtrip_path, engine,
-                                  search_threads, clients, repeat);
+  int status;
+  if (hello) {
+    status = RunHello(endpoint);
+  } else if (roundtrip_path.empty()) {
+    status = RunRaw(endpoint);
+  } else {
+    status = RunRoundTrip(endpoint, roundtrip_path, engine, search_threads,
+                          clients, repeat);
+  }
   if (server != nullptr) server->Stop();
   return status;
 }

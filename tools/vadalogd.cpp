@@ -1,23 +1,26 @@
 // vadalogd — the long-lived reasoning daemon. Loads programs once into
 // named sessions and answers many queries against them concurrently over
-// a newline-delimited JSON protocol (see src/server/protocol.h and the
-// README's "Running as a service" section).
+// a negotiated newline-JSON / binary wire protocol (see
+// src/server/protocol.h and the README's "Running as a service"
+// section). One event-loop thread serves every connection; request
+// execution runs on a fixed worker pool.
 //
 // Usage:
 //   vadalogd [options]
-//     --tcp-port=N            listen on 127.0.0.1:N (default 4333;
-//                             0 = ephemeral, see --print-port)
-//     --no-tcp                disable the TCP endpoint
-//     --unix=PATH             also listen on a Unix-domain socket
-//     --workers=N             worker pool size (default 4)
-//     --search-threads=N      default parallel-search threads per query
-//     --max-inflight=N        global in-flight request cap (default 64)
-//     --max-inflight-per-session=N   per-session cap (default 16)
-//     --cache-bytes=N         per-session cache eviction threshold
+//     --config KEY=VALUE      set any server knob (repeatable); the full
+//                             key table: --config list
 //     --load NAME=FILE        preload FILE into session NAME (repeatable)
 //     --print-port            print "PORT <n>" once listening (scripts
-//                             use this with --tcp-port=0)
+//                             use this with --config tcp_port=0)
 //     --version
+//
+// Deprecated spellings (one release of grace, each noted once on
+// stderr; they are exact aliases for --config):
+//     --tcp-port=N ~ tcp_port, --no-tcp ~ tcp=false, --unix=PATH ~ unix,
+//     --workers=N, --search-threads=N ~ search_threads,
+//     --max-inflight=N ~ max_inflight,
+//     --max-inflight-per-session=N ~ max_inflight_per_session,
+//     --cache-bytes=N ~ cache_bytes
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, finish
 // in-flight requests, exit 0.
@@ -44,13 +47,11 @@ using namespace vadalog;
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--tcp-port=N] [--no-tcp] [--unix=PATH] [--workers=N]\n"
-      "          [--search-threads=N] [--max-inflight=N]\n"
-      "          [--max-inflight-per-session=N] [--cache-bytes=N]\n"
-      "          [--load NAME=FILE]... [--print-port]\n",
-      argv0);
+  std::fprintf(stderr,
+               "usage: %s [--config KEY=VALUE]... [--load NAME=FILE]...\n"
+               "          [--print-port] [--version]\n"
+               "       %s --config list    (print the config key table)\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -66,51 +67,99 @@ void HandleSignal(int) {
 }
 #endif
 
-bool ParseSize(const char* text, uint64_t* out) {
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return false;
-  *out = value;
+/// Applies one KEY=VALUE pair to the config; exits with the config
+/// layer's own message on error.
+bool ApplyConfig(ServerConfig* config, const std::string& pair) {
+  size_t eq = pair.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "vadalogd: --config wants KEY=VALUE, got \"%s\"\n",
+                 pair.c_str());
+    return false;
+  }
+  std::string error;
+  if (!config->Set(std::string_view(pair).substr(0, eq),
+                   std::string_view(pair).substr(eq + 1), &error)) {
+    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Deprecated flag bridge: one stderr note per old spelling, then the
+/// exact --config equivalent.
+bool ApplyDeprecated(ServerConfig* config, const char* flag,
+                     const std::string& key, const std::string& value) {
+  std::fprintf(stderr,
+               "vadalogd: %s is deprecated; use --config %s=%s\n", flag,
+               key.c_str(), value.c_str());
+  std::string error;
+  if (!config->Set(key, value, &error)) {
+    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    return false;
+  }
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ServerOptions options;
-  options.tcp_port = 4333;
+  ServerConfig config;
+  config.tcp_port = 4333;
   bool print_port = false;
   std::vector<std::pair<std::string, std::string>> preloads;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    uint64_t value = 0;
     if (std::strcmp(arg, "--version") == 0) {
-      std::printf("vadalogd %s (protocol v%d)\n", kVersionString,
-                  protocol::kVersion);
+      std::printf("vadalogd %s (protocol v%d..%d)\n", kVersionString,
+                  protocol::kVersion, protocol::kMaxVersion);
       return 0;
+    } else if (std::strcmp(arg, "--config") == 0 && i + 1 < argc) {
+      std::string pair = argv[++i];
+      if (pair == "list") {
+        std::fputs(ServerConfig::DescribeKeys().c_str(), stdout);
+        return 0;
+      }
+      if (!ApplyConfig(&config, pair)) return 2;
+    } else if (std::strncmp(arg, "--config=", 9) == 0) {
+      std::string pair = arg + 9;
+      if (pair == "list") {
+        std::fputs(ServerConfig::DescribeKeys().c_str(), stdout);
+        return 0;
+      }
+      if (!ApplyConfig(&config, pair)) return 2;
     } else if (std::strncmp(arg, "--tcp-port=", 11) == 0) {
-      if (!ParseSize(arg + 11, &value) || value > 65535) return Usage(argv[0]);
-      options.tcp_port = static_cast<uint16_t>(value);
+      if (!ApplyDeprecated(&config, "--tcp-port", "tcp_port", arg + 11)) {
+        return 2;
+      }
     } else if (std::strcmp(arg, "--no-tcp") == 0) {
-      options.tcp = false;
+      if (!ApplyDeprecated(&config, "--no-tcp", "tcp", "false")) return 2;
     } else if (std::strncmp(arg, "--unix=", 7) == 0) {
-      options.unix_path = arg + 7;
+      if (!ApplyDeprecated(&config, "--unix", "unix", arg + 7)) return 2;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
-      if (!ParseSize(arg + 10, &value) || value == 0) return Usage(argv[0]);
-      options.workers = static_cast<size_t>(value);
+      if (!ApplyDeprecated(&config, "--workers", "workers", arg + 10)) {
+        return 2;
+      }
     } else if (std::strncmp(arg, "--search-threads=", 17) == 0) {
-      if (!ParseSize(arg + 17, &value) || value == 0) return Usage(argv[0]);
-      options.session.search_threads = static_cast<uint32_t>(value);
+      if (!ApplyDeprecated(&config, "--search-threads", "search_threads",
+                           arg + 17)) {
+        return 2;
+      }
     } else if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
-      if (!ParseSize(arg + 15, &value) || value == 0) return Usage(argv[0]);
-      options.max_inflight = static_cast<size_t>(value);
+      if (!ApplyDeprecated(&config, "--max-inflight", "max_inflight",
+                           arg + 15)) {
+        return 2;
+      }
     } else if (std::strncmp(arg, "--max-inflight-per-session=", 27) == 0) {
-      if (!ParseSize(arg + 27, &value) || value == 0) return Usage(argv[0]);
-      options.max_inflight_per_session = static_cast<size_t>(value);
+      if (!ApplyDeprecated(&config, "--max-inflight-per-session",
+                           "max_inflight_per_session", arg + 27)) {
+        return 2;
+      }
     } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
-      if (!ParseSize(arg + 14, &value)) return Usage(argv[0]);
-      options.session.cache_byte_limit = static_cast<size_t>(value);
+      if (!ApplyDeprecated(&config, "--cache-bytes", "cache_bytes",
+                           arg + 14)) {
+        return 2;
+      }
     } else if (std::strcmp(arg, "--print-port") == 0) {
       print_port = true;
     } else if (std::strcmp(arg, "--load") == 0 && i + 1 < argc) {
@@ -121,6 +170,13 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  std::string config_error = config.Validate();
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "vadalogd: invalid config: %s\n",
+                 config_error.c_str());
+    return 2;
   }
 
 #ifdef _WIN32
@@ -139,7 +195,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
-  Server server(options);
+  Server server(config);
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
@@ -158,7 +214,7 @@ int main(int argc, char** argv) {
     request.cmd = protocol::Command::kLoadProgram;
     request.session = name;
     request.program = text.str();
-    JsonValue response = server.registry().Handle(request);
+    JsonValue response = server.registry().Handle(request).ToJson();
     const JsonValue* ok = response.Find("ok");
     if (ok == nullptr || !ok->AsBool()) {
       std::fprintf(stderr, "vadalogd: preload %s failed: %s\n", name.c_str(),
@@ -173,14 +229,14 @@ int main(int argc, char** argv) {
     std::printf("PORT %u\n", server.tcp_port());
     std::fflush(stdout);
   }
-  std::fprintf(stderr, "vadalogd: listening%s%s%s%s\n",
-               options.tcp ? (" on 127.0.0.1:" +
-                              std::to_string(server.tcp_port()))
-                                 .c_str()
-                           : "",
-               options.unix_path.empty() ? "" : " and unix:",
-               options.unix_path.empty() ? "" : options.unix_path.c_str(),
-               "");
+  std::fprintf(stderr, "vadalogd: listening%s%s%s (1 loop + %zu workers)\n",
+               config.tcp ? (" on 127.0.0.1:" +
+                             std::to_string(server.tcp_port()))
+                                .c_str()
+                          : "",
+               config.unix_path.empty() ? "" : " and unix:",
+               config.unix_path.empty() ? "" : config.unix_path.c_str(),
+               config.workers);
 
   // Park until SIGINT/SIGTERM, then shut down gracefully. A signal that
   // arrived during startup is already buffered in the pipe.
