@@ -1,0 +1,92 @@
+// Source-located diagnostics: the data model shared by every lint check,
+// plus the three renderers (human text with caret excerpts, JSON, SARIF
+// 2.1.0) used by vadalog_lint, `vadalog_cli --lint`, and the daemon's
+// ANALYZE command.
+//
+// This lives in the analysis layer, below server/, so the JSON and SARIF
+// emitters are hand-rolled here (server/json.h is not visible from this
+// layer; the daemon re-wraps Diagnostic into its own JsonValue).
+
+#ifndef VADALOG_ANALYSIS_DIAGNOSTICS_H_
+#define VADALOG_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ast/source_loc.h"
+
+namespace vadalog {
+
+enum class Severity : uint8_t {
+  kNote,     // advisory (fragment downgrades)
+  kWarning,  // servable but suspicious (non-warded, singletons, dead rules)
+  kError,    // unservable or meaning-corrupting (parse, arity, stratification)
+};
+
+/// "note" / "warning" / "error" (also the SARIF level strings).
+std::string_view SeverityName(Severity severity);
+
+/// One diagnostic. `witness` carries the structured evidence behind the
+/// message (dangerous variables, cycle paths, duplicate-of line numbers)
+/// as ordered key/value pairs — rendered as indented notes in text mode
+/// and as an object in JSON/SARIF property bags.
+struct Diagnostic {
+  std::string id;  // catalog id, e.g. "V101"
+  Severity severity = Severity::kWarning;
+  SourceLoc loc;        // primary anchor; may be unknown (synthetic input)
+  std::string message;  // one-line human summary
+  std::vector<std::pair<std::string, std::string>> witness;
+};
+
+/// All diagnostics for one input, with enough context to render excerpts.
+struct FileDiagnostics {
+  std::string file;    // display name; "<input>" when no file backs it
+  std::string source;  // full program text ("" disables caret excerpts)
+  std::vector<Diagnostic> diagnostics;  // sorted by (line, column, id)
+
+  size_t CountSeverity(Severity severity) const;
+  bool HasErrors() const { return CountSeverity(Severity::kError) > 0; }
+};
+
+/// Static catalog entry for a check; drives SARIF rule metadata and the
+/// README table. `severity` is the check's fixed severity (checks never
+/// change severity per finding).
+struct CheckInfo {
+  std::string_view id;           // "V101"
+  std::string_view name;         // "non-warded"
+  std::string_view description;  // one sentence
+  Severity severity;
+};
+
+/// The full catalog, ordered by id.
+const std::vector<CheckInfo>& CheckCatalog();
+
+/// Catalog lookup; nullptr for unknown ids.
+const CheckInfo* FindCheck(std::string_view id);
+
+/// Human rendering, one block per diagnostic:
+///   file:line:col: severity: ID name: message
+///       <source line>
+///       ^
+///     key: value
+/// Diagnostics with unknown locations omit the line/col and excerpt.
+std::string RenderText(const FileDiagnostics& file);
+
+/// Deterministic JSON: {"files":[{"file":...,"diagnostics":[{"id":...,
+/// "severity":...,"line":...,"column":...,"message":...,"witness":{...}}]}],
+/// "errors":N,"warnings":N,"notes":N}. Witness keys keep insertion order.
+std::string RenderJson(const std::vector<FileDiagnostics>& files);
+
+/// SARIF 2.1.0, one run; rules[] lists the full catalog so ruleIndex is
+/// stable across outputs; severities map to SARIF levels verbatim.
+std::string RenderSarif(const std::vector<FileDiagnostics>& files);
+
+/// JSON string escaping (shared with the renderers; exposed for tests).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,52 @@
+// LintDriver: witness-producing static checks over a Vadalog program,
+// anchored to source locations. Runs the whole catalog of
+// analysis/diagnostics.h checks:
+//
+//   V001 parse-error             V201 singleton-variable
+//   V002 arity-overflow          V202 unsafe-query
+//   V003 unstratified-negation   V301 unused-predicate
+//   V004 unsupported-fragment    V302 underivable-predicate
+//   V101 non-warded              V401 duplicate-rule
+//   V102 fragment-downgrade      V402 subsumed-rule
+//
+// The driver works on the *unnormalized* program (single-head
+// normalization invents predicates and drops source anchors), so callers
+// holding only a Reasoner must re-parse the original text — LintSource
+// does exactly that. Programs without source locations (generated,
+// hand-built) lint fine: diagnostics simply carry unknown locations, and
+// name-dependent checks (V201) skip rules with no recorded variable names.
+
+#ifndef VADALOG_ANALYSIS_LINT_H_
+#define VADALOG_ANALYSIS_LINT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/classify.h"
+#include "analysis/diagnostics.h"
+#include "ast/program.h"
+
+namespace vadalog {
+
+struct LintResult {
+  FileDiagnostics file;  // sorted by (line, column, id)
+  /// Set when the program parsed (absent exactly when V001/V002 fired).
+  std::optional<ProgramClassification> classification;
+
+  bool ok() const { return !file.HasErrors(); }
+};
+
+/// Lints an already-built program (no parse stage, so never V001/V002).
+/// Appends to `file.diagnostics` and sorts; sets `classification`.
+LintResult LintProgram(const Program& program, std::string file_name);
+
+/// Parses `text` and lints the resulting program; a parse failure yields
+/// a single V001 (or V002, when the failure is an arity overflow)
+/// diagnostic at the failure location. Stores `text` into the result's
+/// FileDiagnostics::source so text rendering can show excerpts.
+LintResult LintSource(std::string_view text, std::string file_name);
+
+}  // namespace vadalog
+
+#endif  // VADALOG_ANALYSIS_LINT_H_

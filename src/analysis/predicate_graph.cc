@@ -166,6 +166,41 @@ uint32_t PredicateGraph::Level(PredicateId p) const {
   return component_level_[ComponentOf(p)];
 }
 
+std::optional<PredicateGraph::NegationCycleWitness>
+PredicateGraph::UnstratifiedNegationWitness() const {
+  for (auto [negated, head] : negative_edges_) {
+    if (ComponentOf(negated) != ComponentOf(head)) continue;
+    NegationCycleWitness witness;
+    witness.negated = negated;
+    witness.head = head;
+    // BFS head → negated over pg(Σ). Both endpoints share an SCC, so a
+    // path exists; sorted successor order keeps the witness deterministic.
+    std::unordered_map<PredicateId, PredicateId> parent;
+    std::vector<PredicateId> queue{head};
+    parent[head] = head;
+    for (size_t i = 0; i < queue.size() && parent.count(negated) == 0; ++i) {
+      std::vector<PredicateId> succ(Successors(queue[i]).begin(),
+                                    Successors(queue[i]).end());
+      std::sort(succ.begin(), succ.end());
+      for (PredicateId next : succ) {
+        if (parent.emplace(next, queue[i]).second) queue.push_back(next);
+      }
+    }
+    if (head == negated) {
+      witness.cycle.push_back(head);
+    } else {
+      assert(parent.count(negated) > 0);
+      for (PredicateId at = negated; at != head; at = parent.at(at)) {
+        witness.cycle.push_back(at);
+      }
+      witness.cycle.push_back(head);
+      std::reverse(witness.cycle.begin(), witness.cycle.end());
+    }
+    return witness;
+  }
+  return std::nullopt;
+}
+
 uint32_t PredicateGraph::MaxLevel() const {
   uint32_t best = 0;
   for (uint32_t level : component_level_) best = std::max(best, level);

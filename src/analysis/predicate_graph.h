@@ -10,6 +10,7 @@
 #define VADALOG_ANALYSIS_PREDICATE_GRAPH_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -70,6 +71,21 @@ class PredicateGraph {
   /// dependency lies inside a cycle of pg(Σ) (the negated predicate's
   /// stratum strictly precedes the head's).
   bool NegationIsStratified() const { return negation_stratified_; }
+
+  /// A concrete unstratified-negation witness: a negative dependency
+  /// ¬negated → head together with a predicate path head → ... → negated
+  /// in pg(Σ) that closes the cycle through the negation. `cycle` starts
+  /// at `head` and ends at `negated` (it may be just [head] when head ==
+  /// negated, a direct self-negation).
+  struct NegationCycleWitness {
+    PredicateId negated = kInvalidPredicate;
+    PredicateId head = kInvalidPredicate;
+    std::vector<PredicateId> cycle;
+  };
+
+  /// The first (deterministic: rule order) unstratified negative edge,
+  /// with its cycle; nullopt when negation is stratified.
+  std::optional<NegationCycleWitness> UnstratifiedNegationWitness() const;
 
  private:
   void ComputeSccs();

@@ -110,6 +110,8 @@ WardednessReport CheckWardedness(const Program& program) {
       continue;
     }
     int chosen = -2;
+    WardednessViolation witness;
+    witness.rule_index = rule_index;
     for (size_t candidate = 0; candidate < tgd.body.size(); ++candidate) {
       const Atom& alpha = tgd.body[candidate];
       std::unordered_set<Term> alpha_vars;
@@ -120,15 +122,22 @@ WardednessReport CheckWardedness(const Program& program) {
       bool covers = std::all_of(
           marking.dangerous.begin(), marking.dangerous.end(),
           [&alpha_vars](Term d) { return alpha_vars.count(d) > 0; });
-      if (!covers) continue;
+      if (!covers) {
+        witness.candidate_failures.push_back(
+            WardednessViolation::CandidateFailure::kMissesDangerous);
+        witness.shared_variable.push_back(Term::Variable(0));
+        continue;
+      }
       // (2) variables shared with the rest of the body are harmless.
       bool clean = true;
+      Term offender = Term::Variable(0);
       for (size_t other = 0; other < tgd.body.size() && clean; ++other) {
         if (other == candidate) continue;
         for (Term t : tgd.body[other].args) {
           if (t.is_variable() && alpha_vars.count(t) > 0 &&
               marking.harmless.count(t) == 0) {
             clean = false;
+            offender = t;
             break;
           }
         }
@@ -137,6 +146,9 @@ WardednessReport CheckWardedness(const Program& program) {
         chosen = static_cast<int>(candidate);
         break;
       }
+      witness.candidate_failures.push_back(
+          WardednessViolation::CandidateFailure::kSharesNonHarmless);
+      witness.shared_variable.push_back(offender);
     }
     report.ward_index.push_back(chosen);
     if (chosen == -2) {
@@ -145,6 +157,25 @@ WardednessReport CheckWardedness(const Program& program) {
           "rule " + std::to_string(rule_index) + " (" +
           tgd.ToString(program.symbols()) +
           "): dangerous variables admit no ward");
+      // Deterministic witness order: dangerous variables by index, each
+      // with its affected body positions in body order.
+      witness.dangerous.assign(marking.dangerous.begin(),
+                               marking.dangerous.end());
+      std::sort(witness.dangerous.begin(), witness.dangerous.end());
+      for (Term d : witness.dangerous) {
+        std::vector<Position> positions;
+        for (const Atom& body : tgd.body) {
+          for (size_t i = 0; i < body.args.size(); ++i) {
+            if (body.args[i] == d) {
+              Position pos =
+                  MakePosition(body.predicate, static_cast<uint32_t>(i));
+              if (affected.count(pos) > 0) positions.push_back(pos);
+            }
+          }
+        }
+        witness.dangerous_positions.push_back(std::move(positions));
+      }
+      report.witnesses.push_back(std::move(witness));
     }
   }
   return report;

@@ -4,6 +4,7 @@
 #ifndef VADALOG_ANALYSIS_WARDEDNESS_H_
 #define VADALOG_ANALYSIS_WARDEDNESS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -14,9 +15,19 @@
 namespace vadalog {
 
 /// A position R[i] of the schema, packed as (predicate << 16) | i.
+///
+/// The packing is injective only while i <= kMaxArity (16 index bits) —
+/// a larger index would alias into the predicate bits and corrupt every
+/// affected-position set computed from it. SymbolTable::InternPredicate
+/// rejects arities past kMaxArity, so no representable atom can violate
+/// this; the assert documents (and, in debug builds, enforces) the
+/// invariant against future construction paths that might bypass
+/// interning. PredicateId is 32 bits, so the predicate side cannot
+/// overflow its 48 bits.
 using Position = uint64_t;
 
 inline Position MakePosition(PredicateId predicate, uint32_t index) {
+  assert(index <= kMaxArity);
   return (static_cast<uint64_t>(predicate) << 16) | index;
 }
 inline PredicateId PositionPredicate(Position p) {
@@ -54,14 +65,45 @@ struct VariableMarking {
 VariableMarking MarkVariables(const Tgd& tgd,
                               const std::unordered_set<Position>& affected);
 
+/// One non-wardedness witness: a TGD whose dangerous variables admit no
+/// ward, with everything a diagnostic needs to explain Definition 3.1 —
+/// the exact dangerous variables, the affected positions at which each
+/// occurs in the body, and why each candidate body atom fails as a ward.
+struct WardednessViolation {
+  size_t rule_index = 0;  // into Program::tgds()
+
+  /// The rule's dangerous variables (deterministic order: by index).
+  std::vector<Term> dangerous;
+
+  /// For each dangerous variable (parallel to `dangerous`), the affected
+  /// body positions where it occurs.
+  std::vector<std::vector<Position>> dangerous_positions;
+
+  /// Why each body atom is not a ward (parallel to the rule's body):
+  /// kMissesDangerous — some dangerous variable does not occur in it;
+  /// kSharesNonHarmless — it contains all dangerous variables but shares
+  /// a non-harmless variable with the rest of the body.
+  enum class CandidateFailure : uint8_t {
+    kMissesDangerous,
+    kSharesNonHarmless,
+  };
+  std::vector<CandidateFailure> candidate_failures;
+
+  /// For kSharesNonHarmless candidates, one offending shared variable
+  /// (the first found); Term::Variable(0)-initialized otherwise.
+  std::vector<Term> shared_variable;
+};
+
 /// Result of the wardedness check: overall verdict plus, per TGD, either
-/// the chosen ward atom index or a violation description.
+/// the chosen ward atom index or a structured violation witness.
 struct WardednessReport {
   bool is_warded = false;
   /// For each TGD: index into body of the ward, or -1 when the rule has no
   /// dangerous variables (no ward needed), or -2 when no valid ward exists.
   std::vector<int> ward_index;
   std::vector<std::string> violations;  // human-readable, empty when warded
+  /// One structured witness per ward_index == -2 rule, in rule order.
+  std::vector<WardednessViolation> witnesses;
 };
 
 /// Checks Definition 3.1: every TGD either has no dangerous variables, or

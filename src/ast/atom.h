@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ast/source_loc.h"
 #include "base/hash.h"
 #include "base/symbol_table.h"
 #include "base/term.h"
@@ -15,12 +16,20 @@
 namespace vadalog {
 
 /// An atom R(t1, ..., tn). Value semantics.
+///
+/// `loc` is where the atom's predicate token appeared in the source text
+/// (unknown for synthetic atoms). It is carried for diagnostics only and
+/// is deliberately excluded from equality and hashing: two atoms denote
+/// the same fact regardless of where they were written, and the engines
+/// dedupe atoms by value everywhere.
 struct Atom {
   PredicateId predicate = kInvalidPredicate;
   std::vector<Term> args;
+  SourceLoc loc;
 
   Atom() = default;
-  Atom(PredicateId p, std::vector<Term> a) : predicate(p), args(std::move(a)) {}
+  Atom(PredicateId p, std::vector<Term> a, SourceLoc l = {})
+      : predicate(p), args(std::move(a)), loc(l) {}
 
   bool operator==(const Atom& other) const {
     return predicate == other.predicate && args == other.args;

@@ -23,7 +23,7 @@ enum class TokenKind {
 struct Token {
   TokenKind kind;
   std::string text;
-  int line;
+  SourceLoc loc;
 };
 
 class Lexer {
@@ -32,7 +32,8 @@ class Lexer {
 
   Token Next() {
     SkipWhitespaceAndComments();
-    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", line_};
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", Here()};
+    SourceLoc loc = Here();
     char c = text_[pos_];
     if (c == '(') return Single(TokenKind::kLparen);
     if (c == ')') return Single(TokenKind::kRparen);
@@ -42,21 +43,21 @@ class Lexer {
     if (c == ':') {
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
         pos_ += 2;
-        return {TokenKind::kImplies, ":-", line_};
+        return {TokenKind::kImplies, ":-", loc};
       }
-      return {TokenKind::kError, "unexpected ':'", line_};
+      return {TokenKind::kError, "unexpected ':'", loc};
     }
     if (c == '"') return QuotedString();
     if (c == '_' &&
         (pos_ + 1 >= text_.size() || !IsIdentChar(text_[pos_ + 1]))) {
       ++pos_;
-      return {TokenKind::kWildcard, "_", line_};
+      return {TokenKind::kWildcard, "_", loc};
     }
     if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
       return Word();
     }
     return {TokenKind::kError, std::string("unexpected character '") + c + "'",
-            line_};
+            loc};
   }
 
  private:
@@ -65,12 +66,22 @@ class Lexer {
            c == '$' || c == '\'';
   }
 
+  /// 1-based (line, column) of `pos_`.
+  SourceLoc Here() const {
+    return SourceLoc{line_, static_cast<uint32_t>(pos_ - line_start_ + 1)};
+  }
+
+  void NewLine() {
+    ++line_;
+    ++pos_;
+    line_start_ = pos_;
+  }
+
   void SkipWhitespaceAndComments() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];
       if (c == '\n') {
-        ++line_;
-        ++pos_;
+        NewLine();
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%' || c == '#') {
@@ -82,27 +93,32 @@ class Lexer {
   }
 
   Token Single(TokenKind kind) {
-    Token t{kind, std::string(1, text_[pos_]), line_};
+    Token t{kind, std::string(1, text_[pos_]), Here()};
     ++pos_;
     return t;
   }
 
   Token QuotedString() {
+    SourceLoc loc = Here();
     size_t start = ++pos_;  // skip opening quote
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\n') ++line_;
-      ++pos_;
+      if (text_[pos_] == '\n') {
+        NewLine();
+      } else {
+        ++pos_;
+      }
     }
     if (pos_ >= text_.size()) {
-      return {TokenKind::kError, "unterminated string literal", line_};
+      return {TokenKind::kError, "unterminated string literal", loc};
     }
     Token t{TokenKind::kIdentifier,
-            std::string(text_.substr(start, pos_ - start)), line_};
+            std::string(text_.substr(start, pos_ - start)), loc};
     ++pos_;  // skip closing quote
     return t;
   }
 
   Token Word() {
+    SourceLoc loc = Here();
     size_t start = pos_;
     while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
     std::string word(text_.substr(start, pos_ - start));
@@ -111,12 +127,13 @@ class Lexer {
     bool is_var = std::isupper(static_cast<unsigned char>(first)) ||
                   (first == '_' && word.size() > 1);
     return {is_var ? TokenKind::kVariable : TokenKind::kIdentifier, word,
-            line_};
+            loc};
   }
 
   std::string_view text_;
   size_t pos_ = 0;
-  int line_ = 1;
+  size_t line_start_ = 0;
+  uint32_t line_ = 1;
 };
 
 class Parser {
@@ -135,22 +152,39 @@ class Parser {
     return "";
   }
 
+  SourceLoc error_loc() const { return error_loc_; }
+
  private:
   void Advance() { current_ = lexer_.Next(); }
 
   std::string ErrorAt(const std::string& message) {
-    return "line " + std::to_string(current_.line) + ": " + message;
+    return ErrorAt(current_.loc, message);
+  }
+
+  std::string ErrorAt(SourceLoc loc, const std::string& message) {
+    error_loc_ = loc;
+    return "line " + std::to_string(loc.line) + ": " + message;
+  }
+
+  /// The names of the current statement's variables, indexed by variable
+  /// index (wildcards appear as "_"). Shared immutably with every rule
+  /// and query of the statement.
+  VariableNames TakeVariableNames() {
+    return std::make_shared<const std::vector<std::string>>(
+        std::move(variable_names_));
   }
 
   // statement := query | rule | fact
   std::string ParseStatement() {
     // Fresh variable scope per statement.
     variable_ids_.clear();
+    variable_names_.clear();
     next_variable_ = 0;
 
     if (current_.kind == TokenKind::kQuestion) {
       return ParseQuery();
     }
+    SourceLoc statement_loc = current_.loc;
     // Parse one or more head atoms.
     std::vector<Atom> head;
     std::string err = ParseAtomList(&head);
@@ -161,7 +195,7 @@ class Parser {
       // Fact(s): must be ground.
       for (const Atom& a : head) {
         if (!a.IsGround()) {
-          return ErrorAt("fact contains variables: not ground");
+          return ErrorAt(a.loc, "fact contains variables: not ground");
         }
         program_->AddFact(a);
       }
@@ -172,6 +206,7 @@ class Parser {
     }
     Advance();
     Tgd tgd;
+    tgd.loc = statement_loc;
     tgd.head = std::move(head);
     err = ParseRuleBody(&tgd);
     if (!err.empty()) return err;
@@ -180,13 +215,16 @@ class Parser {
     }
     Advance();
     if (tgd.body.empty()) {
-      return ErrorAt("rule body must have at least one positive atom");
+      return ErrorAt(statement_loc,
+                     "rule body must have at least one positive atom");
     }
     if (!tgd.NegationIsSafe()) {
       return ErrorAt(
+          statement_loc,
           "unsafe negation: every variable of a negated atom must occur "
           "in a positive body atom");
     }
+    tgd.var_names = TakeVariableNames();
     program_->AddTgd(std::move(tgd));
     return "";
   }
@@ -204,7 +242,7 @@ class Parser {
           negated = true;
         } else {
           // Rewind is not supported; treat "not(" as the predicate 'not'.
-          std::string err = ParseAtomAfterName(saved.text, tgd);
+          std::string err = ParseAtomAfterName(saved, tgd);
           if (!err.empty()) return err;
           if (current_.kind == TokenKind::kComma) {
             Advance();
@@ -230,7 +268,8 @@ class Parser {
   }
 
   // Completes an atom whose predicate name token was already consumed.
-  std::string ParseAtomAfterName(const std::string& name, Tgd* tgd) {
+  std::string ParseAtomAfterName(const Token& name_token, Tgd* tgd) {
+    const std::string& name = name_token.text;
     if (current_.kind != TokenKind::kLparen) {
       return ErrorAt("expected '(' after predicate name '" + name + "'");
     }
@@ -253,19 +292,41 @@ class Parser {
       return ErrorAt("expected ')' in atom '" + name + "'");
     }
     Advance();
-    PredicateId pred = program_->symbols().InternPredicate(
-        name, static_cast<uint32_t>(args.size()));
-    if (pred == kInvalidPredicate) {
-      return ErrorAt("predicate '" + name + "' used with inconsistent arity");
+    PredicateId pred = kInvalidPredicate;
+    std::string err = InternCheckedArity(name_token, args.size(), &pred);
+    if (!err.empty()) return err;
+    tgd->body.push_back(Atom(pred, std::move(args), name_token.loc));
+    return "";
+  }
+
+  /// Interns `name` with the checked arity. Rejects arities the packed
+  /// analysis Position encoding cannot represent (see
+  /// analysis/wardedness.h: (predicate << 16) | index silently aliases
+  /// positions at index >= 2^16, which would corrupt every affected-
+  /// position set downstream) and arity clashes.
+  std::string InternCheckedArity(const Token& name_token, size_t arity,
+                                 PredicateId* pred) {
+    if (arity > kMaxArity) {
+      return ErrorAt(name_token.loc,
+                     "predicate '" + name_token.text + "' has arity " +
+                         std::to_string(arity) + "; the maximum is " +
+                         std::to_string(kMaxArity));
     }
-    tgd->body.push_back(Atom(pred, std::move(args)));
+    *pred = program_->symbols().InternPredicate(
+        name_token.text, static_cast<uint32_t>(arity));
+    if (*pred == kInvalidPredicate) {
+      return ErrorAt(name_token.loc, "predicate '" + name_token.text +
+                                         "' used with inconsistent arity");
+    }
     return "";
   }
 
   // query := '?' '(' terms? ')' ':-' atoms '.'
   std::string ParseQuery() {
+    SourceLoc query_loc = current_.loc;
     Advance();  // consume '?'
     ConjunctiveQuery query;
+    query.loc = query_loc;
     if (current_.kind != TokenKind::kLparen) {
       return ErrorAt("expected '(' after '?'");
     }
@@ -297,6 +358,7 @@ class Parser {
       return ErrorAt("expected '.' at end of query");
     }
     Advance();
+    query.var_names = TakeVariableNames();
     program_->AddQuery(std::move(query));
     return "";
   }
@@ -320,10 +382,11 @@ class Parser {
     if (current_.kind != TokenKind::kIdentifier) {
       return ErrorAt("expected predicate name, got '" + current_.text + "'");
     }
-    std::string name = current_.text;
+    Token name_token = current_;
     Advance();
     if (current_.kind != TokenKind::kLparen) {
-      return ErrorAt("expected '(' after predicate name '" + name + "'");
+      return ErrorAt("expected '(' after predicate name '" + name_token.text +
+                     "'");
     }
     Advance();
     std::vector<Term> args;
@@ -341,16 +404,15 @@ class Parser {
       }
     }
     if (current_.kind != TokenKind::kRparen) {
-      return ErrorAt("expected ')' in atom '" + name + "'");
+      return ErrorAt("expected ')' in atom '" + name_token.text + "'");
     }
     Advance();
-    PredicateId pred = program_->symbols().InternPredicate(
-        name, static_cast<uint32_t>(args.size()));
-    if (pred == kInvalidPredicate) {
-      return ErrorAt("predicate '" + name + "' used with inconsistent arity");
-    }
+    PredicateId pred = kInvalidPredicate;
+    std::string err = InternCheckedArity(name_token, args.size(), &pred);
+    if (!err.empty()) return err;
     atom->predicate = pred;
     atom->args = std::move(args);
+    atom->loc = name_token.loc;
     return "";
   }
 
@@ -363,13 +425,17 @@ class Parser {
       case TokenKind::kVariable: {
         auto [it, inserted] =
             variable_ids_.try_emplace(current_.text, next_variable_);
-        if (inserted) ++next_variable_;
+        if (inserted) {
+          ++next_variable_;
+          variable_names_.push_back(current_.text);
+        }
         *out = Term::Variable(it->second);
         Advance();
         return "";
       }
       case TokenKind::kWildcard:
         // Every wildcard occurrence is a distinct fresh variable.
+        variable_names_.push_back("_");
         *out = Term::Variable(next_variable_++);
         Advance();
         return "";
@@ -380,9 +446,11 @@ class Parser {
 
   Lexer lexer_;
   Program* program_;
-  Token current_{TokenKind::kEnd, "", 0};
+  Token current_{TokenKind::kEnd, "", SourceLoc{}};
   std::unordered_map<std::string, uint64_t> variable_ids_;
+  std::vector<std::string> variable_names_;
   uint64_t next_variable_ = 0;
+  SourceLoc error_loc_;
 };
 
 }  // namespace
@@ -390,7 +458,7 @@ class Parser {
 ParseResult ParseProgram(std::string_view text) {
   ParseResult result;
   Program program;
-  std::string err = ParseInto(text, &program);
+  std::string err = ParseInto(text, &program, &result.error_loc);
   if (!err.empty()) {
     result.error = std::move(err);
     return result;
@@ -399,9 +467,14 @@ ParseResult ParseProgram(std::string_view text) {
   return result;
 }
 
-std::string ParseInto(std::string_view text, Program* program) {
+std::string ParseInto(std::string_view text, Program* program,
+                      SourceLoc* error_loc) {
   Parser parser(text, program);
-  return parser.Run();
+  std::string err = parser.Run();
+  if (error_loc != nullptr) {
+    *error_loc = err.empty() ? SourceLoc{} : parser.error_loc();
+  }
+  return err;
 }
 
 }  // namespace vadalog

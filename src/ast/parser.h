@@ -24,22 +24,28 @@
 #include <string_view>
 
 #include "ast/program.h"
+#include "ast/source_loc.h"
 
 namespace vadalog {
 
 struct ParseResult {
   std::optional<Program> program;
-  std::string error;  // empty iff program.has_value()
+  std::string error;      // empty iff program.has_value()
+  SourceLoc error_loc;    // where the parse failed; unknown on success
 
   bool ok() const { return program.has_value(); }
 };
 
-/// Parses a full program text (rules, facts, queries).
+/// Parses a full program text (rules, facts, queries). Every parsed atom,
+/// rule, and query carries its source location (ast/source_loc.h), and
+/// rules/queries carry their surface variable names.
 ParseResult ParseProgram(std::string_view text);
 
 /// Parses rules/facts/queries into an existing program, sharing its symbol
-/// table. Returns an empty string on success, else an error message.
-std::string ParseInto(std::string_view text, Program* program);
+/// table. Returns an empty string on success, else an error message;
+/// `error_loc` (optional) receives the failure location.
+std::string ParseInto(std::string_view text, Program* program,
+                      SourceLoc* error_loc = nullptr);
 
 }  // namespace vadalog
 

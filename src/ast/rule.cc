@@ -4,6 +4,15 @@
 
 namespace vadalog {
 
+std::string VariableName(const VariableNames& names, Term variable) {
+  if (names != nullptr && variable.is_variable() &&
+      variable.index() < names->size() &&
+      !(*names)[variable.index()].empty()) {
+    return (*names)[variable.index()];
+  }
+  return DebugString(variable);
+}
+
 std::unordered_set<Term> Tgd::Frontier() const {
   std::unordered_set<Term> body_vars = VariablesOf(body);
   std::unordered_set<Term> frontier;
@@ -54,6 +63,7 @@ Tgd Tgd::WithVariableOffset(uint64_t offset) const {
     for (const Atom& a : atoms) {
       Atom shifted;
       shifted.predicate = a.predicate;
+      shifted.loc = a.loc;
       shifted.args.reserve(a.args.size());
       for (Term t : a.args) {
         shifted.args.push_back(
@@ -67,6 +77,9 @@ Tgd Tgd::WithVariableOffset(uint64_t offset) const {
   result.body = shift(body);
   result.head = shift(head);
   result.negative_body = shift(negative_body);
+  // The renamed copy still denotes the same source rule; its variable
+  // names do not (indices shifted), so they are deliberately dropped.
+  result.loc = loc;
   return result;
 }
 

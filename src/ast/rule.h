@@ -10,6 +10,7 @@
 #define VADALOG_AST_RULE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -17,6 +18,17 @@
 #include "ast/atom.h"
 
 namespace vadalog {
+
+/// Surface names of a parsed rule/query's variables, indexed by variable
+/// index. Shared immutably (the engines copy rules on hot paths — a
+/// shared_ptr copy is a refcount bump, not a string-vector clone). Only
+/// meaningful for the parser's original variable numbering: consumers of
+/// offset/renamed copies must not index it with shifted indices.
+using VariableNames = std::shared_ptr<const std::vector<std::string>>;
+
+/// `names` may be null (synthetic rule); out-of-range or unnamed indices
+/// render as the debug name X<i>.
+std::string VariableName(const VariableNames& names, Term variable);
 
 /// A tuple-generating dependency. Full TGDs (no existentials, single head
 /// atom) are exactly Datalog rules (the class FULL1 of Section 6).
@@ -30,6 +42,14 @@ struct Tgd {
   std::vector<Atom> body;
   std::vector<Atom> head;
   std::vector<Atom> negative_body;
+
+  /// Where the rule starts in the source text (its first head token);
+  /// unknown for synthetic rules. Diagnostics only.
+  SourceLoc loc;
+
+  /// Surface variable names (see VariableNames); null for synthetic
+  /// rules. Diagnostics only — never consulted by the engines.
+  VariableNames var_names;
 
   /// Variables occurring in both body and head (x̄ in the paper).
   std::unordered_set<Term> Frontier() const;
@@ -65,6 +85,12 @@ struct Tgd {
 struct ConjunctiveQuery {
   std::vector<Term> output;
   std::vector<Atom> atoms;
+
+  /// Where the query's '?' appeared; unknown for synthetic queries.
+  SourceLoc loc;
+
+  /// Surface variable names; null for synthetic queries.
+  VariableNames var_names;
 
   bool IsBoolean() const { return output.empty(); }
   uint64_t VariableCount() const;

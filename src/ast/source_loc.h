@@ -1,0 +1,52 @@
+// Source locations for parsed program text.
+//
+// Every AST node built by the parser (atoms, TGDs, queries) carries the
+// 1-based line/column of the token that introduced it, so downstream
+// analyses (analysis/lint.h) can anchor diagnostics to real program text.
+// Programs built programmatically (generators, rewrites) carry the
+// default-constructed "unknown" location; consumers must treat line 0 as
+// "no location" rather than render it.
+//
+// Deliberately 8 bytes (two uint32) and stored by value: atoms are copied
+// in bulk on the proof-search hot paths, so the location must not add an
+// allocation or double the atom's footprint. Byte offsets are *not*
+// stored — a renderer that needs the surrounding source line recomputes
+// it from (line, column) with one linear scan of the text, which only
+// happens on the cold diagnostic-rendering path.
+
+#ifndef VADALOG_AST_SOURCE_LOC_H_
+#define VADALOG_AST_SOURCE_LOC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vadalog {
+
+struct SourceLoc {
+  uint32_t line = 0;    // 1-based; 0 = unknown/synthetic
+  uint32_t column = 0;  // 1-based byte column; 0 = unknown
+
+  constexpr bool valid() const { return line != 0; }
+
+  friend constexpr bool operator==(SourceLoc a, SourceLoc b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend constexpr bool operator!=(SourceLoc a, SourceLoc b) {
+    return !(a == b);
+  }
+  /// Document order: by line, then column.
+  friend constexpr bool operator<(SourceLoc a, SourceLoc b) {
+    return a.line != b.line ? a.line < b.line : a.column < b.column;
+  }
+
+  /// "line L, column C", or "unknown location".
+  std::string ToString() const {
+    if (!valid()) return "unknown location";
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+};
+
+}  // namespace vadalog
+
+#endif  // VADALOG_AST_SOURCE_LOC_H_

@@ -20,6 +20,10 @@ const std::string& SymbolTable::ConstantName(Term t) const {
 
 PredicateId SymbolTable::InternPredicate(std::string_view name,
                                          uint32_t arity) {
+  // The analysis layer cannot represent positions past kMaxArity (see the
+  // constant's comment); refusing here keeps every interned predicate
+  // packable instead of computing wrong affected-position sets later.
+  if (arity > kMaxArity) return kInvalidPredicate;
   auto it = predicate_ids_.find(std::string(name));
   if (it != predicate_ids_.end()) {
     if (predicates_[it->second].arity != arity) return kInvalidPredicate;

@@ -22,6 +22,14 @@ using PredicateId = uint32_t;
 
 inline constexpr PredicateId kInvalidPredicate = ~PredicateId{0};
 
+/// Largest representable predicate arity. The analysis layer packs schema
+/// positions R[i] as (predicate << 16) | i (analysis/wardedness.h), so an
+/// argument index must fit in 16 bits — an arity past 2^16 would silently
+/// alias positions and corrupt every affected-position set. Enforced at
+/// intern time: InternPredicate rejects larger arities, so no predicate
+/// with an unpackable position can exist anywhere downstream.
+inline constexpr uint32_t kMaxArity = 0xffff;
+
 /// Owns the mapping between external names and internal ids for constants
 /// and predicates, plus predicate arities. Not thread-safe by design: a
 /// reasoning session owns one table.
@@ -55,8 +63,9 @@ class SymbolTable {
   /// Number of distinct constants interned so far.
   size_t num_constants() const { return constant_names_.size(); }
 
-  /// Interns a predicate with the given arity. If the predicate exists with
-  /// a different arity, returns kInvalidPredicate (arity clash).
+  /// Interns a predicate with the given arity. Returns kInvalidPredicate
+  /// when the predicate exists with a different arity (arity clash) or
+  /// when `arity` exceeds kMaxArity (unpackable analysis positions).
   PredicateId InternPredicate(std::string_view name, uint32_t arity);
 
   /// Looks up a predicate id without creating it; kInvalidPredicate if

@@ -9,6 +9,7 @@ namespace {
 std::optional<Command> CommandFromName(std::string_view name) {
   if (name == "HELLO") return Command::kHello;
   if (name == "LOAD_PROGRAM") return Command::kLoadProgram;
+  if (name == "ANALYZE") return Command::kAnalyze;
   if (name == "ADD_FACTS") return Command::kAddFacts;
   if (name == "QUERY") return Command::kQuery;
   if (name == "EXPLAIN") return Command::kExplain;
@@ -210,6 +211,7 @@ bool ParseFields(const JsonValue& object, Request* request, Error* error) {
       request->threads = static_cast<uint32_t>(threads_wide);
       break;
     }
+    case Command::kAnalyze:
     case Command::kStats:
     case Command::kUnload:
     case Command::kPing:
@@ -224,6 +226,7 @@ const char* CommandName(Command cmd) {
   switch (cmd) {
     case Command::kHello: return "HELLO";
     case Command::kLoadProgram: return "LOAD_PROGRAM";
+    case Command::kAnalyze: return "ANALYZE";
     case Command::kAddFacts: return "ADD_FACTS";
     case Command::kQuery: return "QUERY";
     case Command::kExplain: return "EXPLAIN";

@@ -7,6 +7,8 @@
 //
 //   HELLO         [max_version=2], [encodings=["binary","json",...]]
 //   LOAD_PROGRAM  session, program (surface syntax), [replace=false]
+//   ANALYZE       session — lint diagnostics + classification for the
+//                 session's loaded program text (analysis/lint.h)
 //   ADD_FACTS     session, facts (surface-syntax fact clauses)
 //   QUERY         session, query | query_index, [engine=auto],
 //                 [max_states=0], [max_millis=0], [threads=0]
@@ -71,6 +73,7 @@ inline constexpr int kMaxVersion = 2;
 enum class Command : uint8_t {
   kHello,
   kLoadProgram,
+  kAnalyze,
   kAddFacts,
   kQuery,
   kExplain,

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "analysis/lint.h"
+
 namespace vadalog {
 
 using protocol::Error;
@@ -38,8 +40,9 @@ protocol::AnswerTable RenderAnswers(
 }  // namespace
 
 Session::Session(std::string name, std::unique_ptr<Reasoner> reasoner,
-                 const SessionOptions& options)
+                 std::string program_text, const SessionOptions& options)
     : name_(std::move(name)),
+      program_text_(std::move(program_text)),
       options_(options),
       reasoner_(std::move(reasoner)) {
   cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
@@ -271,6 +274,61 @@ JsonValue Session::Explain(const Request& request) {
   return response;
 }
 
+JsonValue Session::Analyze(const Request& request) {
+  if (program_text_.empty()) {
+    return ErrorResponse(
+        Error{"EUNSUPPORTED",
+              "session was built without program text; nothing to analyze"},
+        request.id);
+  }
+  // program_text_ is immutable after LOAD_PROGRAM and the lint driver
+  // re-parses it into a private Program, so no session lock is needed:
+  // ANALYZE runs fully concurrently with queries and ADD_FACTS.
+  LintResult lint = LintSource(program_text_, name_);
+  JsonValue response = OkResponse(request.id);
+  response.Set("session", JsonValue::String(name_));
+  JsonValue diagnostics = JsonValue::Array();
+  for (const Diagnostic& d : lint.file.diagnostics) {
+    JsonValue item = JsonValue::Object();
+    item.Set("id", JsonValue::String(d.id));
+    item.Set("severity",
+             JsonValue::String(std::string(SeverityName(d.severity))));
+    item.Set("line", JsonValue::Number(static_cast<uint64_t>(d.loc.line)));
+    item.Set("column",
+             JsonValue::Number(static_cast<uint64_t>(d.loc.column)));
+    item.Set("message", JsonValue::String(d.message));
+    JsonValue witness = JsonValue::Object();
+    for (const auto& [key, value] : d.witness) {
+      witness.Set(key, JsonValue::String(value));
+    }
+    item.Set("witness", std::move(witness));
+    diagnostics.Append(std::move(item));
+  }
+  response.Set("diagnostics", std::move(diagnostics));
+  response.Set("errors",
+               JsonValue::Number(static_cast<uint64_t>(
+                   lint.file.CountSeverity(Severity::kError))));
+  response.Set("warnings",
+               JsonValue::Number(static_cast<uint64_t>(
+                   lint.file.CountSeverity(Severity::kWarning))));
+  response.Set("notes",
+               JsonValue::Number(static_cast<uint64_t>(
+                   lint.file.CountSeverity(Severity::kNote))));
+  if (lint.classification.has_value()) {
+    const ProgramClassification& c = *lint.classification;
+    JsonValue classification = JsonValue::Object();
+    classification.Set("warded", JsonValue::Bool(c.warded));
+    classification.Set("piecewise_linear",
+                       JsonValue::Bool(c.piecewise_linear));
+    classification.Set("datalog", JsonValue::Bool(c.datalog));
+    classification.Set("uses_negation", JsonValue::Bool(c.uses_negation));
+    classification.Set("recursion_bucket",
+                       JsonValue::String(c.RecursionBucket()));
+    response.Set("classification", std::move(classification));
+  }
+  return response;
+}
+
 JsonValue Session::AddFacts(const Request& request) {
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
   size_t before = reasoner_->database().size();
@@ -424,7 +482,7 @@ JsonValue SessionRegistry::LoadProgram(const Request& request) {
           request.id);
     }
     session = std::make_shared<Session>(request.session, std::move(reasoner),
-                                        defaults_);
+                                        request.program, defaults_);
     sessions_[request.session] = session;
   }
   return session->DescribeLoaded(request.id);
@@ -517,6 +575,7 @@ protocol::Response SessionRegistry::Handle(const Request& request) {
     case protocol::Command::kStats:
       response = Stats(request);
       break;
+    case protocol::Command::kAnalyze:
     case protocol::Command::kAddFacts:
     case protocol::Command::kQuery:
     case protocol::Command::kExplain: {
@@ -527,7 +586,9 @@ protocol::Response SessionRegistry::Handle(const Request& request) {
             request.id);
         break;
       }
-      if (request.cmd == protocol::Command::kAddFacts) {
+      if (request.cmd == protocol::Command::kAnalyze) {
+        response = session->Analyze(request);
+      } else if (request.cmd == protocol::Command::kAddFacts) {
         response = session->AddFacts(request);
       } else if (request.cmd == protocol::Command::kQuery) {
         response = session->Query(request);

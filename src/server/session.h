@@ -78,8 +78,13 @@ struct SessionOptions {
 
 class Session {
  public:
+  /// `program_text` is the LOAD_PROGRAM surface text, kept verbatim so
+  /// ANALYZE can lint the *unnormalized* program (the Reasoner holds the
+  /// single-head-normalized form, whose invented predicates and dropped
+  /// source anchors would make diagnostics useless). Empty for sessions
+  /// built programmatically; ANALYZE then reports EUNSUPPORTED.
   Session(std::string name, std::unique_ptr<Reasoner> reasoner,
-          const SessionOptions& options);
+          std::string program_text, const SessionOptions& options);
 
   const std::string& name() const { return name_; }
 
@@ -89,6 +94,13 @@ class Session {
   JsonValue AddFacts(const protocol::Request& request);
   protocol::Response Query(const protocol::Request& request);
   JsonValue Explain(const protocol::Request& request);
+
+  /// ANALYZE: re-parses the stored program text through the lint driver
+  /// (analysis/lint.h) and returns the diagnostics as a JSON array plus
+  /// severity counts and the fragment classification. Pure control-plane
+  /// response (no answer table), so it renders identically under the v1
+  /// JSON and v2 binary encodings.
+  JsonValue Analyze(const protocol::Request& request);
 
   /// One {"name":...,"rules":...,...} stats object; lock-free counters
   /// plus a shared-lock peek at the program sizes.
@@ -115,6 +127,9 @@ class Session {
   void FinishCacheUse();
 
   const std::string name_;
+  /// Original LOAD_PROGRAM text (immutable after construction; ANALYZE
+  /// re-parses it without touching the session's live program).
+  const std::string program_text_;
   const SessionOptions options_;
   std::unique_ptr<Reasoner> reasoner_;
 

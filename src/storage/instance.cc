@@ -69,7 +69,7 @@ std::vector<PredicateId> Instance::Predicates() const {
   std::vector<PredicateId> preds;
   preds.reserve(relations_.size());
   for (const auto& [p, rel] : relations_) {
-    if (rel.size() > 0) preds.push_back(p);
+    if (!rel.empty()) preds.push_back(p);
   }
   std::sort(preds.begin(), preds.end());
   return preds;

@@ -25,6 +25,7 @@ class Relation {
 
   uint32_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
 
   const std::vector<Term>& TupleAt(size_t row) const { return tuples_[row]; }
 

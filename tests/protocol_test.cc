@@ -669,6 +669,93 @@ TEST(ProtocolTest, EncodeResponseFramesAnswersPerEncoding) {
   EXPECT_EQ(control.find('\n'), control.size() - 1);
 }
 
+// --- ANALYZE: source-located lint diagnostics over the wire ---
+
+TEST(ProtocolTest, AnalyzeReportsDiagnosticsAndClassification) {
+  SessionRegistry registry{SessionOptions{}};
+  // Line 2 yields two warnings in document order: filing/2 is write-only
+  // (V301, anchored at the rule head) and X is a body singleton (V201,
+  // anchored at the t(X, Y) atom). The existential W keeps the program
+  // outside plain Datalog without costing wardedness.
+  ASSERT_TRUE(registry
+                  .HandleLine(LoadLine("s",
+                                       "t(X, Y) :- e(X, Y).\n"
+                                       "filing(Y, W) :- t(X, Y).\n"
+                                       "e(a, b).\n"
+                                       "?(X) :- t(a, X).\n"))
+                  .GetBool("ok"));
+  JsonValue response =
+      registry.HandleLine(R"({"id":7,"cmd":"ANALYZE","session":"s"})");
+  ASSERT_TRUE(response.GetBool("ok")) << response.Dump();
+  EXPECT_EQ(response.GetUint("errors"), 0u);
+  EXPECT_EQ(response.GetUint("warnings"), 2u);
+  EXPECT_EQ(response.GetUint("notes"), 0u);
+  const JsonValue* diagnostics = response.Find("diagnostics");
+  ASSERT_NE(diagnostics, nullptr);
+  ASSERT_EQ(diagnostics->Items().size(), 2u);
+  const JsonValue& unused = diagnostics->Items()[0];
+  EXPECT_EQ(unused.GetString("id"), "V301");
+  EXPECT_EQ(unused.GetUint("line"), 2u);
+  EXPECT_EQ(unused.GetUint("column"), 1u);
+  const JsonValue& d = diagnostics->Items()[1];
+  EXPECT_EQ(d.GetString("id"), "V201");
+  EXPECT_EQ(d.GetString("severity"), "warning");
+  EXPECT_EQ(d.GetUint("line"), 2u);
+  EXPECT_EQ(d.GetUint("column"), 17u);
+  ASSERT_NE(d.Find("witness"), nullptr);
+  const JsonValue* classification = response.Find("classification");
+  ASSERT_NE(classification, nullptr);
+  EXPECT_TRUE(classification->GetBool("warded"));
+  EXPECT_TRUE(classification->GetBool("piecewise_linear"));
+  EXPECT_FALSE(classification->GetBool("datalog"));
+  EXPECT_FALSE(classification->GetBool("uses_negation"));
+  EXPECT_FALSE(classification->GetString("recursion_bucket").empty());
+
+  // A clean program analyzes to an empty diagnostics array, not an error.
+  ASSERT_TRUE(registry.HandleLine(LoadLine("clean")).GetBool("ok"));
+  JsonValue clean =
+      registry.HandleLine(R"({"cmd":"ANALYZE","session":"clean"})");
+  ASSERT_TRUE(clean.GetBool("ok")) << clean.Dump();
+  EXPECT_EQ(clean.Find("diagnostics")->Items().size(), 0u);
+  EXPECT_EQ(clean.GetUint("errors"), 0u);
+}
+
+TEST(ProtocolTest, AnalyzeRequiresAKnownSession) {
+  SessionRegistry registry{SessionOptions{}};
+  JsonValue missing =
+      registry.HandleLine(R"({"cmd":"ANALYZE","session":"gone"})");
+  EXPECT_FALSE(missing.GetBool("ok"));
+  EXPECT_EQ(missing.Find("error")->GetString("code"), "ENOSESSION");
+  JsonValue no_session = registry.HandleLine(R"({"cmd":"ANALYZE"})");
+  EXPECT_FALSE(no_session.GetBool("ok"));
+}
+
+TEST(ProtocolTest, AnalyzeRendersIdenticallyUnderBothEncodings) {
+  // ANALYZE is a pure control-plane response (no answer table), so the
+  // v2 binary encoding must produce the same single JSON line as v1.
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request = protocol::ParseRequest(
+      R"({"v":2,"cmd":"ANALYZE","session":"s"})", &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  protocol::Response response = registry.Handle(*request);
+  EXPECT_FALSE(response.answers.has_value());
+  std::string json =
+      protocol::EncodeResponse(response, protocol::Encoding::kJson);
+  std::string binary =
+      protocol::EncodeResponse(response, protocol::Encoding::kBinary);
+  EXPECT_EQ(json, binary);
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+  std::string parse_error;
+  std::optional<JsonValue> head = JsonValue::Parse(
+      std::string_view(json).substr(0, json.size() - 1), &parse_error);
+  ASSERT_TRUE(head.has_value()) << parse_error;
+  EXPECT_TRUE(head->GetBool("ok"));
+  EXPECT_NE(head->Find("diagnostics"), nullptr);
+}
+
 TEST(ProtocolTest, StatsAndPing) {
   SessionRegistry registry{SessionOptions{}};
   JsonValue pong = registry.HandleLine(R"({"cmd":"PING"})");

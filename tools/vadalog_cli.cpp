@@ -8,6 +8,8 @@
 //     --no-subsumption                         disable subsumption-based
 //                                              state pruning
 //     --analyze                                print the fragment analysis
+//     --lint                                   print lint diagnostics and
+//                                              exit (nonzero on errors)
 //     --explain                                print a linear proof tree
 //                                              for each certain answer
 //     --dot-chase                              dump the chase graph (dot)
@@ -25,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/lint.h"
 #include "ast/parser.h"
 #include "base/version.h"
 #include "chase/chase.h"
@@ -41,7 +44,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=auto|chase|linear|alternating] "
                "[--search-threads=N] [--no-subsumption] "
-               "[--analyze] [--explain] [--dot-chase] <program-file>\n",
+               "[--analyze] [--lint] [--explain] [--dot-chase] "
+               "<program-file>\n",
                argv0);
   return 2;
 }
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string data_path;
   bool analyze = false;
+  bool lint = false;
   bool explain = false;
   bool dot_chase = false;
   EngineChoice engine = EngineChoice::kAuto;
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
       data_path = arg + 7;
     } else if (std::strcmp(arg, "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(arg, "--lint") == 0) {
+      lint = true;
     } else if (std::strcmp(arg, "--explain") == 0) {
       explain = true;
     } else if (std::strcmp(arg, "--dot-chase") == 0) {
@@ -105,6 +112,14 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
+
+  if (lint) {
+    // Lint the unnormalized source: the Reasoner's single-head rewrite
+    // would invent predicates and drop the source anchors.
+    LintResult result = LintSource(buffer.str(), path);
+    std::printf("%s", RenderText(result.file).c_str());
+    return result.ok() ? 0 : 1;
+  }
 
   ParseResult parsed = ParseProgram(buffer.str());
   if (!parsed.ok()) {

@@ -1,0 +1,99 @@
+// vadalog_lint — source-located static diagnostics over Vadalog programs.
+//
+// Usage:
+//   vadalog_lint [--format=text|json|sarif] <program-file>...
+//
+// Runs the full analysis/lint.h check catalog (wardedness witnesses,
+// stratification, dead rules, singletons, fragment notes — see README
+// "Static analysis & linting") over each file and renders the combined
+// report. Exit status: 0 when no error-severity diagnostic fired, 1 when
+// one did (or a file cannot be read), 2 on usage errors. Warnings and
+// notes never affect the exit status, so CI can gate on errors alone.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+
+using namespace vadalog;
+
+namespace {
+
+enum class Format { kText, kJson, kSarif };
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--format=text|json|sarif] <program-file>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Format format = Format::kText;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--format=", 9) == 0) {
+      const char* value = arg + 9;
+      if (std::strcmp(value, "text") == 0) {
+        format = Format::kText;
+      } else if (std::strcmp(value, "json") == 0) {
+        format = Format::kJson;
+      } else if (std::strcmp(value, "sarif") == 0) {
+        format = Format::kSarif;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  std::vector<FileDiagnostics> files;
+  bool read_failure = false;
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      read_failure = true;
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    LintResult result = LintSource(buffer.str(), path);
+    files.push_back(std::move(result.file));
+  }
+
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const FileDiagnostics& file : files) {
+    errors += file.CountSeverity(Severity::kError);
+    warnings += file.CountSeverity(Severity::kWarning);
+    notes += file.CountSeverity(Severity::kNote);
+  }
+
+  switch (format) {
+    case Format::kText:
+      for (const FileDiagnostics& file : files) {
+        std::fputs(RenderText(file).c_str(), stdout);
+      }
+      std::printf("%zu error(s), %zu warning(s), %zu note(s)\n", errors,
+                  warnings, notes);
+      break;
+    case Format::kJson:
+      std::fputs(RenderJson(files).c_str(), stdout);
+      break;
+    case Format::kSarif:
+      std::fputs(RenderSarif(files).c_str(), stdout);
+      break;
+  }
+  return (errors > 0 || read_failure) ? 1 : 0;
+}
