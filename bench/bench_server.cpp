@@ -14,7 +14,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -277,6 +279,17 @@ int main() {
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.rejected_global),
               static_cast<unsigned long long>(stats.rejected_session));
+
+  // CI uploads the full registry snapshot alongside the timing numbers
+  // (tools/run_bench.sh exports VADALOG_BENCH_METRICS); the JSON is the
+  // same shape METRICS returns, so vadalog_metrics converts it offline.
+  if (const char* metrics_path = std::getenv("VADALOG_BENCH_METRICS")) {
+    JsonValue snapshot = JsonValue::Object();
+    snapshot.Set("metrics", RenderMetricsSnapshot(server.metrics()));
+    std::ofstream out(metrics_path);
+    out << snapshot.Dump() << "\n";
+    std::printf("metrics snapshot written to %s\n", metrics_path);
+  }
   server.Stop();
 
   if (failures != 0) {

@@ -15,6 +15,7 @@
 #include "engine/search_cache.h"
 #include "engine/state.h"
 #include "engine/subsumption.h"
+#include "obs/metrics.h"
 #include "server/worker_pool.h"
 #include "storage/homomorphism.h"
 
@@ -672,6 +673,12 @@ AlternatingSearchResult AlternatingProofSearch(
   }
   if (cache != nullptr) {
     cache->MergeAltProbeStats(searcher.cache_probe_stats());
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->RecordSearch(result.states_expanded, result.cache_hits,
+                                  result.subsumed_discarded,
+                                  result.sweep_refuted_hits,
+                                  result.budget_exhausted);
   }
   return result;
 }

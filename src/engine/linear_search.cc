@@ -15,6 +15,7 @@
 #include "engine/search_cache.h"
 #include "engine/state.h"
 #include "engine/subsumption.h"
+#include "obs/metrics.h"
 #include "server/worker_pool.h"
 #include "storage/homomorphism.h"
 
@@ -574,6 +575,12 @@ ProofSearchResult LinearProofSearch(const Program& program,
   LinearSearcher searcher(program, database, index, options, width,
                           max_chunk, pool, &result, explanation);
   searcher.Run(std::move(*frozen));
+  if (options.metrics != nullptr) {
+    options.metrics->RecordSearch(result.states_expanded, result.cache_hits,
+                                  result.subsumed_discarded,
+                                  result.sweep_refuted_hits,
+                                  result.budget_exhausted);
+  }
   return result;
 }
 

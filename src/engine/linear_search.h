@@ -39,6 +39,10 @@
 
 namespace vadalog {
 
+namespace obs {
+struct EngineCounters;
+}  // namespace obs
+
 class ProofSearchCache;
 class SubsumptionIndex;
 class WorkerPool;
@@ -113,6 +117,13 @@ struct ProofSearchOptions {
   /// its own lifetime — one thread spawn per search instead of the former
   /// one per frontier level.
   WorkerPool* pool = nullptr;
+
+  /// Optional registry counter handles (obs/metrics.h) the search
+  /// flushes its end-of-search totals into — once, at completion; the
+  /// hot loops never touch them. Null = no metrics. The daemon wires a
+  /// per-(session, engine) set here so METRICS exposes the private
+  /// result counters cumulatively.
+  const obs::EngineCounters* metrics = nullptr;
 };
 
 struct ProofSearchResult {

@@ -1,0 +1,106 @@
+// A tiny leveled, timestamped logger for the daemon plus the structured
+// slow-query sink — the logging half of src/obs/.
+//
+// Lines look like
+//
+//   2026-08-09T12:34:56.789Z W vadalogd: client stopped reading; closing
+//
+// (UTC wall clock, millisecond precision, one level letter). The level
+// and sink are process-global — vadalogd is one process with one stderr,
+// and `--config log_level=...` (validated by ServerConfig) is the knob;
+// everything is atomics/one mutex, so logging from workers, the event
+// loop, and signal-adjacent shutdown paths is safe. Formatting is
+// printf-style with the format attribute, so -Wformat checks call sites.
+//
+// SlowQueryLog is the structured counterpart: the session layer renders
+// one JSON object per slow query (same span payload as a traced
+// response) and hands the line here; the sink appends and flushes under
+// a mutex so concurrent workers never interleave lines. The sink is a
+// file path or stderr (ServerConfig slow_query_log); an unopened log
+// drops writes, so the disabled configuration costs one branch.
+//
+// Standard-library-only, like the rest of obs/ (POSIX-free: plain stdio).
+
+#ifndef VADALOG_OBS_LOG_H_
+#define VADALOG_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace vadalog {
+namespace obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+const char* LogLevelName(LogLevel level);
+/// Parses "debug" | "info" | "warn" | "error" | "off"; false on anything
+/// else (the ServerConfig validation path).
+bool LogLevelFromName(std::string_view name, LogLevel* level);
+
+/// Process-global minimum level; messages below it are dropped at the
+/// call site with one relaxed atomic load. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+/// Redirects log output (tests); nullptr restores stderr.
+void SetLogSink(std::FILE* sink);
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VADALOG_PRINTF(fmt_index, args_index) \
+  __attribute__((format(printf, fmt_index, args_index)))
+#else
+#define VADALOG_PRINTF(fmt_index, args_index)
+#endif
+
+void LogMessage(LogLevel level, const char* format, ...)
+    VADALOG_PRINTF(2, 3);
+void LogDebug(const char* format, ...) VADALOG_PRINTF(1, 2);
+void LogInfo(const char* format, ...) VADALOG_PRINTF(1, 2);
+void LogWarn(const char* format, ...) VADALOG_PRINTF(1, 2);
+void LogError(const char* format, ...) VADALOG_PRINTF(1, 2);
+
+#undef VADALOG_PRINTF
+
+/// "2026-08-09T12:34:56.789Z" — UTC wall clock, millisecond precision
+/// (gmtime_r: reentrant, safe from any worker). Shared by the log line
+/// prefix and the slow-query records.
+std::string FormatTimestampUtc();
+
+/// Append-and-flush sink for JSON-lines slow-query records. Thread-safe;
+/// a default-constructed (never-opened) log drops every Write.
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens `path` for appending ("stderr" and "" select stderr instead).
+  /// False + `error` when the file cannot be opened.
+  bool Open(const std::string& path, std::string* error);
+
+  bool enabled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sink_ != nullptr;
+  }
+  uint64_t lines_written() const;
+
+  /// Appends one pre-rendered JSON line (newline added here) and
+  /// flushes. No-op when the log was never opened.
+  void Write(std::string_view json_line);
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* sink_ = nullptr;
+  bool owns_sink_ = false;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace obs
+}  // namespace vadalog
+
+#endif  // VADALOG_OBS_LOG_H_

@@ -1,0 +1,59 @@
+// Per-request trace spans — the schema behind `"trace": true` on
+// QUERY/EXPLAIN and the slow-query log records.
+//
+// One request's wall time decomposes into five non-overlapping spans
+// (microseconds, measured on the serving path):
+//
+//   queue_wait  dispatch accepted -> a pool worker picked the request up
+//   parse       query resolution (inline text parse or index lookup)
+//   lock_wait   blocking on the session cache lock behind a writer
+//               (eviction / ADD_FACTS migration); 0 when uncontended
+//   search      the engine call (proof search or chase enumeration)
+//   encode      rendering the answer table to wire cells
+//
+// total_us is measured independently end to end, so the spans need not
+// (and do not) sum to it — the remainder is the serving path's own
+// bookkeeping. The session layer renders this struct into the response
+// body ("trace") and the slow-query JSON lines; SpanList fixes the
+// render order so both encodings and the goldens agree byte for byte.
+//
+// Header-only and standard-library-only, like the rest of obs/.
+
+#ifndef VADALOG_OBS_TRACE_H_
+#define VADALOG_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace vadalog {
+namespace obs {
+
+struct TraceSpans {
+  uint64_t queue_wait_us = 0;
+  uint64_t parse_us = 0;
+  uint64_t lock_wait_us = 0;
+  uint64_t search_us = 0;
+  uint64_t encode_us = 0;
+  /// End-to-end serving time, measured independently of the spans.
+  uint64_t total_us = 0;
+};
+
+struct SpanView {
+  const char* name;
+  uint64_t us;
+};
+
+/// The five spans in canonical render order (total_us is rendered
+/// separately, as "total_us" next to the span list).
+inline std::array<SpanView, 5> SpanList(const TraceSpans& spans) {
+  return {{{"queue_wait", spans.queue_wait_us},
+           {"parse", spans.parse_us},
+           {"lock_wait", spans.lock_wait_us},
+           {"search", spans.search_us},
+           {"encode", spans.encode_us}}};
+}
+
+}  // namespace obs
+}  // namespace vadalog
+
+#endif  // VADALOG_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/log.h"
+
 namespace vadalog {
 
 namespace {
@@ -56,6 +58,9 @@ constexpr KeyDoc kKeyDocs[] = {
     {"recv_timeout_ms", "obsolete under the event loop; accepted, ignored"},
     {"encodings", "comma-separated negotiable encodings (json,binary)"},
     {"poller", "event backend: epoll (Linux) or poll (portable)"},
+    {"log_level", "stderr log level: debug, info, warn, error, off"},
+    {"slow_query_ms", "slow-query log threshold in ms, 0 = disabled"},
+    {"slow_query_log", "slow-query sink: file path, or stderr (default)"},
 };
 
 }  // namespace
@@ -144,6 +149,17 @@ bool ServerConfig::Set(std::string_view key, std::string_view value,
       return bad_value("epoll or poll");
     }
     poller = std::string(value);
+  } else if (key == "log_level") {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    if (!obs::LogLevelFromName(value, &level)) {
+      return bad_value("one of debug, info, warn, error, off");
+    }
+    log_level = std::string(value);
+  } else if (key == "slow_query_ms") {
+    if (!ParseUint(value, &number)) return bad_value("a millisecond count");
+    slow_query_ms = number;
+  } else if (key == "slow_query_log") {
+    slow_query_log = std::string(value);
   } else {
     return FailSet(error, "unknown config key \"" + std::string(key) +
                               "\" (try --config list)");
@@ -167,6 +183,10 @@ std::string ServerConfig::Validate() const {
   }
   if (max_inflight_per_session > max_inflight) {
     return "max_inflight_per_session exceeds max_inflight";
+  }
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  if (!obs::LogLevelFromName(log_level, &level)) {
+    return "log_level must be one of debug, info, warn, error, off";
   }
   return "";
 }

@@ -85,6 +85,19 @@ struct ServerConfig {
   /// fallback path stays testable on Linux too.
   std::string poller = "epoll";
 
+  /// Minimum log level for the daemon's stderr lines:
+  /// debug | info | warn | error | off (obs/log.h).
+  std::string log_level = "info";
+
+  /// Slow-query threshold in milliseconds; a QUERY/EXPLAIN whose
+  /// end-to-end serving time reaches it is recorded in the slow-query
+  /// log with its full span breakdown. 0 = disabled.
+  uint64_t slow_query_ms = 0;
+
+  /// Slow-query log sink: a file path (opened for append), or
+  /// "stderr"/"" for stderr. Only consulted when slow_query_ms > 0.
+  std::string slow_query_log;
+
   /// Applies one KEY=VALUE pair (the --config surface). Returns false
   /// with `error` set on an unknown key or an out-of-range value.
   bool Set(std::string_view key, std::string_view value, std::string* error);

@@ -14,6 +14,7 @@ std::optional<Command> CommandFromName(std::string_view name) {
   if (name == "QUERY") return Command::kQuery;
   if (name == "EXPLAIN") return Command::kExplain;
   if (name == "STATS") return Command::kStats;
+  if (name == "METRICS") return Command::kMetrics;
   if (name == "UNLOAD") return Command::kUnload;
   if (name == "PING") return Command::kPing;
   return std::nullopt;
@@ -27,8 +28,8 @@ bool Fail(Error* error, std::string code, std::string message) {
 
 /// Commands whose requests must name a session.
 bool NeedsSession(Command cmd) {
-  return cmd != Command::kStats && cmd != Command::kPing &&
-         cmd != Command::kHello;
+  return cmd != Command::kStats && cmd != Command::kMetrics &&
+         cmd != Command::kPing && cmd != Command::kHello;
 }
 
 void AppendU32(std::string* out, uint32_t value) {
@@ -209,10 +210,20 @@ bool ParseFields(const JsonValue& object, Request* request, Error* error) {
         }
       }
       request->threads = static_cast<uint32_t>(threads_wide);
+      const JsonValue* trace = object.Find("trace");
+      if (trace != nullptr) {
+        // Strict boolean, like the budgets: {"trace": "yes"} is a
+        // request error, not a silent no-trace.
+        if (!trace->is_bool()) {
+          return Fail(error, "EBADREQ", "\"trace\" must be a boolean");
+        }
+        request->trace = trace->AsBool();
+      }
       break;
     }
     case Command::kAnalyze:
     case Command::kStats:
+    case Command::kMetrics:
     case Command::kUnload:
     case Command::kPing:
       break;
@@ -231,6 +242,7 @@ const char* CommandName(Command cmd) {
     case Command::kQuery: return "QUERY";
     case Command::kExplain: return "EXPLAIN";
     case Command::kStats: return "STATS";
+    case Command::kMetrics: return "METRICS";
     case Command::kUnload: return "UNLOAD";
     case Command::kPing: return "PING";
   }

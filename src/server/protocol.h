@@ -11,11 +11,20 @@
 //                 session's loaded program text (analysis/lint.h)
 //   ADD_FACTS     session, facts (surface-syntax fact clauses)
 //   QUERY         session, query | query_index, [engine=auto],
-//                 [max_states=0], [max_millis=0], [threads=0]
-//   EXPLAIN       session, query | query_index, answer (constant strings)
+//                 [max_states=0], [max_millis=0], [threads=0],
+//                 [trace=false]
+//   EXPLAIN       session, query | query_index, answer (constant strings),
+//                 [trace=false]
 //   STATS         [session]
+//   METRICS       - (full metrics-registry snapshot as JSON)
 //   UNLOAD        session
 //   PING          -
+//
+// `"trace": true` on QUERY/EXPLAIN asks the server to attach a "trace"
+// object to the response body: the request's span breakdown in
+// microseconds (queue_wait, parse, lock_wait, search, encode) plus
+// total_us. The body is the head line under every encoding, so traced
+// responses carry identical spans on v1 JSON and v2 binary.
 //
 // Version negotiation (wire-API v2): every connection starts at v1 with
 // newline-JSON responses. A HELLO announces the client's highest
@@ -78,6 +87,7 @@ enum class Command : uint8_t {
   kQuery,
   kExplain,
   kStats,
+  kMetrics,
   kUnload,
   kPing,
 };
@@ -146,6 +156,15 @@ struct Request {
   uint64_t max_states = 0;
   uint64_t max_millis = 0;
   uint32_t threads = 0;  // 0 = server default
+
+  // QUERY / EXPLAIN: attach the span breakdown to the response body.
+  // Wire field; must be a JSON boolean when present.
+  bool trace = false;
+
+  // Not a wire field: the daemon's dispatch path stamps how long this
+  // request sat in the worker queue, and the session layer renders it
+  // into the trace/slow-log spans. In-process callers leave it 0.
+  uint64_t queue_wait_us = 0;
 };
 
 /// Parses one request line (strict JSON, known command, per-command

@@ -81,6 +81,13 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 JsonValue BusyResponse(const JsonValue& id, const char* scope) {
   JsonValue response = protocol::ErrorResponse(
       protocol::Error{"EBUSY",
@@ -103,8 +110,53 @@ Server::Server(ServerConfig config)
         session.cache_byte_limit = config_.cache_byte_limit;
         session.search_threads = config_.search_threads;
         session.pool = pool_.get();
+        session.metrics = &metrics_;
+        session.slow_log = &slow_log_;
+        session.slow_query_micros = config_.slow_query_ms * 1000;
         return session;
-      }()) {}
+      }()) {
+  counters_.connections = metrics_.GetCounter(
+      "vadalogd_connections_total", {}, "client connections accepted");
+  counters_.connections_open = metrics_.GetGauge(
+      "vadalogd_connections_open", {}, "client connections currently open");
+  counters_.requests = metrics_.GetCounter(
+      "vadalogd_requests_total", {},
+      "request lines served (including inline and rejected ones)");
+  counters_.rejected_global = metrics_.GetCounter(
+      "vadalogd_rejected_total", {{"scope", "global"}},
+      "requests rejected EBUSY by the global in-flight cap");
+  counters_.rejected_session = metrics_.GetCounter(
+      "vadalogd_rejected_total", {{"scope", "session"}},
+      "requests rejected EBUSY by the per-session in-flight cap");
+  counters_.idle_evicted = metrics_.GetCounter(
+      "vadalogd_idle_evicted_total", {},
+      "idle connections evicted to free a descriptor under EMFILE");
+  counters_.emfile_shed = metrics_.GetCounter(
+      "vadalogd_emfile_shed_total", {},
+      "pending connections shed through the reserve descriptor");
+  counters_.connlimit_closed = metrics_.GetCounter(
+      "vadalogd_connlimit_closed_total", {},
+      "arrivals closed at the max_connections cap");
+  counters_.overflow_closed = metrics_.GetCounter(
+      "vadalogd_overflow_closed_total", {},
+      "connections dropped for an out-buffer past max_outbuf_bytes");
+  counters_.inflight = metrics_.GetGauge(
+      "vadalogd_inflight", {},
+      "requests admitted and not yet completed (queued + executing)");
+  counters_.loop_iterations = metrics_.GetCounter(
+      "vadalogd_loop_iterations_total", {}, "event-loop iterations");
+  counters_.loop_iteration_us = metrics_.GetHistogram(
+      "vadalogd_loop_iteration_us", {},
+      "time handling one event-loop batch (excluding the poll wait), us");
+  counters_.wakeups = metrics_.GetCounter(
+      "vadalogd_wakeups_total", {},
+      "self-pipe wakeups delivered to the event loop");
+  counters_.queue_wait_us = metrics_.GetHistogram(
+      "vadalogd_queue_wait_us", {},
+      "time admitted requests waited in the worker-pool queue, us");
+  pool_->set_queue_depth_gauge(metrics_.GetGauge(
+      "vadalogd_queue_depth", {}, "worker-pool queue depth"));
+}
 
 Server::~Server() { Stop(); }
 
@@ -124,6 +176,17 @@ bool Server::Start(std::string* error) {
   if (!config_error.empty()) {
     if (error != nullptr) *error = "invalid config: " + config_error;
     return false;
+  }
+
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  obs::LogLevelFromName(config_.log_level, &level);  // validated above
+  obs::SetLogLevel(level);
+  if (config_.slow_query_ms > 0) {
+    std::string open_error;
+    if (!slow_log_.Open(config_.slow_query_log, &open_error)) {
+      if (error != nullptr) *error = "slow_query_log: " + open_error;
+      return false;
+    }
   }
 
   if (config_.tcp) {
@@ -255,11 +318,15 @@ void Server::EventLoop() {
     int wait_ms = draining ? 20 : -1;
     int ready = poller_->Wait(&events, wait_ms);
     if (ready < 0) break;  // unrecoverable backend error
+    // Iteration latency covers the handling of this batch only — the
+    // (unbounded, idle) poll wait above is deliberately excluded.
+    auto batch_start = std::chrono::steady_clock::now();
     closed_in_batch_.clear();
     DrainCompletions();
     for (const Poller::Event& event : events) {
       if (closed_in_batch_.count(event.fd) != 0) continue;  // stale event
       if (event.fd == wakeup_read_) {
+        counters_.wakeups->Add(1);
         char drain[256];
         while (::read(wakeup_read_, drain, sizeof drain) > 0) {
         }
@@ -289,6 +356,8 @@ void Server::EventLoop() {
         ReadReady(connection);
       }
     }
+    counters_.loop_iterations->Add(1);
+    counters_.loop_iteration_us->Observe(ElapsedUs(batch_start));
   }
 
   for (auto& [fd, connection] : connections_) {
@@ -324,8 +393,10 @@ void Server::AcceptReady(int listen_fd) {
           if (shed >= 0) ::close(shed);
           reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
           if (shed >= 0) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.idle_closed;
+            counters_.emfile_shed->Add(1);
+            obs::LogWarn(
+                "descriptor pressure: shed one pending connection "
+                "(every open connection has work in flight)");
             continue;
           }
         }
@@ -335,8 +406,9 @@ void Server::AcceptReady(int listen_fd) {
     }
     if (connections_.size() >= config_.max_connections) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.idle_closed;
+      counters_.connlimit_closed->Add(1);
+      obs::LogWarn("max_connections=%zu reached; closed a new arrival",
+                   config_.max_connections);
       continue;
     }
     if (!SetNonBlocking(fd)) {
@@ -348,8 +420,9 @@ void Server::AcceptReady(int listen_fd) {
     connection->last_active = ++activity_clock_;
     connections_[fd] = connection;
     poller_->Add(fd, /*read=*/true, /*write=*/false);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.connections;
+    counters_.connections->Add(1);
+    counters_.connections_open->Set(
+        static_cast<int64_t>(connections_.size()));
   }
 }
 
@@ -427,10 +500,7 @@ void Server::DispatchPending(const std::shared_ptr<Connection>& connection) {
 
 void Server::ServeLine(const std::shared_ptr<Connection>& connection,
                        const std::string& line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-  }
+  counters_.requests->Add(1);
   protocol::Encoding encoding = connection->wire.encoding;
   protocol::Error parse_error;
   JsonValue id;
@@ -450,28 +520,28 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
   if (request->cmd == protocol::Command::kHello) {
     protocol::Response response = protocol::NegotiateHello(
         *request, config_.encodings, &connection->wire);
+    registry_.CountNegotiatedEncoding(connection->wire.encoding);
     QueueResponse(connection, protocol::EncodeResponse(
                                   response, connection->wire.encoding));
     return;
   }
 
-  // PING and STATS are the monitoring path: inline on the loop — no
-  // admission, no pool queue — so they stay responsive even when the
-  // pool is saturated with a request backlog (both only touch counters
-  // and briefly-held registry/session locks).
+  // PING, STATS, and METRICS are the monitoring path: inline on the
+  // loop — no admission, no pool queue — so they stay responsive even
+  // when the pool is saturated with a request backlog (all three only
+  // touch counters and briefly-held registry/session locks).
   if (request->cmd == protocol::Command::kPing ||
-      request->cmd == protocol::Command::kStats) {
+      request->cmd == protocol::Command::kStats ||
+      request->cmd == protocol::Command::kMetrics) {
     QueueResponse(connection, protocol::EncodeResponse(
                                   registry_.Handle(*request), encoding));
     return;
   }
 
-  // Admission control; the counters are loop-owned, no locking.
+  // Admission control; the admission state is loop-owned, no locking
+  // (the metrics handles themselves are lock-free from any thread).
   if (inflight_ >= config_.max_inflight) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_global;
-    }
+    counters_.rejected_global->Add(1);
     QueueResponse(connection,
                   protocol::EncodeResponse(
                       protocol::Response(BusyResponse(id, "server")),
@@ -480,10 +550,7 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
   }
   size_t& session_inflight = inflight_by_session_[request->session];
   if (session_inflight >= config_.max_inflight_per_session) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_session;
-    }
+    counters_.rejected_session->Add(1);
     QueueResponse(connection,
                   protocol::EncodeResponse(
                       protocol::Response(BusyResponse(id, "session")),
@@ -492,6 +559,7 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
   }
   ++inflight_;
   ++session_inflight;
+  counters_.inflight->Set(static_cast<int64_t>(inflight_));
 
   // Fork execution onto the pool. The response is encoded on the worker
   // (under the encoding negotiated at dispatch time) so the loop only
@@ -501,8 +569,14 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
   auto request_ptr = std::make_shared<protocol::Request>(std::move(*request));
   std::weak_ptr<Connection> weak = connection;
   std::string session = request_ptr->session;
-  pool_->Submit([this, request_ptr, weak, encoding,
+  auto dispatched = std::chrono::steady_clock::now();
+  pool_->Submit([this, request_ptr, weak, encoding, dispatched,
                  session = std::move(session)]() mutable {
+    // Queue wait = dispatch accepted -> a worker picked the request up;
+    // stamped into the request so the session layer renders it in the
+    // trace spans and the slow-query records.
+    request_ptr->queue_wait_us = ElapsedUs(dispatched);
+    counters_.queue_wait_us->Observe(request_ptr->queue_wait_us);
     protocol::Response response = registry_.Handle(*request_ptr);
     std::string bytes = protocol::EncodeResponse(response, encoding);
     {
@@ -537,6 +611,7 @@ void Server::DrainCompletions() {
 
 void Server::ReleaseAdmission(const std::string& session) {
   if (inflight_ > 0) --inflight_;
+  counters_.inflight->Set(static_cast<int64_t>(inflight_));
   auto it = inflight_by_session_.find(session);
   if (it != inflight_by_session_.end() && --it->second == 0) {
     inflight_by_session_.erase(it);
@@ -577,10 +652,10 @@ void Server::FlushOut(const std::shared_ptr<Connection>& connection) {
   if (unsent > config_.max_outbuf_bytes) {
     // The client stopped reading; its backlog must not grow the
     // daemon's memory without bound.
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.overflow_closed;
-    }
+    counters_.overflow_closed->Add(1);
+    obs::LogWarn(
+        "client fd=%d stopped reading (%zu unsent bytes); closing",
+        connection->fd, unsent);
     CloseConnection(connection->fd);
     return;
   }
@@ -617,6 +692,7 @@ void Server::CloseConnection(int fd) {
   ::close(fd);
   connections_.erase(it);
   closed_in_batch_.insert(fd);
+  counters_.connections_open->Set(static_cast<int64_t>(connections_.size()));
 }
 
 bool Server::EvictIdleConnection() {
@@ -631,9 +707,10 @@ bool Server::EvictIdleConnection() {
     }
   }
   if (idlest == nullptr) return false;
+  obs::LogDebug("descriptor pressure: evicting idle connection fd=%d",
+                idlest->fd);
   CloseConnection(idlest->fd);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.idle_closed;
+  counters_.idle_evicted->Add(1);
   return true;
 }
 
@@ -662,8 +739,16 @@ void Server::Stop() {
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats stats;
+  stats.connections = counters_.connections->Value();
+  stats.requests = counters_.requests->Value();
+  stats.rejected_global = counters_.rejected_global->Value();
+  stats.rejected_session = counters_.rejected_session->Value();
+  stats.idle_closed = counters_.idle_evicted->Value() +
+                      counters_.emfile_shed->Value() +
+                      counters_.connlimit_closed->Value();
+  stats.overflow_closed = counters_.overflow_closed->Value();
+  return stats;
 }
 
 #endif  // _WIN32

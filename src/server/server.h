@@ -55,6 +55,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "server/config.h"
 #include "server/poller.h"
 #include "server/session.h"
@@ -85,6 +87,10 @@ class Server {
 
   SessionRegistry& registry() { return registry_; }
   WorkerPool& pool() { return *pool_; }
+  /// The daemon's one metrics registry: every session's counter families
+  /// plus the vadalogd_* server instruments; METRICS and the Prometheus
+  /// scraper snapshot it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   struct Stats {
     uint64_t connections = 0;
@@ -98,6 +104,9 @@ class Server {
     /// crossed max_outbuf_bytes (client stopped reading).
     uint64_t overflow_closed = 0;
   };
+  /// Read from the registry counters (the struct API is kept for the
+  /// tests and tools that already consume it; `idle_closed` is the sum
+  /// of the finer-grained evicted/shed/connlimit series METRICS splits).
   Stats stats() const;
 
  private:
@@ -166,9 +175,34 @@ class Server {
   bool AnyExecuting() const;
   void ReleaseAdmission(const std::string& session);
 
+  /// The loop/accept/admission instrument handles (vadalogd_* families),
+  /// registered once at construction. `idle_closed` of the Stats struct
+  /// = idle_evicted + emfile_shed + connlimit_closed.
+  struct Counters {
+    obs::Counter* connections = nullptr;
+    obs::Gauge* connections_open = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* rejected_global = nullptr;
+    obs::Counter* rejected_session = nullptr;
+    obs::Counter* idle_evicted = nullptr;
+    obs::Counter* emfile_shed = nullptr;
+    obs::Counter* connlimit_closed = nullptr;
+    obs::Counter* overflow_closed = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Counter* loop_iterations = nullptr;
+    obs::Histogram* loop_iteration_us = nullptr;
+    obs::Counter* wakeups = nullptr;
+    obs::Histogram* queue_wait_us = nullptr;
+  };
+
   ServerConfig config_;
   std::unique_ptr<WorkerPool> pool_;
+  /// Declared before registry_: sessions register their counter families
+  /// here during construction and hold handles into it.
+  obs::MetricsRegistry metrics_;
+  obs::SlowQueryLog slow_log_;
   SessionRegistry registry_;
+  Counters counters_;
 
   std::atomic<bool> running_{false};
   uint16_t bound_tcp_port_ = 0;
@@ -195,9 +229,6 @@ class Server {
   // The worker → loop handoff; the only cross-thread state.
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;
-
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
 };
 
 namespace server_internal {

@@ -37,6 +37,13 @@ protocol::AnswerTable RenderAnswers(
   return table;
 }
 
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 }  // namespace
 
 Session::Session(std::string name, std::unique_ptr<Reasoner> reasoner,
@@ -47,7 +54,49 @@ Session::Session(std::string name, std::unique_ptr<Reasoner> reasoner,
       reasoner_(std::move(reasoner)) {
   cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
                                               reasoner_->database());
-  cache_bytes_.store(cache_->ApproximateBytes(), std::memory_order_relaxed);
+  // Register the session's instrument handles once; every serving path
+  // after this is lock-free Adds on them. The SessionRegistry guarantees
+  // a non-null registry (it owns a fallback when the caller passed none).
+  obs::MetricsRegistry* registry = options_.metrics;
+  const obs::LabelSet labels = {{"session", name_}};
+  metrics_.queries = registry->GetCounter(
+      "vadalog_session_queries_total", labels, "QUERY requests served");
+  metrics_.queries_waited = registry->GetCounter(
+      "vadalog_session_queries_waited_total", labels,
+      "queries that blocked behind a cache writer before starting");
+  metrics_.cache_evictions = registry->GetCounter(
+      "vadalog_session_cache_evictions_total", labels,
+      "byte-cap generational evictions (whole cache dropped)");
+  metrics_.cache_invalidations = registry->GetCounter(
+      "vadalog_session_cache_invalidations_total", labels,
+      "ADD_FACTS delta invalidation passes");
+  metrics_.cache_invalidated_entries = registry->GetCounter(
+      "vadalog_session_cache_invalidated_entries_total", labels,
+      "cache entries dropped by delta invalidation");
+  metrics_.facts_added = registry->GetCounter(
+      "vadalog_session_facts_added_total", labels,
+      "facts inserted by successful ADD_FACTS batches");
+  metrics_.slow_queries = registry->GetCounter(
+      "vadalog_session_slow_queries_total", labels,
+      "requests recorded in the slow-query log");
+  metrics_.cache_bytes = registry->GetGauge(
+      "vadalog_session_cache_bytes", labels,
+      "approximate bytes held by the session's proof cache");
+  metrics_.cache_lookups = registry->GetGauge(
+      "vadalog_session_cache_lookups", labels,
+      "proof-cache probes in the current cache generation");
+  metrics_.cache_probe_hits = registry->GetGauge(
+      "vadalog_session_cache_probe_hits", labels,
+      "proof-cache probe hits in the current cache generation");
+  metrics_.query_us = registry->GetHistogram(
+      "vadalog_query_us", labels,
+      "end-to-end QUERY serving time in microseconds");
+  metrics_.linear = obs::MakeEngineCounters(
+      registry, {{"session", name_}, {"engine", "linear"}});
+  metrics_.alternating = obs::MakeEngineCounters(
+      registry, {{"session", name_}, {"engine", "alternating"}});
+  metrics_.cache_bytes->Set(
+      static_cast<int64_t>(cache_->ApproximateBytes()));
 }
 
 ReasonerOptions Session::BuildOptions(const Request& request) const {
@@ -58,6 +107,15 @@ ReasonerOptions Session::BuildOptions(const Request& request) const {
   options.proof.num_threads =
       request.threads != 0 ? request.threads : options_.search_threads;
   options.proof.pool = options_.pool;
+  // Wire the matching per-(session, engine) counter family; the search
+  // flushes its result totals there once at completion. EXPLAIN always
+  // runs the linear search regardless of request.engine.
+  if (request.cmd == protocol::Command::kExplain ||
+      request.engine == "linear") {
+    options.proof.metrics = &metrics_.linear;
+  } else if (request.engine == "alternating") {
+    options.proof.metrics = &metrics_.alternating;
+  }
   return options;
 }
 
@@ -66,6 +124,14 @@ void Session::FinishCacheUse() {
   {
     std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
     bytes = cache_->ApproximateBytes();
+    // Generation-scoped probe figures (reset when the cache is evicted
+    // or migrated, hence gauges): refreshed whenever a request finishes
+    // with the cache, so METRICS tracks hit rates as they develop.
+    const ProofSearchCache::Stats& stats = cache_->stats();
+    metrics_.cache_lookups->Set(static_cast<int64_t>(
+        stats.lookups.load(std::memory_order_relaxed)));
+    metrics_.cache_probe_hits->Set(static_cast<int64_t>(
+        stats.hits.load(std::memory_order_relaxed)));
   }
   if (bytes > options_.cache_byte_limit) {
     // Generational eviction: drop the whole generation, start warm
@@ -79,11 +145,11 @@ void Session::FinishCacheUse() {
     if (bytes > options_.cache_byte_limit) {
       cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
                                                   reasoner_->database());
-      cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.cache_evictions->Add(1);
       bytes = cache_->ApproximateBytes();
     }
   }
-  cache_bytes_.store(bytes, std::memory_order_relaxed);
+  metrics_.cache_bytes->Set(static_cast<int64_t>(bytes));
 }
 
 bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
@@ -116,11 +182,19 @@ bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
 }
 
 protocol::Response Session::Query(const Request& request) {
+  // Span collection is unconditional — a handful of steady_clock reads
+  // per request — so the slow-query log always has the breakdown even
+  // for clients that never asked for a trace.
+  auto start = std::chrono::steady_clock::now();
+  obs::TraceSpans spans;
+  spans.queue_wait_us = request.queue_wait_us;
+
   ConjunctiveQuery query;
   JsonValue response;
   if (!ResolveQuery(request, &query, &response)) {
     return protocol::Response(std::move(response));
   }
+  spans.parse_us = ElapsedUs(start);
   ReasonerOptions options = BuildOptions(request);
 
   // Only the explicitly-selected proof-search engines read or write the
@@ -130,7 +204,6 @@ protocol::Response Session::Query(const Request& request) {
   bool uses_proof_cache =
       request.engine == "linear" || request.engine == "alternating";
 
-  auto start = std::chrono::steady_clock::now();
   CertainAnswerSet set;
   protocol::AnswerTable table;
   bool waited = false;
@@ -142,36 +215,40 @@ protocol::Response Session::Query(const Request& request) {
     // reader-writer lock arbitrates entry access — so same-session
     // queries probe and record concurrently instead of serializing.
     // A failed try_lock means a writer (eviction/ADD_FACTS) is active;
-    // count the wait for observability. Lock order data -> cache
-    // everywhere, so this cannot deadlock with AddFacts.
+    // count (and time) the wait for observability. Lock order data ->
+    // cache everywhere, so this cannot deadlock with AddFacts.
     std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
                                                    std::defer_lock);
     if (uses_proof_cache) {
       if (!cache_lock.try_lock()) {
         waited = true;
+        auto lock_start = std::chrono::steady_clock::now();
         cache_lock.lock();
+        spans.lock_wait_us = ElapsedUs(lock_start);
       }
       options.proof.cache = cache_.get();
     }
+    auto search_start = std::chrono::steady_clock::now();
     set = reasoner_->AnswerChecked(query, options);
+    spans.search_us = ElapsedUs(search_start);
     if (set.error.empty()) {
+      auto encode_start = std::chrono::steady_clock::now();
       table = RenderAnswers(*reasoner_, set.answers);
+      spans.encode_us = ElapsedUs(encode_start);
     }
     if (cache_lock.owns_lock()) {
       cache_lock.unlock();  // FinishCacheUse re-locks, exclusive if needed
       FinishCacheUse();
     }
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (waited) queries_waited_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queries->Add(1);
+  if (waited) metrics_.queries_waited->Add(1);
   if (!set.error.empty()) {
     return protocol::Response(
         ErrorResponse(Error{"EUNSUPPORTED", set.error}, request.id));
   }
-  uint64_t millis = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  spans.total_us = ElapsedUs(start);
+  metrics_.query_us->Observe(spans.total_us);
 
   response = OkResponse(request.id);
   response.Set("session", JsonValue::String(name_));
@@ -183,13 +260,39 @@ protocol::Response Session::Query(const Request& request) {
                JsonValue::String(!uses_proof_cache ? "unused"
                                  : waited          ? "shared-waited"
                                                    : "shared"));
-  response.Set("millis", JsonValue::Number(millis));
+  response.Set("millis", JsonValue::Number(spans.total_us / 1000));
+  if (request.trace) {
+    // The trace rides in the response BODY, which is the head line under
+    // every encoding — so v1 JSON and v2 binary carry identical spans.
+    response.Set("trace", RenderTraceSpans(spans));
+  }
+  MaybeLogSlowQuery(request, spans);
   protocol::Response result(std::move(response));
   result.answers = std::move(table);
   return result;
 }
 
+void Session::MaybeLogSlowQuery(const Request& request,
+                                const obs::TraceSpans& spans) {
+  if (options_.slow_log == nullptr || options_.slow_query_micros == 0 ||
+      spans.total_us < options_.slow_query_micros) {
+    return;
+  }
+  metrics_.slow_queries->Add(1);
+  JsonValue record = JsonValue::Object();
+  record.Set("ts", JsonValue::String(obs::FormatTimestampUtc()));
+  record.Set("session", JsonValue::String(name_));
+  record.Set("cmd",
+             JsonValue::String(protocol::CommandName(request.cmd)));
+  record.Set("engine", JsonValue::String(request.engine));
+  record.Set("spans", RenderTraceSpans(spans));
+  options_.slow_log->Write(record.Dump());
+}
+
 JsonValue Session::Explain(const Request& request) {
+  auto start = std::chrono::steady_clock::now();
+  obs::TraceSpans spans;
+  spans.queue_wait_us = request.queue_wait_us;
   if (reasoner_->classification().uses_negation) {
     // The linear proof search behind EXPLAIN ignores negative bodies;
     // refuse rather than produce a proof the evaluator contradicts.
@@ -202,6 +305,7 @@ JsonValue Session::Explain(const Request& request) {
   ConjunctiveQuery query;
   JsonValue response;
   if (!ResolveQuery(request, &query, &response)) return response;
+  spans.parse_us = ElapsedUs(start);
   if (request.answer.size() != query.output.size()) {
     return ErrorResponse(
         Error{"EBADREQ",
@@ -263,7 +367,9 @@ JsonValue Session::Explain(const Request& request) {
       // cache's internal lock; only the pointer needs pinning here.
       std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
       options.proof.cache = cache_.get();
+      auto search_start = std::chrono::steady_clock::now();
       proof = reasoner_->Explain(query, answer, options);
+      spans.search_us = ElapsedUs(search_start);
     }
     FinishCacheUse();
   }
@@ -271,6 +377,9 @@ JsonValue Session::Explain(const Request& request) {
   response.Set("session", JsonValue::String(name_));
   response.Set("certain", JsonValue::Bool(!proof.empty()));
   response.Set("proof", JsonValue::String(std::move(proof)));
+  spans.total_us = ElapsedUs(start);
+  if (request.trace) response.Set("trace", RenderTraceSpans(spans));
+  MaybeLogSlowQuery(request, spans);
   return response;
 }
 
@@ -341,7 +450,7 @@ JsonValue Session::AddFacts(const Request& request) {
     return ErrorResponse(Error{"EPARSE", error}, request.id);
   }
   size_t added = reasoner_->database().size() - before;
-  facts_added_.fetch_add(added, std::memory_order_relaxed);
+  metrics_.facts_added->Add(added);
   ProofSearchCache::DeltaInvalidation invalidation;
   if (!delta.empty()) {
     // No query can hold the cache here (queries hold the data lock
@@ -353,11 +462,11 @@ JsonValue Session::AddFacts(const Request& request) {
     std::unique_lock<std::shared_mutex> cache_lock(cache_mutex_);
     invalidation = cache_->InvalidateForDelta(reasoner_->program(),
                                               reasoner_->database(), delta);
-    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
-    cache_invalidated_entries_.fetch_add(
-        invalidation.exact_dropped + invalidation.subsumers_dropped,
-        std::memory_order_relaxed);
-    cache_bytes_.store(cache_->ApproximateBytes(), std::memory_order_relaxed);
+    metrics_.cache_invalidations->Add(1);
+    metrics_.cache_invalidated_entries->Add(invalidation.exact_dropped +
+                                            invalidation.subsumers_dropped);
+    metrics_.cache_bytes->Set(
+        static_cast<int64_t>(cache_->ApproximateBytes()));
   }
   JsonValue response = OkResponse(request.id);
   response.Set("session", JsonValue::String(name_));
@@ -403,29 +512,26 @@ JsonValue Session::StatsObject() {
     std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
                                                    std::try_to_lock);
     if (cache_lock.owns_lock()) {
-      cache_bytes_.store(cache_->ApproximateBytes(),
-                         std::memory_order_relaxed);
+      metrics_.cache_bytes->Set(
+          static_cast<int64_t>(cache_->ApproximateBytes()));
     }
   }
-  object.Set("queries_served",
-             JsonValue::Number(queries_.load(std::memory_order_relaxed)));
+  // STATS reads the same registry handles METRICS snapshots — one source
+  // of truth, no parallel atomics to drift.
+  object.Set("queries_served", JsonValue::Number(metrics_.queries->Value()));
   object.Set("queries_waited",
-             JsonValue::Number(
-                 queries_waited_.load(std::memory_order_relaxed)));
+             JsonValue::Number(metrics_.queries_waited->Value()));
   object.Set("cache_bytes",
-             JsonValue::Number(static_cast<uint64_t>(
-                 cache_bytes_.load(std::memory_order_relaxed))));
+             JsonValue::Number(
+                 static_cast<uint64_t>(metrics_.cache_bytes->Value())));
   object.Set("cache_evictions",
-             JsonValue::Number(
-                 cache_evictions_.load(std::memory_order_relaxed)));
+             JsonValue::Number(metrics_.cache_evictions->Value()));
   object.Set("cache_invalidations",
-             JsonValue::Number(
-                 cache_invalidations_.load(std::memory_order_relaxed)));
+             JsonValue::Number(metrics_.cache_invalidations->Value()));
   object.Set("cache_invalidated_entries",
-             JsonValue::Number(cache_invalidated_entries_.load(
-                 std::memory_order_relaxed)));
+             JsonValue::Number(metrics_.cache_invalidated_entries->Value()));
   object.Set("facts_added",
-             JsonValue::Number(facts_added_.load(std::memory_order_relaxed)));
+             JsonValue::Number(metrics_.facts_added->Value()));
   return object;
 }
 
@@ -451,7 +557,31 @@ JsonValue Session::DescribeLoaded(const JsonValue& id) {
 }
 
 SessionRegistry::SessionRegistry(const SessionOptions& defaults)
-    : defaults_(defaults) {}
+    : defaults_(defaults) {
+  if (defaults_.metrics == nullptr) {
+    // No registry supplied (in-process tests, bare registries): own one
+    // so sessions and the dispatcher can count unconditionally.
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    defaults_.metrics = owned_registry_.get();
+  }
+  metrics_ = defaults_.metrics;
+  requests_ = metrics_->GetCounter("vadalog_requests_total", {},
+                                   "requests dispatched (all commands)");
+  errors_ = metrics_->GetCounter("vadalog_request_errors_total", {},
+                                 "requests answered with ok:false");
+  negotiated_json_ = metrics_->GetCounter(
+      "vadalogd_encoding_negotiated_total", {{"encoding", "json"}},
+      "HELLO negotiations that settled on this response encoding");
+  negotiated_binary_ = metrics_->GetCounter(
+      "vadalogd_encoding_negotiated_total", {{"encoding", "binary"}},
+      "HELLO negotiations that settled on this response encoding");
+}
+
+void SessionRegistry::CountNegotiatedEncoding(protocol::Encoding encoding) {
+  (encoding == protocol::Encoding::kBinary ? negotiated_binary_
+                                           : negotiated_json_)
+      ->Add(1);
+}
 
 size_t SessionRegistry::session_count() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -529,10 +659,17 @@ JsonValue SessionRegistry::Stats(const Request& request) {
   server.Set("protocol_max_version", JsonValue::Number(protocol::kMaxVersion));
   server.Set("sessions",
              JsonValue::Number(static_cast<uint64_t>(sessions.size())));
-  server.Set("requests",
-             JsonValue::Number(requests_.load(std::memory_order_relaxed)));
-  server.Set("errors",
-             JsonValue::Number(errors_.load(std::memory_order_relaxed)));
+  server.Set("requests", JsonValue::Number(requests_->Value()));
+  server.Set("errors", JsonValue::Number(errors_->Value()));
+  server.Set("uptime_ms",
+             JsonValue::Number(static_cast<uint64_t>(
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count())));
+  JsonValue negotiated = JsonValue::Object();
+  negotiated.Set("json", JsonValue::Number(negotiated_json_->Value()));
+  negotiated.Set("binary", JsonValue::Number(negotiated_binary_->Value()));
+  server.Set("encoding_negotiated", std::move(negotiated));
   response.Set("server", std::move(server));
   JsonValue list = JsonValue::Array();
   for (const std::shared_ptr<Session>& session : sessions) {
@@ -543,7 +680,7 @@ JsonValue SessionRegistry::Stats(const Request& request) {
 }
 
 protocol::Response SessionRegistry::Handle(const Request& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Add(1);
   protocol::Response response;
   switch (request.cmd) {
     case protocol::Command::kHello: {
@@ -551,12 +688,22 @@ protocol::Response SessionRegistry::Handle(const Request& request) {
       // wire state to mutate — negotiate against a scratch state with
       // the default allowlist so HELLO still answers coherently (the
       // socket server intercepts HELLO before this dispatcher and
-      // negotiates the real connection state).
+      // negotiates the real connection state, counting the outcome
+      // itself via CountNegotiatedEncoding).
       protocol::WireState scratch;
       response = protocol::NegotiateHello(
           request,
           {protocol::Encoding::kJson, protocol::Encoding::kBinary},
           &scratch);
+      if (response.body.GetBool("ok")) {
+        CountNegotiatedEncoding(scratch.encoding);
+      }
+      break;
+    }
+    case protocol::Command::kMetrics: {
+      JsonValue body = OkResponse(request.id);
+      body.Set("metrics", RenderMetricsSnapshot(*metrics_));
+      response = std::move(body);
       break;
     }
     case protocol::Command::kPing: {
@@ -600,7 +747,7 @@ protocol::Response SessionRegistry::Handle(const Request& request) {
   }
   const JsonValue* ok = response.body.Find("ok");
   if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Add(1);
   }
   return response;
 }
@@ -610,11 +757,65 @@ JsonValue SessionRegistry::HandleLine(std::string_view line) {
   JsonValue id;
   std::optional<Request> request = protocol::ParseRequest(line, &error, &id);
   if (!request.has_value()) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_->Add(1);
+    errors_->Add(1);
     return ErrorResponse(error, id);
   }
   return Handle(*request).ToJson();
+}
+
+JsonValue RenderTraceSpans(const obs::TraceSpans& spans) {
+  JsonValue object = JsonValue::Object();
+  for (const obs::SpanView& span : obs::SpanList(spans)) {
+    object.Set(std::string(span.name) + "_us", JsonValue::Number(span.us));
+  }
+  object.Set("total_us", JsonValue::Number(spans.total_us));
+  return object;
+}
+
+JsonValue RenderMetricsSnapshot(const obs::MetricsRegistry& registry) {
+  JsonValue list = JsonValue::Array();
+  for (const obs::Sample& sample : registry.Snapshot()) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String(sample.name));
+    item.Set("type",
+             JsonValue::String(obs::MetricTypeName(sample.type)));
+    JsonValue labels = JsonValue::Object();
+    for (const auto& [key, value] : sample.labels) {
+      labels.Set(key, JsonValue::String(value));
+    }
+    item.Set("labels", std::move(labels));
+    if (!sample.help.empty()) {
+      item.Set("help", JsonValue::String(sample.help));
+    }
+    if (sample.type == obs::MetricType::kHistogram) {
+      // Cumulative counts; buckets[i] covers observations <= bounds[i],
+      // the final count (no finite bound) is the +inf bucket == "count".
+      JsonValue bounds = JsonValue::Array();
+      JsonValue buckets = JsonValue::Array();
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        if (i + 1 < sample.buckets.size()) {
+          bounds.Append(JsonValue::Number(obs::Histogram::BucketBound(i)));
+        }
+        buckets.Append(JsonValue::Number(sample.buckets[i]));
+      }
+      item.Set("bounds", std::move(bounds));
+      item.Set("buckets", std::move(buckets));
+      item.Set("sum", JsonValue::Number(sample.sum));
+      item.Set("count", JsonValue::Number(sample.count));
+    } else {
+      // Counter totals are unsigned; gauges may legitimately be negative.
+      if (sample.value < 0) {
+        item.Set("value",
+                 JsonValue::Number(static_cast<double>(sample.value)));
+      } else {
+        item.Set("value",
+                 JsonValue::Number(static_cast<uint64_t>(sample.value)));
+      }
+    }
+    list.Append(std::move(item));
+  }
+  return list;
 }
 
 }  // namespace vadalog

@@ -49,6 +49,7 @@
 #define VADALOG_SERVER_SESSION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -58,6 +59,9 @@
 #include <vector>
 
 #include "engine/search_cache.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "server/worker_pool.h"
 #include "vadalog/reasoner.h"
@@ -74,6 +78,18 @@ struct SessionOptions {
   /// Pool the parallel searches fork onto (shared with request serving);
   /// may be null (searches then spawn private pools when parallel).
   WorkerPool* pool = nullptr;
+  /// Metrics registry every session registers its counter families in
+  /// (the daemon's one registry). May be null; the SessionRegistry then
+  /// owns a private one, so handles always exist and the counting paths
+  /// stay branch-free.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Structured slow-query sink; null or a threshold of 0 disables the
+  /// slow-query log entirely.
+  obs::SlowQueryLog* slow_log = nullptr;
+  /// Slow-query threshold in MICROseconds (ServerConfig's slow_query_ms
+  /// times 1000; microseconds here so tests can set 1 and fire
+  /// deterministically). 0 = disabled.
+  uint64_t slow_query_micros = 0;
 };
 
 class Session {
@@ -110,6 +126,31 @@ class Session {
   JsonValue DescribeLoaded(const JsonValue& id);
 
  private:
+  /// The session's registered instrument handles (vadalog_session_* /
+  /// vadalog_search_* families, labeled {"session": name}). Registered
+  /// once at construction; handles are registry-owned and stable, so the
+  /// serving paths only ever do lock-free Adds. A session re-created
+  /// under the same name (LOAD_PROGRAM replace:true) resolves to the
+  /// SAME series and keeps counting cumulatively — the Prometheus model,
+  /// and what lets an external scraper compare totals across reloads.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* queries_waited = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Counter* cache_invalidations = nullptr;
+    obs::Counter* cache_invalidated_entries = nullptr;
+    obs::Counter* facts_added = nullptr;
+    obs::Counter* slow_queries = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+    /// Current generation's proof-cache probe totals (reset by
+    /// eviction, hence gauges not counters).
+    obs::Gauge* cache_lookups = nullptr;
+    obs::Gauge* cache_probe_hits = nullptr;
+    obs::Histogram* query_us = nullptr;
+    obs::EngineCounters linear;
+    obs::EngineCounters alternating;
+  };
+
   /// Resolves the request's query (inline text — parsed under the write
   /// lock — or index into the loaded program). Returns false with
   /// `response` set to the error.
@@ -117,6 +158,12 @@ class Session {
                     JsonValue* response);
 
   ReasonerOptions BuildOptions(const protocol::Request& request) const;
+
+  /// Appends one JSON record to the slow-query log when the request's
+  /// end-to-end time reached the configured threshold. No-op when the
+  /// slow log is disabled.
+  void MaybeLogSlowQuery(const protocol::Request& request,
+                         const obs::TraceSpans& spans);
 
   /// Post-use cache bookkeeping, called with `data_mutex_` held (shared
   /// suffices) and `cache_mutex_` NOT held: reads the byte figure, and
@@ -142,17 +189,11 @@ class Session {
   std::shared_mutex cache_mutex_;
   std::unique_ptr<ProofSearchCache> cache_;
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> queries_waited_{0};  // blocked behind a cache writer
-  /// Byte-cap generational evictions (whole cache dropped) — distinct
-  /// from `cache_invalidations_`, the ADD_FACTS-driven partial drops.
-  std::atomic<uint64_t> cache_evictions_{0};
-  std::atomic<uint64_t> cache_invalidations_{0};
-  /// Entries removed by delta invalidation (exact + subsumption bank),
-  /// cumulative; observability for how partial the invalidations are.
-  std::atomic<uint64_t> cache_invalidated_entries_{0};
-  std::atomic<uint64_t> facts_added_{0};
-  std::atomic<size_t> cache_bytes_{0};  // last observed ApproximateBytes
+  /// All per-session counters live in the metrics registry; STATS and
+  /// METRICS read the same handles, one source of truth. (The former
+  /// per-session atomics — queries_, cache_evictions_, ... — are these
+  /// handles now.)
+  Metrics metrics_;
 };
 
 class SessionRegistry {
@@ -173,17 +214,44 @@ class SessionRegistry {
   size_t session_count();
   std::shared_ptr<Session> Find(const std::string& name);
 
+  /// The registry every session and the dispatcher count into: the one
+  /// handed in via SessionOptions, or the private fallback this
+  /// SessionRegistry owns when none was (in-process tests). Never null.
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
+  /// Counts one negotiated response encoding (HELLO outcome). The socket
+  /// server calls this for connection HELLOs (which it intercepts before
+  /// this dispatcher); in-process HELLOs count in Handle() itself.
+  void CountNegotiatedEncoding(protocol::Encoding encoding);
+
  private:
   JsonValue LoadProgram(const protocol::Request& request);
   JsonValue Unload(const protocol::Request& request);
   JsonValue Stats(const protocol::Request& request);
 
-  const SessionOptions defaults_;
+  SessionOptions defaults_;  // metrics pointer patched to metrics_
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> errors_{0};
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* negotiated_json_ = nullptr;
+  obs::Counter* negotiated_binary_ = nullptr;
 };
+
+/// Renders a registry snapshot as the METRICS payload: one JSON object
+/// per metric, sorted by (name, labels) — {"name","type","labels",
+/// "help","value"} for counters and gauges, plus {"bounds","buckets"
+/// (cumulative, last = +inf = "count"),"sum","count"} for histograms.
+/// Identical bytes under both wire encodings (pure control response).
+JsonValue RenderMetricsSnapshot(const obs::MetricsRegistry& registry);
+
+/// Renders the span breakdown as the "trace" response object / slow-log
+/// "spans" object: {"queue_wait_us",...,"encode_us","total_us"}.
+JsonValue RenderTraceSpans(const obs::TraceSpans& spans);
 
 }  // namespace vadalog
 

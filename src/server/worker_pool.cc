@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace vadalog {
 namespace {
 
@@ -39,6 +41,9 @@ void WorkerPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
     task();
   }
@@ -49,6 +54,9 @@ void WorkerPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
     queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -82,6 +90,9 @@ void WorkerPool::ParallelInvoke(size_t extra_workers,
           state->cv.notify_all();
         }
       });
+    }
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
   }
   cv_.notify_all();

@@ -37,6 +37,10 @@
 
 namespace vadalog {
 
+namespace obs {
+class Gauge;
+}  // namespace obs
+
 class WorkerPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -76,6 +80,12 @@ class WorkerPool {
   /// Snapshot of the counters (taken under the queue lock).
   Stats stats() const;
 
+  /// Observability: when set, the gauge tracks queue_.size() — updated
+  /// under the queue lock on every push/pop, so the cost is one relaxed
+  /// store on paths that already hold the mutex. Set once at startup,
+  /// before any Submit.
+  void set_queue_depth_gauge(obs::Gauge* gauge) { queue_depth_ = gauge; }
+
  private:
   void WorkerLoop();
 
@@ -85,6 +95,7 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   bool stop_ = false;
   Stats stats_;
+  obs::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace vadalog

@@ -767,6 +767,105 @@ TEST(ProtocolTest, StatsAndPing) {
   ASSERT_TRUE(stats.GetBool("ok"));
   EXPECT_EQ(stats.Find("server")->GetUint("sessions"), 2u);
   EXPECT_EQ(stats.Find("sessions")->Items().size(), 2u);
+  // STATS reports process uptime and the negotiated-encoding tallies.
+  const JsonValue* server = stats.Find("server");
+  EXPECT_NE(server->Find("uptime_ms"), nullptr);
+  const JsonValue* negotiated = server->Find("encoding_negotiated");
+  ASSERT_NE(negotiated, nullptr);
+  EXPECT_EQ(negotiated->GetUint("json"), 0u);
+  EXPECT_EQ(negotiated->GetUint("binary"), 0u);
+}
+
+// --- METRICS and per-request tracing ---
+
+TEST(ProtocolTest, ParsesMetricsCommand) {
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request =
+      protocol::ParseRequest(R"({"cmd":"METRICS"})", &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->cmd, protocol::Command::kMetrics);
+  EXPECT_EQ(protocol::CommandName(request->cmd), std::string("METRICS"));
+}
+
+TEST(ProtocolTest, TraceFlagParsesStrictly) {
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request = protocol::ParseRequest(
+      R"({"cmd":"QUERY","session":"s","query_index":0,"trace":true})",
+      &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_TRUE(request->trace);
+  request = protocol::ParseRequest(
+      R"({"cmd":"QUERY","session":"s","query_index":0})", &error, &id);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_FALSE(request->trace);
+  // A non-boolean trace is a request error, not a silent default.
+  EXPECT_FALSE(
+      protocol::ParseRequest(
+          R"({"cmd":"QUERY","session":"s","query_index":0,"trace":1})",
+          &error, &id)
+          .has_value());
+  EXPECT_EQ(error.code, "EBADREQ");
+}
+
+TEST(ProtocolTest, TracedQueryCarriesIdenticalSpansUnderBothEncodings) {
+  // The trace rides in the response BODY, so the v1 inline head and the
+  // v2 frame-announcing head must carry byte-identical span objects.
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request = protocol::ParseRequest(
+      R"({"v":2,"cmd":"QUERY","session":"s","query_index":0,"trace":true})",
+      &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  protocol::Response response = registry.Handle(*request);
+  ASSERT_TRUE(response.answers.has_value());
+  std::string json =
+      protocol::EncodeResponse(response, protocol::Encoding::kJson);
+  std::string binary =
+      protocol::EncodeResponse(response, protocol::Encoding::kBinary);
+  std::string parse_error;
+  std::optional<JsonValue> json_head = JsonValue::Parse(
+      std::string_view(json).substr(0, json.find('\n')), &parse_error);
+  ASSERT_TRUE(json_head.has_value()) << parse_error;
+  std::optional<JsonValue> binary_head = JsonValue::Parse(
+      std::string_view(binary).substr(0, binary.find('\n')), &parse_error);
+  ASSERT_TRUE(binary_head.has_value()) << parse_error;
+  const JsonValue* json_trace = json_head->Find("trace");
+  const JsonValue* binary_trace = binary_head->Find("trace");
+  ASSERT_NE(json_trace, nullptr);
+  ASSERT_NE(binary_trace, nullptr);
+  EXPECT_EQ(json_trace->Dump(), binary_trace->Dump());
+  for (const char* key : {"queue_wait_us", "parse_us", "lock_wait_us",
+                          "search_us", "encode_us", "total_us"}) {
+    EXPECT_NE(json_trace->Find(key), nullptr) << key;
+  }
+}
+
+TEST(ProtocolTest, MetricsCommandRendersIdenticallyUnderBothEncodings) {
+  SessionRegistry registry{SessionOptions{}};
+  ASSERT_TRUE(registry.HandleLine(LoadLine("s")).GetBool("ok"));
+  protocol::Error error;
+  JsonValue id;
+  std::optional<protocol::Request> request =
+      protocol::ParseRequest(R"({"v":2,"cmd":"METRICS"})", &error, &id);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  protocol::Response response = registry.Handle(*request);
+  EXPECT_FALSE(response.answers.has_value());
+  std::string json =
+      protocol::EncodeResponse(response, protocol::Encoding::kJson);
+  std::string binary =
+      protocol::EncodeResponse(response, protocol::Encoding::kBinary);
+  EXPECT_EQ(json, binary);
+  std::string parse_error;
+  std::optional<JsonValue> head = JsonValue::Parse(
+      std::string_view(json).substr(0, json.size() - 1), &parse_error);
+  ASSERT_TRUE(head.has_value()) << parse_error;
+  EXPECT_TRUE(head->GetBool("ok"));
+  ASSERT_NE(head->Find("metrics"), nullptr);
+  EXPECT_TRUE(head->Find("metrics")->is_array());
 }
 
 }  // namespace

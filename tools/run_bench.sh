@@ -72,6 +72,13 @@ for bench in "${BENCHES[@]}"; do
     exit 1
   fi
   echo ">>> $bench" >&2
+  # bench_server dumps its metrics registry next to the timing snapshot
+  # (METRICS-shaped JSON; convert with tools/vadalog_metrics < file).
+  if [[ "$bench" == "bench_server" ]]; then
+    export VADALOG_BENCH_METRICS="${OUT%.json}-metrics.json"
+  else
+    unset VADALOG_BENCH_METRICS
+  fi
   start_ns=$(date +%s%N)
   rc=0
   if [[ "$bench" == "bench_micro" ]]; then

@@ -28,6 +28,21 @@
 //       vadalog_client --serve --clients=16 --repeat=4
 //           --roundtrip=examples/programs/company_control.vada
 //
+//                 With --trace every QUERY carries "trace":true and the
+//                 response must come back with the full span breakdown
+//                 (queue_wait/parse/lock_wait/search/encode/total); one
+//                 sample span table is printed. The round trip always
+//                 ends with a machine-readable "CLIENT_QUERIES <n>" line
+//                 on stdout — the number of served (ok) QUERYs across
+//                 all client threads, EBUSY retries excluded — which CI
+//                 sums and diffs against the server's METRICS counters.
+//
+//   * Metrics:    dump the daemon's metrics registry, one metric per
+//                 line (counters/gauges as name{labels} = value,
+//                 histograms as count and sum):
+//
+//       vadalog_client --connect=tcp:127.0.0.1:4333 --metrics
+//
 // --encoding=json|binary sends a HELLO at connect time and fails hard if
 // the server negotiates something other than the requested encoding.
 // Without the flag no HELLO is sent: the connection speaks the v1
@@ -77,10 +92,10 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--connect=tcp:HOST:PORT | --connect=unix:PATH | "
                "--serve)\n"
-               "          [--encoding=json|binary] [--hello]\n"
+               "          [--encoding=json|binary] [--hello] [--metrics]\n"
                "          [--roundtrip=FILE.vada [--engine=E] [--threads=N] "
                "[--clients=N] "
-               "[--repeat=N]]\n",
+               "[--repeat=N] [--trace]]\n",
                argv0);
   return 2;
 }
@@ -315,13 +330,41 @@ std::vector<std::vector<std::string>> AnswersFromTable(
   return rows;
 }
 
+/// The span keys every traced response must carry, in canonical order
+/// (mirrors obs::TraceSpans::SpanList plus the total).
+constexpr const char* kSpanKeys[] = {"queue_wait_us", "parse_us",
+                                     "lock_wait_us",  "search_us",
+                                     "encode_us",     "total_us"};
+
+/// Validates the "trace" object of a traced QUERY response: present,
+/// an object, and carrying every span key as a number.
+bool CheckTrace(const JsonValue& response, std::string* error) {
+  const JsonValue* trace = response.Find("trace");
+  if (trace == nullptr || !trace->is_object()) {
+    *error = "traced response carried no trace object";
+    return false;
+  }
+  for (const char* key : kSpanKeys) {
+    const JsonValue* span = trace->Find(key);
+    if (span == nullptr || !span->is_number()) {
+      *error = std::string("trace is missing span \"") + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 /// One simulated client: its own connection (negotiating the endpoint's
 /// encoding), running every query of the session `repeat` times and
 /// diffing each answer set — decoded from the binary frame when that is
-/// what was negotiated — against the in-process oracle.
+/// what was negotiated — against the in-process oracle. Every served
+/// (ok) QUERY is counted into `served` — EBUSY-rejected attempts are
+/// not, which is what makes the total comparable to the server's
+/// vadalog_session_queries_total series.
 bool RunClientThread(const Endpoint& endpoint, const std::string& session,
                      const std::string& engine, uint32_t threads,
-                     size_t num_queries, int repeat,
+                     size_t num_queries, int repeat, bool trace,
+                     std::atomic<uint64_t>* served,
                      const std::vector<std::vector<std::vector<std::string>>>&
                          expected) {
   std::string error;
@@ -339,6 +382,7 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
       if (threads != 0) {
         request += ",\"threads\":" + std::to_string(threads);
       }
+      if (trace) request += ",\"trace\":true";
       request += "}";
       while (true) {
         JsonValue response;
@@ -358,6 +402,11 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
           }
           std::fprintf(stderr, "client: query failed: %s\n",
                        response.Dump().c_str());
+          return false;
+        }
+        served->fetch_add(1, std::memory_order_relaxed);
+        if (trace && !CheckTrace(response, &error)) {
+          std::fprintf(stderr, "client: %s\n", error.c_str());
           return false;
         }
         // A binary connection must get frames, a JSON one inline rows.
@@ -385,7 +434,7 @@ bool RunClientThread(const Endpoint& endpoint, const std::string& session,
 
 int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
                  const std::string& engine, uint32_t threads, int clients,
-                 int repeat) {
+                 int repeat, bool trace) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -436,11 +485,12 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
   }
 
   std::atomic<int> failures{0};
+  std::atomic<uint64_t> served{0};
   std::vector<std::thread> client_threads;
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&] {
       if (!RunClientThread(endpoint, session, engine, threads,
-                           num_queries, repeat, expected)) {
+                           num_queries, repeat, trace, &served, expected)) {
         failures.fetch_add(1);
       }
     });
@@ -454,6 +504,36 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
                            &stats, &no_table, &error)) {
     std::fprintf(stderr, "stats: %s\n", stats.Dump().c_str());
   }
+  if (trace) {
+    // One sample traced query on the control connection so the span
+    // breakdown is visible in the run output (and counted in served).
+    JsonValue traced;
+    std::optional<protocol::AnswerTable> table;
+    if (connection->Transact("{\"cmd\":\"QUERY\",\"session\":" +
+                                 EscapeJson(session) +
+                                 ",\"query_index\":0,\"engine\":" +
+                                 EscapeJson(engine) + ",\"trace\":true}",
+                             &traced, &table, &error) &&
+        traced.GetBool("ok")) {
+      served.fetch_add(1, std::memory_order_relaxed);
+      if (!CheckTrace(traced, &error)) {
+        std::fprintf(stderr, "trace: %s\n", error.c_str());
+        return 1;
+      }
+      const JsonValue* spans = traced.Find("trace");
+      std::fprintf(stderr, "trace spans (us):");
+      for (const char* key : kSpanKeys) {
+        std::fprintf(stderr, " %s=%.0f", key, spans->Find(key)->AsNumber());
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+  // Machine-readable served-QUERY total on stdout: CI sums these across
+  // runs and diffs the sum against the server's cumulative
+  // vadalog_session_queries_total{session="roundtrip"} series.
+  std::printf("CLIENT_QUERIES %llu\n",
+              static_cast<unsigned long long>(served.load()));
+  std::fflush(stdout);
   if (failures.load() != 0) {
     std::fprintf(stderr, "FAILED: %d/%d clients saw mismatches or errors\n",
                  failures.load(), clients);
@@ -464,6 +544,55 @@ int RunRoundTrip(const Endpoint& endpoint, const std::string& path,
                "the in-process reasoner\n",
                clients, repeat, num_queries,
                endpoint.encoding == "binary" ? " (binary frames)" : "");
+  return 0;
+}
+
+/// --metrics: one METRICS request, pretty-printed one metric per line —
+/// counters/gauges as `name{labels} = value`, histograms as their count
+/// and sum. The raw JSON is available via the raw mode when needed.
+int RunMetrics(const Endpoint& endpoint) {
+  std::string error;
+  std::unique_ptr<Connection> connection = endpoint.Dial(&error);
+  if (connection == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  JsonValue response;
+  std::optional<protocol::AnswerTable> no_table;
+  if (!connection->Transact("{\"cmd\":\"METRICS\"}", &response, &no_table,
+                            &error)) {
+    std::fprintf(stderr, "METRICS: %s\n", error.c_str());
+    return 1;
+  }
+  const JsonValue* metrics = response.Find("metrics");
+  if (!response.GetBool("ok") || metrics == nullptr ||
+      !metrics->is_array()) {
+    std::fprintf(stderr, "METRICS failed: %s\n", response.Dump().c_str());
+    return 1;
+  }
+  for (const JsonValue& metric : metrics->Items()) {
+    std::string line = metric.GetString("name");
+    const JsonValue* labels = metric.Find("labels");
+    if (labels != nullptr && !labels->Members().empty()) {
+      line += "{";
+      bool first = true;
+      for (const auto& [key, value] : labels->Members()) {
+        if (!first) line += ",";
+        first = false;
+        line += key + "=" + EscapeJson(value.AsString());
+      }
+      line += "}";
+    }
+    if (metric.GetString("type") == "histogram") {
+      std::printf("%s count=%llu sum=%llu\n", line.c_str(),
+                  static_cast<unsigned long long>(metric.GetUint("count")),
+                  static_cast<unsigned long long>(metric.GetUint("sum")));
+    } else {
+      const JsonValue* value = metric.Find("value");
+      std::printf("%s = %.0f\n", line.c_str(),
+                  value != nullptr ? value->AsNumber() : 0.0);
+    }
+  }
   return 0;
 }
 
@@ -527,6 +656,8 @@ int main(int argc, char** argv) {
   bool have_endpoint = false;
   bool serve = false;
   bool hello = false;
+  bool metrics = false;
+  bool trace = false;
   std::string roundtrip_path;
   std::string engine = "auto";
   uint32_t search_threads = 0;
@@ -543,6 +674,10 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (std::strcmp(arg, "--hello") == 0) {
       hello = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace = true;
     } else if (std::strncmp(arg, "--connect=", 10) == 0) {
       std::string spec = arg + 10;
       if (spec.rfind("unix:", 0) == 0) {
@@ -607,11 +742,13 @@ int main(int argc, char** argv) {
   int status;
   if (hello) {
     status = RunHello(endpoint);
+  } else if (metrics) {
+    status = RunMetrics(endpoint);
   } else if (roundtrip_path.empty()) {
     status = RunRaw(endpoint);
   } else {
     status = RunRoundTrip(endpoint, roundtrip_path, engine, search_threads,
-                          clients, repeat);
+                          clients, repeat, trace);
   }
   if (server != nullptr) server->Stop();
   return status;

@@ -1,0 +1,314 @@
+// vadalog_metrics — Prometheus text-format exporter for vadalogd.
+//
+// Scrapes the daemon's METRICS command and renders the registry snapshot
+// in the Prometheus text exposition format (version 0.0.4): one
+// `# HELP` / `# TYPE` header per metric family, one sample line per
+// label set, histograms expanded into cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Pipe it from a cron job or wrap it in
+// a textfile-collector script; the output is a complete scrape body.
+//
+// Usage:
+//   vadalog_metrics --connect=tcp:HOST:PORT     scrape a live daemon
+//   vadalog_metrics --connect=unix:PATH
+//   vadalog_metrics < metrics.json              convert a saved METRICS
+//                                               response (or its body)
+//
+// The stdin mode exists so snapshots written by bench runs (see
+// VADALOG_BENCH_METRICS in tools/run_bench.sh) and the protocol goldens
+// can be converted offline without a running daemon.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "base/version.h"
+#include "server/json.h"
+
+using namespace vadalog;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--connect=tcp:HOST:PORT | --connect=unix:PATH]\n"
+               "       %s < metrics.json    (convert a saved METRICS "
+               "response)\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders one label set as {k1="v1",k2="v2"}; empty string when there
+/// are no labels. `extra` appends one more pair (used for `le`).
+std::string RenderLabels(const JsonValue* labels, const std::string& extra) {
+  std::string body;
+  if (labels != nullptr && labels->is_object()) {
+    for (const auto& [key, value] : labels->Members()) {
+      if (!body.empty()) body += ",";
+      body += key + "=\"" +
+              EscapeLabelValue(value.is_string() ? value.AsString()
+                                                 : value.Dump()) +
+              "\"";
+    }
+  }
+  if (!extra.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra;
+  }
+  if (body.empty()) return "";
+  return "{" + body + "}";
+}
+
+/// Prints a sample value the way Prometheus expects: integral values
+/// without a fraction, anything else as shortest double.
+std::string RenderNumber(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+/// Converts one registry snapshot (the "metrics" array of a METRICS
+/// response) to the text exposition format on stdout. The snapshot is
+/// sorted by (name, labels), so HELP/TYPE headers are emitted on each
+/// name change.
+bool RenderPrometheus(const JsonValue& metrics) {
+  if (!metrics.is_array()) return false;
+  std::string previous_name;
+  for (const JsonValue& metric : metrics.Items()) {
+    std::string name = metric.GetString("name");
+    std::string type = metric.GetString("type");
+    if (name.empty()) return false;
+    if (name != previous_name) {
+      std::string help = metric.GetString("help");
+      if (!help.empty()) {
+        std::printf("# HELP %s %s\n", name.c_str(), help.c_str());
+      }
+      std::printf("# TYPE %s %s\n", name.c_str(), type.c_str());
+      previous_name = name;
+    }
+    const JsonValue* labels = metric.Find("labels");
+    if (type == "histogram") {
+      const JsonValue* bounds = metric.Find("bounds");
+      const JsonValue* buckets = metric.Find("buckets");
+      if (bounds == nullptr || buckets == nullptr ||
+          !bounds->is_array() || !buckets->is_array() ||
+          buckets->Items().size() != bounds->Items().size() + 1) {
+        return false;
+      }
+      for (size_t i = 0; i < bounds->Items().size(); ++i) {
+        std::printf(
+            "%s_bucket%s %s\n", name.c_str(),
+            RenderLabels(labels, "le=\"" +
+                                     RenderNumber(
+                                         bounds->Items()[i].AsNumber()) +
+                                     "\"")
+                .c_str(),
+            RenderNumber(buckets->Items()[i].AsNumber()).c_str());
+      }
+      std::printf("%s_bucket%s %s\n", name.c_str(),
+                  RenderLabels(labels, "le=\"+Inf\"").c_str(),
+                  RenderNumber(buckets->Items().back().AsNumber()).c_str());
+      std::printf("%s_sum%s %s\n", name.c_str(),
+                  RenderLabels(labels, "").c_str(),
+                  RenderNumber(metric.Find("sum") != nullptr
+                                   ? metric.Find("sum")->AsNumber()
+                                   : 0)
+                      .c_str());
+      std::printf("%s_count%s %s\n", name.c_str(),
+                  RenderLabels(labels, "").c_str(),
+                  RenderNumber(metric.Find("count") != nullptr
+                                   ? metric.Find("count")->AsNumber()
+                                   : 0)
+                      .c_str());
+    } else {
+      const JsonValue* value = metric.Find("value");
+      std::printf("%s%s %s\n", name.c_str(),
+                  RenderLabels(labels, "").c_str(),
+                  RenderNumber(value != nullptr ? value->AsNumber() : 0)
+                      .c_str());
+    }
+  }
+  return true;
+}
+
+/// Accepts either a full METRICS response ({"ok":true,"metrics":[...]})
+/// or the bare metrics array.
+int ConvertDocument(const std::string& text) {
+  std::string error;
+  std::optional<JsonValue> parsed = JsonValue::Parse(text, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "vadalog_metrics: parse error: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  const JsonValue* metrics =
+      parsed->is_array() ? &*parsed : parsed->Find("metrics");
+  if (metrics == nullptr || !RenderPrometheus(*metrics)) {
+    std::fprintf(stderr, "vadalog_metrics: not a METRICS snapshot\n");
+    return 1;
+  }
+  return 0;
+}
+
+#ifndef _WIN32
+/// Dials the endpoint, sends one METRICS request, returns the response
+/// line. Minimal blocking client — METRICS is a pure control response,
+/// so one line out, one line back.
+bool ScrapeOnce(bool use_unix, const std::string& host, uint16_t port,
+                const std::string& unix_path, std::string* line,
+                std::string* error) {
+  int fd = -1;
+  if (use_unix) {
+    sockaddr_un addr{};
+    if (unix_path.size() >= sizeof addr.sun_path) {
+      *error = "unix socket path too long";
+      return false;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr) != 0) {
+      *error = "connect unix:" + unix_path + ": " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return false;
+    }
+  } else {
+    std::string address = host == "localhost" ? "127.0.0.1" : host;
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+      *error = "bad IPv4 address: " + address;
+      if (fd >= 0) ::close(fd);
+      return false;
+    }
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr) != 0) {
+      *error = "connect tcp:" + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return false;
+    }
+  }
+  const char request[] = "{\"cmd\":\"METRICS\"}\n";
+  size_t sent = 0;
+  while (sent < sizeof request - 1) {
+    ssize_t n = ::send(fd, request + sent, sizeof request - 1 - sent, 0);
+    if (n <= 0) {
+      *error = "connection lost (send)";
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string buffer;
+  while (buffer.find('\n') == std::string::npos) {
+    char chunk[65536];
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      *error = "connection lost (recv)";
+      ::close(fd);
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *line = buffer.substr(0, buffer.find('\n'));
+  return true;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool have_endpoint = false;
+  bool use_unix = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string unix_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("vadalog_metrics %s\n", kVersionString);
+      return 0;
+    } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+      std::string spec = arg + 10;
+      if (spec.rfind("unix:", 0) == 0) {
+        use_unix = true;
+        unix_path = spec.substr(5);
+      } else if (spec.rfind("tcp:", 0) == 0) {
+        std::string rest = spec.substr(4);
+        size_t colon = rest.rfind(':');
+        if (colon == std::string::npos) return Usage(argv[0]);
+        host = rest.substr(0, colon);
+        port = static_cast<uint16_t>(std::atoi(rest.c_str() + colon + 1));
+        if (port == 0) return Usage(argv[0]);
+      } else {
+        return Usage(argv[0]);
+      }
+      have_endpoint = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!have_endpoint) {
+    std::stringstream text;
+    text << std::cin.rdbuf();
+    return ConvertDocument(text.str());
+  }
+
+#ifdef _WIN32
+  std::fprintf(stderr, "vadalog_metrics --connect requires POSIX sockets\n");
+  return 1;
+#else
+  std::string line;
+  std::string error;
+  if (!ScrapeOnce(use_unix, host, port, unix_path, &line, &error)) {
+    std::fprintf(stderr, "vadalog_metrics: %s\n", error.c_str());
+    return 1;
+  }
+  return ConvertDocument(line);
+#endif
+}

@@ -40,6 +40,7 @@
 #endif
 
 #include "base/version.h"
+#include "obs/log.h"
 #include "server/server.h"
 
 using namespace vadalog;
@@ -72,29 +73,27 @@ void HandleSignal(int) {
 bool ApplyConfig(ServerConfig* config, const std::string& pair) {
   size_t eq = pair.find('=');
   if (eq == std::string::npos || eq == 0) {
-    std::fprintf(stderr, "vadalogd: --config wants KEY=VALUE, got \"%s\"\n",
-                 pair.c_str());
+    obs::LogError("--config wants KEY=VALUE, got \"%s\"", pair.c_str());
     return false;
   }
   std::string error;
   if (!config->Set(std::string_view(pair).substr(0, eq),
                    std::string_view(pair).substr(eq + 1), &error)) {
-    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    obs::LogError("%s", error.c_str());
     return false;
   }
   return true;
 }
 
-/// Deprecated flag bridge: one stderr note per old spelling, then the
-/// exact --config equivalent.
+/// Deprecated flag bridge: one warning per old spelling, then the exact
+/// --config equivalent.
 bool ApplyDeprecated(ServerConfig* config, const char* flag,
                      const std::string& key, const std::string& value) {
-  std::fprintf(stderr,
-               "vadalogd: %s is deprecated; use --config %s=%s\n", flag,
-               key.c_str(), value.c_str());
+  obs::LogWarn("%s is deprecated; use --config %s=%s", flag, key.c_str(),
+               value.c_str());
   std::string error;
   if (!config->Set(key, value, &error)) {
-    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    obs::LogError("%s", error.c_str());
     return false;
   }
   return true;
@@ -174,13 +173,12 @@ int main(int argc, char** argv) {
 
   std::string config_error = config.Validate();
   if (!config_error.empty()) {
-    std::fprintf(stderr, "vadalogd: invalid config: %s\n",
-                 config_error.c_str());
+    obs::LogError("invalid config: %s", config_error.c_str());
     return 2;
   }
 
 #ifdef _WIN32
-  std::fprintf(stderr, "vadalogd requires POSIX sockets\n");
+  obs::LogError("vadalogd requires POSIX sockets");
   return 1;
 #else
   // Handlers go in before anything listens or loads: a supervisor's
@@ -188,7 +186,7 @@ int main(int argc, char** argv) {
   // gracefully (exit 0, socket files unlinked), not hit the default
   // disposition.
   if (::pipe(g_signal_pipe) != 0) {
-    std::fprintf(stderr, "vadalogd: pipe: %s\n", std::strerror(errno));
+    obs::LogError("pipe: %s", std::strerror(errno));
     return 1;
   }
   std::signal(SIGINT, HandleSignal);
@@ -198,14 +196,14 @@ int main(int argc, char** argv) {
   Server server(config);
   std::string error;
   if (!server.Start(&error)) {
-    std::fprintf(stderr, "vadalogd: %s\n", error.c_str());
+    obs::LogError("%s", error.c_str());
     return 1;
   }
 
   for (const auto& [name, path] : preloads) {
     std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "vadalogd: cannot open %s\n", path.c_str());
+      obs::LogError("cannot open %s", path.c_str());
       return 1;
     }
     std::stringstream text;
@@ -217,25 +215,26 @@ int main(int argc, char** argv) {
     JsonValue response = server.registry().Handle(request).ToJson();
     const JsonValue* ok = response.Find("ok");
     if (ok == nullptr || !ok->AsBool()) {
-      std::fprintf(stderr, "vadalogd: preload %s failed: %s\n", name.c_str(),
-                   response.Dump().c_str());
+      obs::LogError("preload %s failed: %s", name.c_str(),
+                    response.Dump().c_str());
       return 1;
     }
-    std::fprintf(stderr, "vadalogd: loaded session %s from %s\n",
-                 name.c_str(), path.c_str());
+    obs::LogInfo("loaded session %s from %s", name.c_str(), path.c_str());
   }
 
   if (print_port) {
     std::printf("PORT %u\n", server.tcp_port());
     std::fflush(stdout);
   }
-  std::fprintf(stderr, "vadalogd: listening%s%s%s (1 loop + %zu workers)\n",
-               config.tcp ? (" on 127.0.0.1:" +
-                             std::to_string(server.tcp_port()))
-                                .c_str()
-                          : "",
-               config.unix_path.empty() ? "" : " and unix:",
-               config.unix_path.empty() ? "" : config.unix_path.c_str(),
+  std::string endpoints;
+  if (config.tcp) {
+    endpoints += " on 127.0.0.1:" + std::to_string(server.tcp_port());
+  }
+  if (!config.unix_path.empty()) {
+    endpoints += (endpoints.empty() ? " on unix:" : " and unix:");
+    endpoints += config.unix_path;
+  }
+  obs::LogInfo("listening%s (1 loop + %zu workers)", endpoints.c_str(),
                config.workers);
 
   // Park until SIGINT/SIGTERM, then shut down gracefully. A signal that
@@ -243,7 +242,7 @@ int main(int argc, char** argv) {
   char byte;
   while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  std::fprintf(stderr, "vadalogd: shutting down\n");
+  obs::LogInfo("shutting down");
   server.Stop();
   return 0;
 #endif
