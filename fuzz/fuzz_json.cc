@@ -1,0 +1,29 @@
+// Fuzz target: JsonValue::Parse — the strict JSON parser every wire
+// request and METRICS document flows through. Beyond crash-freedom it
+// checks the round-trip property: a successfully parsed value must
+// Dump() to text that reparses to the same Dump() (Dump is canonical,
+// so one round trip must reach a fixed point).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "server/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  std::optional<vadalog::JsonValue> value =
+      vadalog::JsonValue::Parse(text, &error);
+  if (!value.has_value()) return 0;
+  std::string dumped = value->Dump();
+  std::string reparse_error;
+  std::optional<vadalog::JsonValue> reparsed =
+      vadalog::JsonValue::Parse(dumped, &reparse_error);
+  if (!reparsed.has_value() || reparsed->Dump() != dumped) {
+    __builtin_trap();  // canonical dump failed to round-trip
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fuzz target: the v1 request line parser (protocol::ParseRequest) plus
+// the response paths a request immediately feeds — HELLO negotiation and
+// the error-response encoder. These are the first things untrusted
+// socket bytes reach in vadalogd, so they must be total: any line either
+// parses into a Request or yields a structured error, never a crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace protocol = vadalog::protocol;
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+  protocol::Error error;
+  vadalog::JsonValue id;
+  std::optional<protocol::Request> request =
+      protocol::ParseRequest(line, &error, &id);
+  if (!request.has_value()) {
+    // The error path must still render a framed response (one JSON
+    // line) with the id echoed — what the server sends for bad input.
+    std::string encoded = protocol::EncodeResponse(
+        protocol::Response(protocol::ErrorResponse(error, id)),
+        protocol::Encoding::kJson);
+    if (encoded.empty() || encoded.back() != '\n') __builtin_trap();
+    return 0;
+  }
+  protocol::CommandName(request->cmd);
+  if (request->cmd == protocol::Command::kHello) {
+    const std::vector<protocol::Encoding> allowed = {
+        protocol::Encoding::kJson, protocol::Encoding::kBinary};
+    protocol::WireState state;
+    protocol::Response response =
+        protocol::NegotiateHello(*request, allowed, &state);
+    protocol::EncodeResponse(response, state.encoding);
+  }
+  return 0;
+}

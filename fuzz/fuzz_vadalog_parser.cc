@@ -1,0 +1,30 @@
+// Fuzz target: the Vadalog surface-syntax lexer/parser (ParseProgram) —
+// what LOAD_PROGRAM, ADD_FACTS, and the CLI feed with client-supplied
+// text. A successful parse is additionally pushed through ParseInto on
+// a fresh program (the ADD_FACTS path, which shares a symbol table) so
+// both entry points see every input that gets past the lexer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ast/parser.h"
+#include "ast/program.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Pathological inputs (deeply repetitive clause soup) get slow before
+  // they get interesting; the wire path has max_line_bytes in front of
+  // the parser anyway, so a cap loses no reachable behavior.
+  if (size > (64u << 10)) return 0;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  vadalog::ParseResult result = vadalog::ParseProgram(text);
+  if (!result.ok()) {
+    if (result.error.empty()) __builtin_trap();  // failure without message
+    return 0;
+  }
+  vadalog::Program incremental;
+  vadalog::SourceLoc where;
+  vadalog::ParseInto(text, &incremental, &where);
+  return 0;
+}

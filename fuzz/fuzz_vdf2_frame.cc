@@ -1,0 +1,28 @@
+// Fuzz target: the v2 binary answer-frame decoder
+// (protocol::DecodeAnswerFrame). Clients decode frames produced by the
+// server, but a client library must also survive a malicious or
+// corrupted peer, so the decoder is treated as an untrusted-input
+// parser. Checks the inverse property the header promises: any payload
+// that decodes must re-encode and decode back to an equal table.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace protocol = vadalog::protocol;
+  std::string_view payload(reinterpret_cast<const char*>(data), size);
+  protocol::AnswerTable table;
+  std::string error;
+  if (!protocol::DecodeAnswerFrame(payload, &table, &error)) return 0;
+  std::string reencoded = protocol::EncodeAnswerFrame(table);
+  protocol::AnswerTable roundtrip;
+  if (!protocol::DecodeAnswerFrame(reencoded, &roundtrip, &error) ||
+      !(roundtrip == table)) {
+    __builtin_trap();  // encode is not the inverse of decode
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// File-driven driver for the fuzz harnesses on toolchains without the
+// libFuzzer runtime (GCC, or clang built without compiler-rt): each
+// command-line argument is a seed file or a corpus directory, every
+// regular file found is fed to LLVMFuzzerTestOneInput once, and any
+// crash/sanitizer abort fails the run. This is what the local ctest
+// smoke entries execute; real coverage-guided fuzzing needs the
+// libFuzzer build (see fuzz/README.md), where this file is not linked.
+//
+// Dash-prefixed arguments are ignored so the same ctest command line
+// (`fuzz_x -runs=0 corpus/x`) works under both drivers.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer-style flag: not ours
+    std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("fuzz driver: ran %zu inputs without crashing\n",
+              files.size());
+  return 0;
+}

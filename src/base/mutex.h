@@ -1,0 +1,158 @@
+// Annotated lock primitives: std::mutex / std::shared_mutex wrappers
+// that carry the Clang Thread Safety attributes the standard types
+// can't, plus the scoped lockers and the condition variable that pair
+// with them. Every lock-owning type in the concurrent core (Session,
+// SessionRegistry, Server, WorkerPool, ProofSearchCache,
+// obs::MetricsRegistry, obs::SlowQueryLog) holds these instead of the
+// std types, so `clang -Wthread-safety -Werror` checks the whole lock
+// protocol at build time (see base/thread_annotations.h and the README
+// "Concurrency invariants" table). Off Clang the annotations vanish and
+// the wrappers compile down to the std types they hold.
+
+#ifndef VADALOG_BASE_MUTEX_H_
+#define VADALOG_BASE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "base/thread_annotations.h"
+
+namespace vadalog {
+namespace base {
+
+/// Plain exclusive mutex. The lowercase BasicLockable spelling exists so
+/// std::condition_variable_any (via base::CondVar) can suspend on an
+/// annotated mutex; annotated code should use the CamelCase names.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex (std::shared_mutex with capability attributes).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (std::lock_guard with attributes).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable that suspends on a base::Mutex. Waiters spell the
+/// predicate as an explicit while-loop in the locked scope (not a lambda
+/// passed to Wait): the analysis treats lambda bodies as separate
+/// functions that hold nothing, so a predicate lambda touching guarded
+/// state would be a false positive.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A fake capability modelling "runs on thread X" — zero-sized, zero
+/// runtime cost. Single-owner state (the event loop's connection table)
+/// is GUARDED_BY a ThreadRole; the owning thread asserts the role at its
+/// entry points (AssertHeld), and every helper that touches the state
+/// carries REQUIRES(role), so a cross-thread access is a compile error
+/// even though no lock exists at runtime. Setup/teardown phases that own
+/// the state by construction (loop thread not yet started / already
+/// joined) take a ThreadRoleGuard to say so explicitly.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() ACQUIRE() {}
+  void Release() RELEASE() {}
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+};
+
+/// Scoped claim of a ThreadRole for phases that own it by construction.
+class SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole* role) ACQUIRE(role) : role_(role) {
+    role_->Acquire();
+  }
+  ~ThreadRoleGuard() RELEASE() { role_->Release(); }
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole* const role_;
+};
+
+}  // namespace base
+}  // namespace vadalog
+
+#endif  // VADALOG_BASE_MUTEX_H_

@@ -194,14 +194,14 @@ bool ProofSearchCache::Record(Table* table, const CanonicalState& state,
 
 bool ProofSearchCache::LinearKnownRefuted(const CanonicalState& state,
                                           size_t width, size_t max_chunk) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  base::ReaderLock lock(&mutex_);
   return Lookup(linear_refuted_, state, width, max_chunk,
                 /*entry_must_cover=*/true);
 }
 
 void ProofSearchCache::LinearRecordRefuted(const CanonicalState& state,
                                            size_t width, size_t max_chunk) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  base::WriterLock lock(&mutex_);
   if (Record(&linear_refuted_, state, width, max_chunk,
              /*keep_larger=*/true)) {
     // Fresh refutations also enter the subsumption index (with their
@@ -213,27 +213,27 @@ void ProofSearchCache::LinearRecordRefuted(const CanonicalState& state,
 
 bool ProofSearchCache::AltKnownProven(const CanonicalState& state,
                                       size_t width, size_t max_chunk) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  base::ReaderLock lock(&mutex_);
   return Lookup(alt_proven_, state, width, max_chunk,
                 /*entry_must_cover=*/false);
 }
 
 bool ProofSearchCache::AltKnownRefuted(const CanonicalState& state,
                                        size_t width, size_t max_chunk) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  base::ReaderLock lock(&mutex_);
   return Lookup(alt_refuted_, state, width, max_chunk,
                 /*entry_must_cover=*/true);
 }
 
 void ProofSearchCache::AltRecordProven(const CanonicalState& state,
                                        size_t width, size_t max_chunk) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  base::WriterLock lock(&mutex_);
   Record(&alt_proven_, state, width, max_chunk, /*keep_larger=*/false);
 }
 
 void ProofSearchCache::AltRecordRefuted(const CanonicalState& state,
                                         size_t width, size_t max_chunk) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  base::WriterLock lock(&mutex_);
   if (Record(&alt_refuted_, state, width, max_chunk, /*keep_larger=*/true)) {
     alt_refuted_states_.Add(state, width, max_chunk);
   }
@@ -242,7 +242,7 @@ void ProofSearchCache::AltRecordRefuted(const CanonicalState& state,
 ProofSearchCache::DeltaInvalidation ProofSearchCache::InvalidateForDelta(
     const Program& program, const Instance& database,
     const std::vector<PredicateId>& delta_predicates) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  base::WriterLock lock(&mutex_);
   DeltaInvalidation result;
   // The schema-sized index is rebuilt first: the supported fixpoint and
   // the per-atom match estimates are monotone in the database, so the
@@ -295,7 +295,7 @@ ProofSearchCache::DeltaInvalidation ProofSearchCache::InvalidateForDelta(
 }
 
 size_t ProofSearchCache::ApproximateBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  base::ReaderLock lock(&mutex_);
   size_t entries = linear_refuted_.size() + alt_proven_.size() +
                    alt_refuted_.size();
   return interned_words_ * sizeof(uint64_t) + key_words_ * sizeof(uint32_t) +

@@ -42,14 +42,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "ast/program.h"
 #include "base/hash.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "engine/state.h"
 #include "engine/subsumption.h"
 #include "storage/instance.h"
@@ -166,23 +166,25 @@ class ProofSearchCache {
   /// in a fixed order for determinism.
   bool LinearRefutedBySubsumption(const CanonicalState& state, size_t width,
                                   size_t max_chunk) const {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    // Exclusive despite being a probe: without a task-private stats
+    // block, FindSubsumer mutates the bank's own counters.
+    base::WriterLock lock(&mutex_);
     return linear_refuted_states_.FindSubsumer(state, width, max_chunk) >= 0;
   }
   bool AltRefutedBySubsumption(
       const CanonicalState& state, size_t width, size_t max_chunk,
       SubsumptionIndex::Stats* probe_stats = nullptr) const {
     if (probe_stats != nullptr) {
-      std::shared_lock<std::shared_mutex> lock(mutex_);
+      base::ReaderLock lock(&mutex_);
       return alt_refuted_states_.FindSubsumer(state, width, max_chunk,
                                               INT64_MAX, probe_stats) >= 0;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    base::WriterLock lock(&mutex_);
     return alt_refuted_states_.FindSubsumer(state, width, max_chunk,
                                             INT64_MAX, nullptr) >= 0;
   }
   void MergeAltProbeStats(const SubsumptionIndex::Stats& delta) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    base::WriterLock lock(&mutex_);
     alt_refuted_states_.MergeStats(delta);
   }
 
@@ -216,19 +218,19 @@ class ProofSearchCache {
   const Stats& stats() const { return stats_; }
 
   size_t linear_refuted_size() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    base::ReaderLock lock(&mutex_);
     return linear_refuted_.size();
   }
   size_t alt_proven_size() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    base::ReaderLock lock(&mutex_);
     return alt_proven_.size();
   }
   size_t alt_refuted_size() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    base::ReaderLock lock(&mutex_);
     return alt_refuted_.size();
   }
   size_t interned_atoms() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    base::ReaderLock lock(&mutex_);
     return atom_ids_.size();
   }
   size_t ApproximateBytes() const;
@@ -254,36 +256,43 @@ class ProofSearchCache {
   };
   using Table = std::unordered_map<Key, Bound, KeyHash>;
 
-  Key InternKey(const CanonicalState& state);
+  Key InternKey(const CanonicalState& state) REQUIRES(mutex_);
   /// Builds the interned key without interning: returns false (a sure
   /// cache miss) when any atom of the state has never been recorded.
-  /// Caller holds `mutex_` (shared suffices: reads the intern map only,
-  /// scratch is thread-local).
-  bool BuildKey(const CanonicalState& state, Key* out) const;
-  /// Caller holds `mutex_` shared (Lookup) / exclusive (Record).
+  /// Shared suffices: reads the intern map only, scratch is thread-local.
+  bool BuildKey(const CanonicalState& state, Key* out) const
+      REQUIRES_SHARED(mutex_);
   bool Lookup(const Table& table, const CanonicalState& state, size_t width,
-              size_t max_chunk, bool entry_must_cover);
+              size_t max_chunk, bool entry_must_cover)
+      REQUIRES_SHARED(mutex_);
   /// Returns true when the entry was freshly inserted (not an update).
   bool Record(Table* table, const CanonicalState& state, size_t width,
-              size_t max_chunk, bool keep_larger);
+              size_t max_chunk, bool keep_larger) REQUIRES(mutex_);
 
   /// The cache-wide reader-writer lock (see class comment).
-  mutable std::shared_mutex mutex_;
+  mutable base::SharedMutex mutex_;
+  /// Deliberately NOT GUARDED_BY(mutex_): index() hands out an unlocked
+  /// reference under the documented external contract (the session data
+  /// lock excludes InvalidateForDelta, the only writer, for as long as a
+  /// search holds the reference — see the class comment).
   ProgramIndex index_;
-  std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_;
+  std::unordered_map<std::vector<uint64_t>, uint32_t, ChunkHash> atom_ids_
+      GUARDED_BY(mutex_);
   // Predicate of each interned atom id (parallel to atom_ids_ values):
   // lets InvalidateForDelta test a stored key against the affected cone
   // without decoding the atom encoding.
-  std::vector<PredicateId> atom_predicates_;
-  size_t interned_words_ = 0;
-  size_t key_words_ = 0;
-  Table linear_refuted_;
-  Table alt_proven_;
-  Table alt_refuted_;
+  std::vector<PredicateId> atom_predicates_ GUARDED_BY(mutex_);
+  size_t interned_words_ GUARDED_BY(mutex_) = 0;
+  size_t key_words_ GUARDED_BY(mutex_) = 0;
+  Table linear_refuted_ GUARDED_BY(mutex_);
+  Table alt_proven_ GUARDED_BY(mutex_);
+  Table alt_refuted_ GUARDED_BY(mutex_);
   // Full-state copies of the refuted entries for subsumption transfer,
-  // bound-tagged like the exact tables.
-  SubsumptionIndex linear_refuted_states_;
-  SubsumptionIndex alt_refuted_states_;
+  // bound-tagged like the exact tables. Externally synchronized
+  // containers (engine/subsumption.h); this capability is what
+  // synchronizes them.
+  SubsumptionIndex linear_refuted_states_ GUARDED_BY(mutex_);
+  SubsumptionIndex alt_refuted_states_ GUARDED_BY(mutex_);
   Stats stats_;
 };
 

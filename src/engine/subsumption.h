@@ -22,6 +22,15 @@
 // Entries carry the (node_width, max_chunk) exploration bound they were
 // established under, mirroring ProofSearchCache: a refutation-backed
 // subsumer only prunes a search exploring no more than the recording one.
+//
+// Thread safety: NOT internally synchronized — a SubsumptionIndex is
+// either owned by a single search (the per-search visited banks) or
+// embedded in a ProofSearchCache, whose reader-writer capability guards
+// it (the banks are GUARDED_BY the cache mutex, so clang -Wthread-safety
+// checks every access). Beware that FindSubsumer without a caller-private
+// `probe_stats` block mutates the mutable internal Stats: concurrent
+// probing REQUIRES a private stats block per prober (what the parallel
+// branch tasks do), or exclusive access.
 
 #ifndef VADALOG_ENGINE_SUBSUMPTION_H_
 #define VADALOG_ENGINE_SUBSUMPTION_H_

@@ -12,7 +12,7 @@ namespace {
 
 std::atomic<uint8_t> g_level{static_cast<uint8_t>(LogLevel::kInfo)};
 std::atomic<std::FILE*> g_sink{nullptr};  // nullptr = stderr
-std::mutex g_write_mutex;
+base::Mutex g_write_mutex;
 
 char LevelLetter(LogLevel level) {
   switch (level) {
@@ -34,7 +34,7 @@ void LogMessageV(LogLevel level, const char* format, va_list args) {
   if (sink == nullptr) sink = stderr;
   // One fprintf per line under a mutex so concurrent workers never
   // interleave fragments.
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  base::MutexLock lock(&g_write_mutex);
   std::fprintf(sink, "%s %c vadalogd: %s\n", stamp.c_str(),
                LevelLetter(level), message);
   std::fflush(sink);
@@ -132,7 +132,7 @@ SlowQueryLog::~SlowQueryLog() {
 }
 
 bool SlowQueryLog::Open(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   if (owns_sink_ && sink_ != nullptr) std::fclose(sink_);
   sink_ = nullptr;
   owns_sink_ = false;
@@ -153,12 +153,12 @@ bool SlowQueryLog::Open(const std::string& path, std::string* error) {
 }
 
 uint64_t SlowQueryLog::lines_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   return lines_;
 }
 
 void SlowQueryLog::Write(std::string_view json_line) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   if (sink_ == nullptr) return;
   std::fwrite(json_line.data(), 1, json_line.size(), sink_);
   std::fputc('\n', sink_);

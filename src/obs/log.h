@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace vadalog {
 namespace obs {
@@ -84,7 +86,7 @@ class SlowQueryLog {
   bool Open(const std::string& path, std::string* error);
 
   bool enabled() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     return sink_ != nullptr;
   }
   uint64_t lines_written() const;
@@ -94,10 +96,10 @@ class SlowQueryLog {
   void Write(std::string_view json_line);
 
  private:
-  mutable std::mutex mutex_;
-  std::FILE* sink_ = nullptr;
-  bool owns_sink_ = false;
-  uint64_t lines_ = 0;
+  mutable base::Mutex mutex_;
+  std::FILE* sink_ GUARDED_BY(mutex_) = nullptr;
+  bool owns_sink_ GUARDED_BY(mutex_) = false;
+  uint64_t lines_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace obs

@@ -18,7 +18,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
                                                       const LabelSet& labels,
                                                       const std::string& help,
                                                       MetricType type) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   for (const std::unique_ptr<Entry>& entry : entries_) {
     if (entry->type == type && entry->name == name &&
         entry->labels == labels) {
@@ -67,7 +67,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 std::vector<Sample> MetricsRegistry::Snapshot() const {
   std::vector<const Entry*> ordered;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     ordered.reserve(entries_.size());
     for (const std::unique_ptr<Entry>& entry : entries_) {
       ordered.push_back(entry.get());

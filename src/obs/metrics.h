@@ -38,10 +38,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace vadalog {
 namespace obs {
@@ -203,8 +205,11 @@ class MetricsRegistry {
   Entry* FindOrCreate(const std::string& name, const LabelSet& labels,
                       const std::string& help, MetricType type);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable base::Mutex mutex_;
+  /// Append-only; an Entry's fields are immutable once pushed, so
+  /// Snapshot may read them through copied pointers after dropping the
+  /// lock (only the vector itself needs the capability).
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 /// The per-(session, engine) proof-search counters, plumbed to the

@@ -1,0 +1,144 @@
+#include "server/prometheus.h"
+
+#include <cstdio>
+#include <optional>
+
+namespace vadalog {
+namespace prometheus {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders one label set as {k1="v1",k2="v2"}; empty string when there
+/// are no labels. `extra` appends one more pair (used for `le`).
+std::string RenderLabels(const JsonValue* labels, const std::string& extra) {
+  std::string body;
+  if (labels != nullptr && labels->is_object()) {
+    for (const auto& [key, value] : labels->Members()) {
+      if (!body.empty()) body += ",";
+      body += key + "=\"" +
+              EscapeLabelValue(value.is_string() ? value.AsString()
+                                                 : value.Dump()) +
+              "\"";
+    }
+  }
+  if (!extra.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra;
+  }
+  if (body.empty()) return "";
+  return "{" + body + "}";
+}
+
+/// Prints a sample value the way Prometheus expects: integral values
+/// without a fraction, anything else as shortest double.
+std::string RenderNumber(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& suffix, const JsonValue* labels,
+                  const std::string& extra, double value) {
+  *out += name;
+  *out += suffix;
+  *out += RenderLabels(labels, extra);
+  *out += ' ';
+  *out += RenderNumber(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+bool RenderMetricsText(const JsonValue& metrics, std::string* out) {
+  if (!metrics.is_array()) return false;
+  std::string previous_name;
+  for (const JsonValue& metric : metrics.Items()) {
+    std::string name = metric.GetString("name");
+    std::string type = metric.GetString("type");
+    if (name.empty()) return false;
+    if (name != previous_name) {
+      std::string help = metric.GetString("help");
+      if (!help.empty()) {
+        *out += "# HELP " + name + " " + help + "\n";
+      }
+      *out += "# TYPE " + name + " " + type + "\n";
+      previous_name = name;
+    }
+    const JsonValue* labels = metric.Find("labels");
+    if (type == "histogram") {
+      const JsonValue* bounds = metric.Find("bounds");
+      const JsonValue* buckets = metric.Find("buckets");
+      if (bounds == nullptr || buckets == nullptr ||
+          !bounds->is_array() || !buckets->is_array() ||
+          buckets->Items().size() != bounds->Items().size() + 1) {
+        return false;
+      }
+      for (size_t i = 0; i < bounds->Items().size(); ++i) {
+        AppendSample(out, name, "_bucket", labels,
+                     "le=\"" + RenderNumber(bounds->Items()[i].AsNumber()) +
+                         "\"",
+                     buckets->Items()[i].AsNumber());
+      }
+      AppendSample(out, name, "_bucket", labels, "le=\"+Inf\"",
+                   buckets->Items().back().AsNumber());
+      const JsonValue* sum = metric.Find("sum");
+      const JsonValue* count = metric.Find("count");
+      AppendSample(out, name, "_sum", labels, "",
+                   sum != nullptr ? sum->AsNumber() : 0);
+      AppendSample(out, name, "_count", labels, "",
+                   count != nullptr ? count->AsNumber() : 0);
+    } else {
+      const JsonValue* value = metric.Find("value");
+      AppendSample(out, name, "", labels, "",
+                   value != nullptr ? value->AsNumber() : 0);
+    }
+  }
+  return true;
+}
+
+bool RenderDocumentText(const std::string& text, std::string* out,
+                        std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> parsed = JsonValue::Parse(text, &parse_error);
+  if (!parsed.has_value()) {
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  const JsonValue* metrics =
+      parsed->is_array() ? &*parsed : parsed->Find("metrics");
+  std::string body;
+  if (metrics == nullptr || !RenderMetricsText(*metrics, &body)) {
+    if (error != nullptr) *error = "not a METRICS snapshot";
+    return false;
+  }
+  *out += body;
+  return true;
+}
+
+}  // namespace prometheus
+}  // namespace vadalog

@@ -250,6 +250,10 @@ bool Server::Start(std::string* error) {
   if (!SetNonBlocking(wakeup_read_) || !SetNonBlocking(wakeup_write_)) {
     return fail("fcntl(wakeup)");
   }
+  // No loop thread exists until the launch below, so the starting
+  // thread owns the loop role for this setup phase (the claim the
+  // ASSERT states; nothing else can hold it yet).
+  loop_role_.AssertHeld();
   // Held open purely so AcceptReady can close it to survive EMFILE with
   // nothing evictable; failure to open it is not fatal (the shed path
   // just degrades away).
@@ -268,6 +272,10 @@ bool Server::Start(std::string* error) {
 }
 
 void Server::EventLoop() {
+  // Claim the loop role for the thread's whole lifetime: every helper
+  // this loop calls REQUIRES(loop_role_), and Stop joins this thread
+  // before touching anything the role guards.
+  base::ThreadRoleGuard loop(&loop_role_);
   std::vector<Poller::Event> events;
   bool draining = false;
   bool flush_deadline_set = false;
@@ -580,7 +588,7 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
     protocol::Response response = registry_.Handle(*request_ptr);
     std::string bytes = protocol::EncodeResponse(response, encoding);
     {
-      std::lock_guard<std::mutex> lock(completions_mutex_);
+      base::MutexLock lock(&completions_mutex_);
       completions_.push_back(
           Completion{std::move(weak), std::move(bytes), std::move(session)});
     }
@@ -594,7 +602,7 @@ void Server::ServeLine(const std::shared_ptr<Connection>& connection,
 void Server::DrainCompletions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    base::MutexLock lock(&completions_mutex_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
@@ -725,6 +733,9 @@ void Server::Stop() {
   }
   if (loop_thread_.joinable()) loop_thread_.join();
   pool_->Shutdown();
+  // The loop thread is joined (or never launched): ownership of the
+  // loop role reverts to the stopping thread for the teardown phase.
+  loop_role_.AssertHeld();
   if (wakeup_read_ >= 0) ::close(wakeup_read_);
   if (wakeup_write_ >= 0) ::close(wakeup_write_);
   wakeup_read_ = wakeup_write_ = -1;

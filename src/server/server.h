@@ -49,12 +49,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "server/config.h"
@@ -114,6 +115,11 @@ class Server {
   /// ever hold a weak_ptr (inside a queued completion) — if the loop
   /// closed the connection meanwhile, the completion's response is
   /// dropped and only the admission bookkeeping survives.
+  ///
+  /// The fields themselves carry no GUARDED_BY (a nested struct cannot
+  /// name the enclosing Server's loop_role_); instead every function
+  /// that touches a Connection REQUIRES(loop_role_), which gives the
+  /// same compile-time coverage one call frame up.
   struct Connection {
     int fd = -1;
     /// Negotiated wire state (HELLO); loop-thread only.
@@ -146,34 +152,42 @@ class Server {
     std::string session;
   };
 
+  /// The loop thread's body; claims loop_role_ for its lifetime, which
+  /// is what lets it call every REQUIRES(loop_role_) helper below.
   void EventLoop();
-  void AcceptReady(int listen_fd);
-  void ReadReady(const std::shared_ptr<Connection>& connection);
-  void WriteReady(const std::shared_ptr<Connection>& connection);
+  void AcceptReady(int listen_fd) REQUIRES(loop_role_);
+  void ReadReady(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
+  void WriteReady(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
   /// Splits the in-buffer into lines and serves pending ones while the
   /// connection has no request executing.
-  void FrameAndDispatch(const std::shared_ptr<Connection>& connection);
-  void DispatchPending(const std::shared_ptr<Connection>& connection);
+  void FrameAndDispatch(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
+  void DispatchPending(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
   /// Serves one line: inline for HELLO/PING/STATS/parse errors/EBUSY,
   /// pool-forked for everything else (sets `executing`).
   void ServeLine(const std::shared_ptr<Connection>& connection,
-                 const std::string& line);
+                 const std::string& line) REQUIRES(loop_role_);
   /// Appends encoded bytes to the out-buffer, writes what the socket
   /// takes now, and updates write interest / overflow accounting.
   void QueueResponse(const std::shared_ptr<Connection>& connection,
-                     std::string bytes);
-  void FlushOut(const std::shared_ptr<Connection>& connection);
-  void UpdateInterest(const std::shared_ptr<Connection>& connection);
-  void CloseConnection(int fd);
+                     std::string bytes) REQUIRES(loop_role_);
+  void FlushOut(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
+  void UpdateInterest(const std::shared_ptr<Connection>& connection)
+      REQUIRES(loop_role_);
+  void CloseConnection(int fd) REQUIRES(loop_role_);
   /// Moves queued completions onto their connections' out-buffers and
   /// releases their admission slots.
-  void DrainCompletions();
+  void DrainCompletions() REQUIRES(loop_role_) EXCLUDES(completions_mutex_);
   /// Closes the idlest request-free connection (descriptor pressure).
   /// False when every connection has work in flight.
-  bool EvictIdleConnection();
+  bool EvictIdleConnection() REQUIRES(loop_role_);
   /// True while any connection still has a request on the pool.
-  bool AnyExecuting() const;
-  void ReleaseAdmission(const std::string& session);
+  bool AnyExecuting() const REQUIRES(loop_role_);
+  void ReleaseAdmission(const std::string& session) REQUIRES(loop_role_);
 
   /// The loop/accept/admission instrument handles (vadalogd_* families),
   /// registered once at construction. `idle_closed` of the Stats struct
@@ -209,26 +223,38 @@ class Server {
   std::vector<int> listen_fds_;
   int wakeup_read_ = -1;
   int wakeup_write_ = -1;
+  /// The loop-thread ownership capability (a zero-cost "role" fake
+  /// capability, base/mutex.h): it stands for "this code runs on the
+  /// event-loop thread". EventLoop claims it for its lifetime; Start
+  /// (before the thread launches) and Stop (after the join) assert it
+  /// for the phases when no loop thread exists, so single-ownership-by-
+  /// phase is what the analysis checks. Everything GUARDED_BY(loop_role_)
+  /// is the state the comments used to call "loop-thread only" — an
+  /// access from anywhere else is now a compile error under clang
+  /// -Wthread-safety instead of a latent data race.
+  base::ThreadRole loop_role_;
+
   /// An fd held in reserve (open on /dev/null) so accept can still make
   /// progress under EMFILE when no idle connection is evictable: close
-  /// it, accept-and-close the pending connection, reopen. Loop-owned.
-  int reserve_fd_ = -1;
+  /// it, accept-and-close the pending connection, reopen.
+  int reserve_fd_ GUARDED_BY(loop_role_) = -1;
   std::thread loop_thread_;
   std::unique_ptr<Poller> poller_;
 
-  // Loop-thread state (no locks: single owner).
-  std::map<int, std::shared_ptr<Connection>> connections_;
+  // Loop-thread state: single owner, enforced by loop_role_ (no mutex).
+  std::map<int, std::shared_ptr<Connection>> connections_
+      GUARDED_BY(loop_role_);
   /// Descriptors closed while handling the current event batch: a later
   /// event in the same batch may still name such an fd — possibly
   /// already recycled by an accept — and must be ignored.
-  std::set<int> closed_in_batch_;
-  uint64_t activity_clock_ = 0;
-  size_t inflight_ = 0;
-  std::map<std::string, size_t> inflight_by_session_;
+  std::set<int> closed_in_batch_ GUARDED_BY(loop_role_);
+  uint64_t activity_clock_ GUARDED_BY(loop_role_) = 0;
+  size_t inflight_ GUARDED_BY(loop_role_) = 0;
+  std::map<std::string, size_t> inflight_by_session_ GUARDED_BY(loop_role_);
 
   // The worker → loop handoff; the only cross-thread state.
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  base::Mutex completions_mutex_;
+  std::vector<Completion> completions_ GUARDED_BY(completions_mutex_);
 };
 
 namespace server_internal {

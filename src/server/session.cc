@@ -122,7 +122,7 @@ ReasonerOptions Session::BuildOptions(const Request& request) const {
 void Session::FinishCacheUse() {
   size_t bytes;
   {
-    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
+    base::ReaderLock cache_lock(&cache_mutex_);
     bytes = cache_->ApproximateBytes();
     // Generation-scoped probe figures (reset when the cache is evicted
     // or migrated, hence gauges): refreshed whenever a request finishes
@@ -140,7 +140,7 @@ void Session::FinishCacheUse() {
     // under it — a concurrent query may have evicted first, and
     // evicting twice would throw away the second fresh generation's
     // warmth for nothing.
-    std::unique_lock<std::shared_mutex> cache_lock(cache_mutex_);
+    base::WriterLock cache_lock(&cache_mutex_);
     bytes = cache_->ApproximateBytes();
     if (bytes > options_.cache_byte_limit) {
       cache_ = std::make_unique<ProofSearchCache>(reasoner_->program(),
@@ -152,11 +152,24 @@ void Session::FinishCacheUse() {
   metrics_.cache_bytes->Set(static_cast<int64_t>(bytes));
 }
 
+void Session::RunSearch(const ConjunctiveQuery& query,
+                        const ReasonerOptions& options, CertainAnswerSet* set,
+                        protocol::AnswerTable* table, obs::TraceSpans* spans) {
+  auto search_start = std::chrono::steady_clock::now();
+  *set = reasoner_->AnswerChecked(query, options);
+  spans->search_us = ElapsedUs(search_start);
+  if (set->error.empty()) {
+    auto encode_start = std::chrono::steady_clock::now();
+    *table = RenderAnswers(*reasoner_, set->answers);
+    spans->encode_us = ElapsedUs(encode_start);
+  }
+}
+
 bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
                            JsonValue* response) {
   if (!request.query_text.empty()) {
     // Inline query text interns symbols: writer lock, briefly.
-    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    base::WriterLock lock(&data_mutex_);
     std::string error;
     std::optional<ConjunctiveQuery> parsed =
         reasoner_->ParseQuery(request.query_text, &error);
@@ -167,7 +180,7 @@ bool Session::ResolveQuery(const Request& request, ConjunctiveQuery* query,
     *query = std::move(*parsed);
     return true;
   }
-  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  base::ReaderLock lock(&data_mutex_);
   const auto& queries = reasoner_->program().queries();
   if (request.query_index < 0 ||
       static_cast<size_t>(request.query_index) >= queries.size()) {
@@ -208,37 +221,29 @@ protocol::Response Session::Query(const Request& request) {
   protocol::AnswerTable table;
   bool waited = false;
   {
-    std::shared_lock<std::shared_mutex> data(data_mutex_);
-    // Proof-search queries share the cache: the session lock is taken
-    // SHARED (it only pins the cache_ pointer against a concurrent
-    // generational eviction or delta migration), and the cache's own
-    // reader-writer lock arbitrates entry access — so same-session
-    // queries probe and record concurrently instead of serializing.
-    // A failed try_lock means a writer (eviction/ADD_FACTS) is active;
-    // count (and time) the wait for observability. Lock order data ->
-    // cache everywhere, so this cannot deadlock with AddFacts.
-    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
-                                                   std::defer_lock);
+    base::ReaderLock data(&data_mutex_);
     if (uses_proof_cache) {
-      if (!cache_lock.try_lock()) {
+      // Proof-search queries share the cache: the session lock is taken
+      // SHARED (it only pins the cache_ pointer against a concurrent
+      // generational eviction or delta migration), and the cache's own
+      // reader-writer lock arbitrates entry access — so same-session
+      // queries probe and record concurrently instead of serializing.
+      // A failed try means a writer (eviction/ADD_FACTS) is active;
+      // count (and time) the wait for observability. The acquisition
+      // order (data before cache, so this cannot deadlock with
+      // AddFacts) is compiler-checked: see ACQUIRED_BEFORE in session.h.
+      if (!cache_mutex_.TryLockShared()) {
         waited = true;
         auto lock_start = std::chrono::steady_clock::now();
-        cache_lock.lock();
+        cache_mutex_.LockShared();
         spans.lock_wait_us = ElapsedUs(lock_start);
       }
       options.proof.cache = cache_.get();
-    }
-    auto search_start = std::chrono::steady_clock::now();
-    set = reasoner_->AnswerChecked(query, options);
-    spans.search_us = ElapsedUs(search_start);
-    if (set.error.empty()) {
-      auto encode_start = std::chrono::steady_clock::now();
-      table = RenderAnswers(*reasoner_, set.answers);
-      spans.encode_us = ElapsedUs(encode_start);
-    }
-    if (cache_lock.owns_lock()) {
-      cache_lock.unlock();  // FinishCacheUse re-locks, exclusive if needed
+      RunSearch(query, options, &set, &table, &spans);
+      cache_mutex_.UnlockShared();  // FinishCacheUse re-locks as needed
       FinishCacheUse();
+    } else {
+      RunSearch(query, options, &set, &table, &spans);
     }
   }
   metrics_.queries->Add(1);
@@ -293,14 +298,21 @@ JsonValue Session::Explain(const Request& request) {
   auto start = std::chrono::steady_clock::now();
   obs::TraceSpans spans;
   spans.queue_wait_us = request.queue_wait_us;
-  if (reasoner_->classification().uses_negation) {
-    // The linear proof search behind EXPLAIN ignores negative bodies;
-    // refuse rather than produce a proof the evaluator contradicts.
-    return ErrorResponse(
-        Error{"EUNSUPPORTED",
-              "EXPLAIN runs the linear proof search, which does not "
-              "support programs with negation"},
-        request.id);
+  {
+    // Under the shared data lock like every reasoner_ read — this
+    // pre-check used to run unlocked, which the thread-safety
+    // annotations flagged (benign only because the classification is
+    // immutable after construction, a guarantee nothing enforced).
+    base::ReaderLock data(&data_mutex_);
+    if (reasoner_->classification().uses_negation) {
+      // The linear proof search behind EXPLAIN ignores negative bodies;
+      // refuse rather than produce a proof the evaluator contradicts.
+      return ErrorResponse(
+          Error{"EUNSUPPORTED",
+                "EXPLAIN runs the linear proof search, which does not "
+                "support programs with negation"},
+          request.id);
+    }
   }
   ConjunctiveQuery query;
   JsonValue response;
@@ -316,7 +328,7 @@ JsonValue Session::Explain(const Request& request) {
   }
   std::vector<Term> answer;
   {
-    std::unique_lock<std::shared_mutex> lock(data_mutex_);  // interning
+    base::WriterLock lock(&data_mutex_);  // interning
     SymbolTable::Generation generation = reasoner_->MarkSymbolGeneration();
     answer.reserve(request.answer.size());
     for (const std::string& name : request.answer) {
@@ -361,11 +373,11 @@ JsonValue Session::Explain(const Request& request) {
   ReasonerOptions options = BuildOptions(request);
   std::string proof;
   {
-    std::shared_lock<std::shared_mutex> data(data_mutex_);
+    base::ReaderLock data(&data_mutex_);
     {
       // Shared, like Query: the proof search records through the
       // cache's internal lock; only the pointer needs pinning here.
-      std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_);
+      base::ReaderLock cache_lock(&cache_mutex_);
       options.proof.cache = cache_.get();
       auto search_start = std::chrono::steady_clock::now();
       proof = reasoner_->Explain(query, answer, options);
@@ -439,7 +451,7 @@ JsonValue Session::Analyze(const Request& request) {
 }
 
 JsonValue Session::AddFacts(const Request& request) {
-  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  base::WriterLock lock(&data_mutex_);
   size_t before = reasoner_->database().size();
   std::vector<PredicateId> delta;
   std::string error = reasoner_->AddFactsText(request.facts, &delta);
@@ -459,7 +471,7 @@ JsonValue Session::AddFacts(const Request& request) {
     // only refuted entries whose supported-predicate cone intersects the
     // inserted predicates are dropped; everything else stays warm. An
     // all-duplicate batch has an empty delta and skips even this.
-    std::unique_lock<std::shared_mutex> cache_lock(cache_mutex_);
+    base::WriterLock cache_lock(&cache_mutex_);
     invalidation = cache_->InvalidateForDelta(reasoner_->program(),
                                               reasoner_->database(), delta);
     metrics_.cache_invalidations->Add(1);
@@ -488,7 +500,7 @@ JsonValue Session::StatsObject() {
   JsonValue object = JsonValue::Object();
   object.Set("name", JsonValue::String(name_));
   {
-    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    base::ReaderLock lock(&data_mutex_);
     object.Set("rules", JsonValue::Number(static_cast<uint64_t>(
                             reasoner_->program().tgds().size())));
     object.Set("facts",
@@ -509,11 +521,10 @@ JsonValue Session::StatsObject() {
     // since the last request finished; when a writer (eviction or delta
     // migration) holds the cache, the last stored value (at most one
     // request stale) is reported instead of blocking the stats path.
-    std::shared_lock<std::shared_mutex> cache_lock(cache_mutex_,
-                                                   std::try_to_lock);
-    if (cache_lock.owns_lock()) {
+    if (cache_mutex_.TryLockShared()) {
       metrics_.cache_bytes->Set(
           static_cast<int64_t>(cache_->ApproximateBytes()));
+      cache_mutex_.UnlockShared();
     }
   }
   // STATS reads the same registry handles METRICS snapshots — one source
@@ -537,7 +548,7 @@ JsonValue Session::StatsObject() {
 
 JsonValue Session::DescribeLoaded(const JsonValue& id) {
   JsonValue response = OkResponse(id);
-  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  base::ReaderLock lock(&data_mutex_);
   const ProgramClassification& c = reasoner_->classification();
   response.Set("session", JsonValue::String(name_));
   response.Set("rules", JsonValue::Number(static_cast<uint64_t>(
@@ -584,12 +595,12 @@ void SessionRegistry::CountNegotiatedEncoding(protocol::Encoding encoding) {
 }
 
 size_t SessionRegistry::session_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   return sessions_.size();
 }
 
 std::shared_ptr<Session> SessionRegistry::Find(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -603,7 +614,7 @@ JsonValue SessionRegistry::LoadProgram(const Request& request) {
   }
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     auto it = sessions_.find(request.session);
     if (it != sessions_.end() && !request.replace) {
       return ErrorResponse(
@@ -621,7 +632,7 @@ JsonValue SessionRegistry::LoadProgram(const Request& request) {
 JsonValue SessionRegistry::Unload(const Request& request) {
   std::shared_ptr<Session> removed;  // destroyed outside the lock
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     auto it = sessions_.find(request.session);
     if (it == sessions_.end()) {
       return ErrorResponse(
@@ -650,7 +661,7 @@ JsonValue SessionRegistry::Stats(const Request& request) {
   }
   std::vector<std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     for (const auto& [name, session] : sessions_) sessions.push_back(session);
   }
   JsonValue response = OkResponse(request.id);

@@ -6,20 +6,13 @@
 // clients — the whole point of running a daemon instead of the one-shot
 // CLI. Concurrency contract:
 //
-//   * program + database are guarded by a reader-writer lock: queries
-//     take it shared (the Reasoner's query entry points are const and
-//     re-entrant), ADD_FACTS and inline-query parsing (which interns
-//     symbols) take it exclusive;
-//   * the cache is internally synchronized (ProofSearchCache's own
-//     reader-writer lock), so same-session proof-search queries run
-//     CONCURRENTLY: each takes the session's cache lock shared — that
-//     lock only guards the cache_ pointer itself against wholesale
-//     replacement — and probes/records through the cache's internal
-//     lock. ADD_FACTS delta-invalidation and the byte-cap generational
-//     eviction, which swap or migrate the cache wholesale, take the
-//     session cache lock exclusive. `queries_waited` counts queries
-//     that found a writer holding the lock (had to block before
-//     starting), no longer queries serialized behind another query;
+//   * the lock protocol — which capability guards what, shared vs
+//     exclusive per path, and the data-before-cache acquisition order —
+//     is machine-checked: see the GUARDED_BY/REQUIRES/ACQUIRED_BEFORE
+//     annotations on the members and methods below (and the README
+//     "Concurrency invariants" table). `queries_waited` counts queries
+//     that found a writer holding the cache lock (had to block before
+//     starting), not queries serialized behind another query;
 //   * ADD_FACTS delta-invalidates the cache instead of rebuilding it:
 //     only refuted entries (exact tables + subsumption banks) whose
 //     predicates fall in the inserted facts' affected cone — forward
@@ -53,11 +46,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "engine/search_cache.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -107,9 +100,12 @@ class Session {
   /// Command implementations; each returns a complete response (ok or
   /// error) correlated to `request.id`. Query carries its answers as a
   /// structured table (rendered per-encoding by the transport).
-  JsonValue AddFacts(const protocol::Request& request);
-  protocol::Response Query(const protocol::Request& request);
-  JsonValue Explain(const protocol::Request& request);
+  JsonValue AddFacts(const protocol::Request& request)
+      EXCLUDES(data_mutex_, cache_mutex_);
+  protocol::Response Query(const protocol::Request& request)
+      EXCLUDES(data_mutex_, cache_mutex_);
+  JsonValue Explain(const protocol::Request& request)
+      EXCLUDES(data_mutex_, cache_mutex_);
 
   /// ANALYZE: re-parses the stored program text through the lint driver
   /// (analysis/lint.h) and returns the diagnostics as a JSON array plus
@@ -120,10 +116,10 @@ class Session {
 
   /// One {"name":...,"rules":...,...} stats object; lock-free counters
   /// plus a shared-lock peek at the program sizes.
-  JsonValue StatsObject();
+  JsonValue StatsObject() EXCLUDES(data_mutex_, cache_mutex_);
 
   /// LOAD_PROGRAM's response payload (classification, sizes).
-  JsonValue DescribeLoaded(const JsonValue& id);
+  JsonValue DescribeLoaded(const JsonValue& id) EXCLUDES(data_mutex_);
 
  private:
   /// The session's registered instrument handles (vadalog_session_* /
@@ -155,9 +151,17 @@ class Session {
   /// lock — or index into the loaded program). Returns false with
   /// `response` set to the error.
   bool ResolveQuery(const protocol::Request& request, ConjunctiveQuery* query,
-                    JsonValue* response);
+                    JsonValue* response) EXCLUDES(data_mutex_);
 
   ReasonerOptions BuildOptions(const protocol::Request& request) const;
+
+  /// The search + answer-render step of Query, factored out so the
+  /// cache-holding and cache-free paths stay branch-uniform for the
+  /// thread-safety analysis (a lock held on one arm of a join is a
+  /// warning).
+  void RunSearch(const ConjunctiveQuery& query, const ReasonerOptions& options,
+                 CertainAnswerSet* set, protocol::AnswerTable* table,
+                 obs::TraceSpans* spans) REQUIRES_SHARED(data_mutex_);
 
   /// Appends one JSON record to the slow-query log when the request's
   /// end-to-end time reached the configured threshold. No-op when the
@@ -165,29 +169,38 @@ class Session {
   void MaybeLogSlowQuery(const protocol::Request& request,
                          const obs::TraceSpans& spans);
 
-  /// Post-use cache bookkeeping, called with `data_mutex_` held (shared
-  /// suffices) and `cache_mutex_` NOT held: reads the byte figure, and
-  /// only when it crosses the cap upgrades to the exclusive cache lock,
-  /// re-checks (another query may have evicted first), and applies the
-  /// generational eviction. Refreshes `cache_bytes_` either way so STATS
-  /// tracks growth as it happens, not only at the next eviction.
-  void FinishCacheUse();
+  /// Post-use cache bookkeeping: reads the byte figure, and only when it
+  /// crosses the cap upgrades to the exclusive cache lock, re-checks
+  /// (another query may have evicted first), and applies the generational
+  /// eviction. Refreshes `cache_bytes_` either way so STATS tracks growth
+  /// as it happens, not only at the next eviction.
+  void FinishCacheUse() REQUIRES_SHARED(data_mutex_) EXCLUDES(cache_mutex_);
 
   const std::string name_;
   /// Original LOAD_PROGRAM text (immutable after construction; ANALYZE
   /// re-parses it without touching the session's live program).
   const std::string program_text_;
   const SessionOptions options_;
-  std::unique_ptr<Reasoner> reasoner_;
+  /// The pointer itself is set once in the constructor; the capability
+  /// guards the Reasoner behind it (program + database): queries take it
+  /// shared (the Reasoner's query entry points are const and re-entrant),
+  /// ADD_FACTS and inline-query parsing (which interns symbols) take it
+  /// exclusive.
+  std::unique_ptr<Reasoner> reasoner_ GUARDED_BY(data_mutex_);
 
-  /// Guards program + database (see header comment).
-  std::shared_mutex data_mutex_;
+  /// Guards program + database (reasoner_). ACQUIRED_BEFORE is the whole
+  /// lock-order story: every nested acquisition in this class is data
+  /// then cache, so an inversion is a compile error under
+  /// -Wthread-safety-beta (it used to be a prose rule in Query).
+  base::SharedMutex data_mutex_ ACQUIRED_BEFORE(cache_mutex_);
 
-  /// Guards the cache_ *pointer* (see header comment): queries shared,
-  /// wholesale replacement/migration exclusive. Entry-level safety is
-  /// the ProofSearchCache's own internal lock.
-  std::shared_mutex cache_mutex_;
-  std::unique_ptr<ProofSearchCache> cache_;
+  /// Guards the cache_ *pointer*: queries shared (pinning it against
+  /// wholesale replacement), generational eviction and ADD_FACTS delta
+  /// migration exclusive. Entry-level safety is the ProofSearchCache's
+  /// own internal lock, so same-session proof-search queries run
+  /// concurrently.
+  base::SharedMutex cache_mutex_;
+  std::unique_ptr<ProofSearchCache> cache_ GUARDED_BY(cache_mutex_);
 
   /// All per-session counters live in the metrics registry; STATS and
   /// METRICS read the same handles, one source of truth. (The former
@@ -232,8 +245,9 @@ class SessionRegistry {
   SessionOptions defaults_;  // metrics pointer patched to metrics_
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   obs::MetricsRegistry* metrics_ = nullptr;
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  base::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(mutex_);
   const std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
   obs::Counter* requests_ = nullptr;

@@ -27,13 +27,14 @@
 #ifndef VADALOG_SERVER_WORKER_POOL_H_
 #define VADALOG_SERVER_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace vadalog {
 
@@ -83,19 +84,26 @@ class WorkerPool {
   /// Observability: when set, the gauge tracks queue_.size() — updated
   /// under the queue lock on every push/pop, so the cost is one relaxed
   /// store on paths that already hold the mutex. Set once at startup,
-  /// before any Submit.
-  void set_queue_depth_gauge(obs::Gauge* gauge) { queue_depth_ = gauge; }
+  /// before any Submit. Takes the queue lock: the workers are already
+  /// running by the time the server wires the gauge, so publishing the
+  /// pointer needs the same lock its readers hold.
+  void set_queue_depth_gauge(obs::Gauge* gauge) EXCLUDES(mutex_) {
+    base::MutexLock lock(&mutex_);
+    queue_depth_ = gauge;
+  }
 
  private:
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable base::Mutex mutex_;
+  base::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  /// Mutated only by the constructor (before any concurrency exists) and
+  /// Shutdown (which the caller must not race with num_threads()).
   std::vector<std::thread> threads_;
-  bool stop_ = false;
-  Stats stats_;
-  obs::Gauge* queue_depth_ = nullptr;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  Stats stats_ GUARDED_BY(mutex_);
+  obs::Gauge* queue_depth_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace vadalog

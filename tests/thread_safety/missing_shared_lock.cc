@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror (ctest registers
+// this TU with WILL_FAIL): calling a REQUIRES_SHARED helper without the
+// reader lock — the mistake the Session::Explain negation pre-check
+// made before the annotation pass flushed it out (it read session data
+// with no data lock at all).
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  int ReadRow() const REQUIRES_SHARED(mutex_) { return row_; }
+
+  int PeekWithoutLock() const {
+    return ReadRow();  // violation: neither shared nor exclusive hold
+  }
+
+ private:
+  mutable vadalog::base::SharedMutex mutex_;
+  int row_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int TouchMissingSharedLock() {
+  Table table;
+  return table.PeekWithoutLock();
+}

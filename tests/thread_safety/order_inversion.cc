@@ -1,0 +1,36 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Wthread-safety-beta
+// -Werror (ctest registers this TU with WILL_FAIL): acquiring two
+// ACQUIRED_BEFORE-ordered mutexes in the wrong order — the deadlock
+// shape Session's data_mutex_ → cache_mutex_ ordering exists to
+// prevent. ACQUIRED_BEFORE checking lives behind -Wthread-safety-beta,
+// which is why both the CI thread-safety lane and this harness pass it.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void LockedInOrder() {
+    vadalog::base::WriterLock first(&data_mutex_);
+    vadalog::base::WriterLock second(&cache_mutex_);
+  }
+
+  void LockedInverted() {
+    vadalog::base::WriterLock second(&cache_mutex_);
+    vadalog::base::WriterLock first(&data_mutex_);  // violation: inversion
+  }
+
+ private:
+  vadalog::base::SharedMutex data_mutex_ ACQUIRED_BEFORE(cache_mutex_);
+  vadalog::base::SharedMutex cache_mutex_;
+};
+
+}  // namespace
+
+void TouchOrderInversion() {
+  TwoLocks locks;
+  locks.LockedInOrder();
+  locks.LockedInverted();
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror (ctest registers
+// this TU with WILL_FAIL): writing a GUARDED_BY member without holding
+// its mutex — the plainest lock-discipline violation the annotations
+// exist to reject. If this file ever compiles, the analysis is off and
+// the whole machine-checked-discipline guarantee is vacuous.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++value_;  // violation: mutex_ not held
+  }
+
+ private:
+  vadalog::base::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void TouchUnguardedAccess() {
+  Counter counter;
+  counter.Bump();
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Minimizes the checked-in fuzz seed corpora with libFuzzer's -merge=1:
+# replaces each fuzz/corpus/<name> with the coverage-minimal subset of
+# itself. Run after folding a long fuzzing session's findings back in.
+#
+# usage: tools/minimize_corpus.sh BUILD_DIR [TARGET...]
+#
+# BUILD_DIR must be a libFuzzer-instrumented build (clang; see
+# fuzz/README.md) — the standalone GCC driver cannot merge, and this
+# script detects that and refuses rather than silently deleting seeds.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:?usage: tools/minimize_corpus.sh BUILD_DIR [TARGET...]}"
+shift || true
+
+declare -A corpus_of=(
+  [fuzz_json]=json
+  [fuzz_request_line]=request_line
+  [fuzz_vdf2_frame]=vdf2
+  [fuzz_vadalog_parser]=vadalog
+  [fuzz_metrics_snapshot]=metrics
+)
+
+targets=("$@")
+if [ "${#targets[@]}" -eq 0 ]; then
+  targets=("${!corpus_of[@]}")
+fi
+
+for target in "${targets[@]}"; do
+  corpus="${corpus_of[$target]:?unknown fuzz target: $target}"
+  binary="$build/fuzz/$target"
+  if [ ! -x "$binary" ]; then
+    echo "error: $binary not built" >&2
+    exit 1
+  fi
+  if ! "$binary" -help=1 2>/dev/null | grep -q 'merge'; then
+    echo "error: $binary is the standalone driver (no libFuzzer);" \
+         "rebuild with clang per fuzz/README.md" >&2
+    exit 1
+  fi
+  src="$repo/fuzz/corpus/$corpus"
+  tmp="$(mktemp -d)"
+  echo "== $target: merging $src into $tmp"
+  "$binary" -merge=1 "$tmp" "$src"
+  before=$(find "$src" -type f | wc -l)
+  after=$(find "$tmp" -type f | wc -l)
+  find "$src" -type f -delete
+  cp "$tmp"/* "$src"/ 2>/dev/null || true
+  rm -rf "$tmp"
+  echo "== $target: $before seeds -> $after"
+done

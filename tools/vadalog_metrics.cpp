@@ -1,11 +1,11 @@
 // vadalog_metrics — Prometheus text-format exporter for vadalogd.
 //
 // Scrapes the daemon's METRICS command and renders the registry snapshot
-// in the Prometheus text exposition format (version 0.0.4): one
-// `# HELP` / `# TYPE` header per metric family, one sample line per
-// label set, histograms expanded into cumulative `_bucket{le="..."}`
-// series plus `_sum` and `_count`. Pipe it from a cron job or wrap it in
-// a textfile-collector script; the output is a complete scrape body.
+// in the Prometheus text exposition format via server/prometheus.h (the
+// rendering itself lives there as a library, shared with the tests and
+// the fuzz harness; this tool contributes only the socket client and the
+// stdin mode). Pipe it from a cron job or wrap it in a
+// textfile-collector script; the output is a complete scrape body.
 //
 // Usage:
 //   vadalog_metrics --connect=tcp:HOST:PORT     scrape a live daemon
@@ -35,6 +35,7 @@
 
 #include "base/version.h"
 #include "server/json.h"
+#include "server/prometheus.h"
 
 using namespace vadalog;
 
@@ -49,141 +50,16 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-/// Escapes a label value per the exposition format: backslash, double
-/// quote, and newline.
-std::string EscapeLabelValue(const std::string& value) {
-  std::string out;
-  out.reserve(value.size());
-  for (char c : value) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-/// Renders one label set as {k1="v1",k2="v2"}; empty string when there
-/// are no labels. `extra` appends one more pair (used for `le`).
-std::string RenderLabels(const JsonValue* labels, const std::string& extra) {
-  std::string body;
-  if (labels != nullptr && labels->is_object()) {
-    for (const auto& [key, value] : labels->Members()) {
-      if (!body.empty()) body += ",";
-      body += key + "=\"" +
-              EscapeLabelValue(value.is_string() ? value.AsString()
-                                                 : value.Dump()) +
-              "\"";
-    }
-  }
-  if (!extra.empty()) {
-    if (!body.empty()) body += ",";
-    body += extra;
-  }
-  if (body.empty()) return "";
-  return "{" + body + "}";
-}
-
-/// Prints a sample value the way Prometheus expects: integral values
-/// without a fraction, anything else as shortest double.
-std::string RenderNumber(double value) {
-  if (value == static_cast<double>(static_cast<long long>(value))) {
-    return std::to_string(static_cast<long long>(value));
-  }
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%g", value);
-  return buffer;
-}
-
-/// Converts one registry snapshot (the "metrics" array of a METRICS
-/// response) to the text exposition format on stdout. The snapshot is
-/// sorted by (name, labels), so HELP/TYPE headers are emitted on each
-/// name change.
-bool RenderPrometheus(const JsonValue& metrics) {
-  if (!metrics.is_array()) return false;
-  std::string previous_name;
-  for (const JsonValue& metric : metrics.Items()) {
-    std::string name = metric.GetString("name");
-    std::string type = metric.GetString("type");
-    if (name.empty()) return false;
-    if (name != previous_name) {
-      std::string help = metric.GetString("help");
-      if (!help.empty()) {
-        std::printf("# HELP %s %s\n", name.c_str(), help.c_str());
-      }
-      std::printf("# TYPE %s %s\n", name.c_str(), type.c_str());
-      previous_name = name;
-    }
-    const JsonValue* labels = metric.Find("labels");
-    if (type == "histogram") {
-      const JsonValue* bounds = metric.Find("bounds");
-      const JsonValue* buckets = metric.Find("buckets");
-      if (bounds == nullptr || buckets == nullptr ||
-          !bounds->is_array() || !buckets->is_array() ||
-          buckets->Items().size() != bounds->Items().size() + 1) {
-        return false;
-      }
-      for (size_t i = 0; i < bounds->Items().size(); ++i) {
-        std::printf(
-            "%s_bucket%s %s\n", name.c_str(),
-            RenderLabels(labels, "le=\"" +
-                                     RenderNumber(
-                                         bounds->Items()[i].AsNumber()) +
-                                     "\"")
-                .c_str(),
-            RenderNumber(buckets->Items()[i].AsNumber()).c_str());
-      }
-      std::printf("%s_bucket%s %s\n", name.c_str(),
-                  RenderLabels(labels, "le=\"+Inf\"").c_str(),
-                  RenderNumber(buckets->Items().back().AsNumber()).c_str());
-      std::printf("%s_sum%s %s\n", name.c_str(),
-                  RenderLabels(labels, "").c_str(),
-                  RenderNumber(metric.Find("sum") != nullptr
-                                   ? metric.Find("sum")->AsNumber()
-                                   : 0)
-                      .c_str());
-      std::printf("%s_count%s %s\n", name.c_str(),
-                  RenderLabels(labels, "").c_str(),
-                  RenderNumber(metric.Find("count") != nullptr
-                                   ? metric.Find("count")->AsNumber()
-                                   : 0)
-                      .c_str());
-    } else {
-      const JsonValue* value = metric.Find("value");
-      std::printf("%s%s %s\n", name.c_str(),
-                  RenderLabels(labels, "").c_str(),
-                  RenderNumber(value != nullptr ? value->AsNumber() : 0)
-                      .c_str());
-    }
-  }
-  return true;
-}
-
 /// Accepts either a full METRICS response ({"ok":true,"metrics":[...]})
-/// or the bare metrics array.
+/// or the bare metrics array; rendering is server/prometheus.h.
 int ConvertDocument(const std::string& text) {
+  std::string out;
   std::string error;
-  std::optional<JsonValue> parsed = JsonValue::Parse(text, &error);
-  if (!parsed.has_value()) {
-    std::fprintf(stderr, "vadalog_metrics: parse error: %s\n",
-                 error.c_str());
+  if (!prometheus::RenderDocumentText(text, &out, &error)) {
+    std::fprintf(stderr, "vadalog_metrics: %s\n", error.c_str());
     return 1;
   }
-  const JsonValue* metrics =
-      parsed->is_array() ? &*parsed : parsed->Find("metrics");
-  if (metrics == nullptr || !RenderPrometheus(*metrics)) {
-    std::fprintf(stderr, "vadalog_metrics: not a METRICS snapshot\n");
-    return 1;
-  }
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
